@@ -1,0 +1,93 @@
+"""Ablation A1: calibration-cycle length (Section 3.4).
+
+"The frequency of re-calibration does have impact to effectiveness of
+QCC in influencing II query optimization."  We let QCC rely purely on
+its timer-driven cycles (no forced recalibration between passes) while
+the load phases flip, and compare:
+
+* ``static-long``  — recalibrate every 60 s (stale factors after shifts);
+* ``static-short`` — recalibrate every 250 ms (always fresh);
+* ``dynamic``      — the paper's volatility-adaptive cycle.
+
+Shape: the long static cycle responds worst; the dynamic controller
+lands near the short cycle without its fixed cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import qcc_deployment
+from repro.core import QCCConfig
+from repro.core.cycle import CycleConfig
+from repro.harness import ascii_table, mean, run_workload_once
+from repro.workload import BENCH_SCALE, LOAD_LEVEL, PHASES, build_workload
+
+#: A phase trajectory with real load shifts (idle -> S3 hot -> S1+S2 hot).
+TRAJECTORY = [PHASES[0], PHASES[1], PHASES[6], PHASES[1]]
+
+
+def _run_variant(cycle: CycleConfig, databases, workload, drift: float = 0.0):
+    deployment = qcc_deployment(
+        scale=BENCH_SCALE,
+        prebuilt_databases=databases,
+        qcc_config=QCCConfig(cycle=cycle, drift_trigger_ratio=drift),
+    )
+    measured = []
+    for phase in TRAJECTORY:
+        deployment.set_load(
+            phase.levels(tuple(deployment.server_names()), LOAD_LEVEL)
+        )
+        deployment.clock.advance(3_000.0)
+        # two adaptation passes driven only by tick() timers
+        run_workload_once(deployment, workload)
+        run_workload_once(deployment, workload)
+        outcomes = run_workload_once(deployment, workload)
+        measured.extend(o.response_ms for o in outcomes if not o.failed)
+    return mean(measured)
+
+
+def _measure(databases, workload):
+    long_cycle = CycleConfig(
+        base_interval_ms=60_000.0,
+        min_interval_ms=60_000.0,
+        max_interval_ms=60_000.0,
+    )
+    short_cycle = CycleConfig(
+        base_interval_ms=250.0,
+        min_interval_ms=250.0,
+        max_interval_ms=250.0,
+    )
+    adaptive_cycle = CycleConfig(
+        base_interval_ms=2_000.0,
+        min_interval_ms=250.0,
+        max_interval_ms=30_000.0,
+    )
+    return {
+        "static-long": _run_variant(long_cycle, databases, workload),
+        "static-short": _run_variant(short_cycle, databases, workload),
+        # the paper's controller: volatility-scaled interval plus an
+        # early close when live ratios drift from the active factors
+        "dynamic": _run_variant(
+            adaptive_cycle, databases, workload, drift=2.0
+        ),
+    }
+
+
+def test_ablation_calibration_cycle(benchmark, bench_databases):
+    workload = build_workload(instances_per_type=4, seed=7)
+    results = benchmark.pedantic(
+        _measure, args=(bench_databases, workload), rounds=1, iterations=1
+    )
+
+    print("\n=== Ablation A1: calibration cycle length ===")
+    print(
+        ascii_table(
+            ["Variant", "Mean response (ms)"],
+            [[name, value] for name, value in results.items()],
+        )
+    )
+
+    assert results["static-long"] > results["static-short"]
+    # dynamic tracks the short cycle's quality (within 20%)
+    assert results["dynamic"] <= results["static-short"] * 1.2

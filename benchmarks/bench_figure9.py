@@ -1,0 +1,90 @@
+"""Figure 9 (a)-(d): sensitivity of each query type to system load.
+
+Regenerates the paper's per-server response-time measurements for the
+four query fragment types under low ("Base") and high ("Load")
+conditions.  The shape assertions encode Section 5.2's observations:
+
+* S3 functions better than the others in most (base) situations;
+* for the costlier, CPU-bound QT2, S3 is much more sensitive to load —
+  when only S3 is loaded, S1/S2 become more desirable;
+* for QT3, S3 stays cheapest even when it is highly loaded and the
+  other two are not (so naive load-based routing is also wrong).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import uncalibrated_deployment
+from repro.harness import grouped_series, observe_on_servers
+from repro.workload import BENCH_SCALE, LOAD_LEVEL, QUERY_TYPES
+
+
+def _measure(databases):
+    deployment = uncalibrated_deployment(
+        scale=BENCH_SCALE, prebuilt_databases=databases
+    )
+    servers = deployment.server_names()
+    results = {}
+    for template in QUERY_TYPES:
+        instance = template.instance(0)
+        deployment.set_load({name: 0.0 for name in servers})
+        base = observe_on_servers(deployment, instance)
+        deployment.set_load({name: LOAD_LEVEL for name in servers})
+        loaded = observe_on_servers(deployment, instance)
+        deployment.set_load({name: 0.0 for name in servers})
+        # the paper's key crossover case: only S3 loaded
+        deployment.set_load({"S3": LOAD_LEVEL})
+        s3_only = observe_on_servers(deployment, instance)
+        deployment.set_load({name: 0.0 for name in servers})
+        results[template.name] = {
+            "base": base,
+            "loaded": loaded,
+            "s3_loaded": s3_only,
+        }
+    return results
+
+
+def test_figure9_sensitivity_of_query_type_to_load(
+    benchmark, bench_databases
+):
+    results = benchmark.pedantic(
+        _measure, args=(bench_databases,), rounds=1, iterations=1
+    )
+
+    print("\n=== Figure 9: response time (ms) per server, per query type ===")
+    for name, data in results.items():
+        print(
+            grouped_series(
+                ["S1", "S2", "S3"],
+                {
+                    "Base (all idle)": data["base"],
+                    "Load (all loaded)": data["loaded"],
+                    "Only S3 loaded": data["s3_loaded"],
+                },
+                title=f"\n{name}",
+                unit="ms",
+            )
+        )
+
+    # -- shape assertions ---------------------------------------------------
+    for name, data in results.items():
+        base, loaded = data["base"], data["loaded"]
+        # Load monotonically increases every server's response time.
+        for server in ("S1", "S2", "S3"):
+            assert loaded[server] > base[server], (name, server)
+        # S3 (most powerful) wins under base conditions for every type.
+        assert min(base, key=base.get) == "S3", name
+
+    # QT2: with only S3 loaded, another server becomes preferable.
+    qt2 = results["QT2"]["s3_loaded"]
+    assert min(qt2, key=qt2.get) != "S3"
+
+    # QT3: S3 stays cheapest even when it alone is loaded.
+    qt3 = results["QT3"]["s3_loaded"]
+    assert min(qt3, key=qt3.get) == "S3"
+
+    # QT2 degrades proportionally more on S3 than QT3 does.
+    qt2_inflation = results["QT2"]["s3_loaded"]["S3"] / results["QT2"]["base"]["S3"]
+    qt3_inflation = results["QT3"]["s3_loaded"]["S3"] / results["QT3"]["base"]["S3"]
+    assert qt2_inflation > qt3_inflation

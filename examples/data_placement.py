@@ -1,0 +1,106 @@
+"""Data placement advisor (the paper's stated future work).
+
+`lineitem` and `product` live only on two slow, loaded servers; the fast
+S3 cannot serve the hot QT2 workload.  The advisor mines the
+meta-wrapper's runtime log and QCC's calibration factors, recommends
+replicating the hot tables onto S3, applies the move, and the very next
+compilation routes there.
+
+Run:  python examples/data_placement.py
+"""
+
+from repro.core import PlacementAdvisor, apply_recommendation
+from repro.fed import NicknameRegistry
+from repro.harness import ServerSpec, ascii_table, build_federation, mean
+from repro.workload import QT2, TEST_SCALE
+
+SPECS = (
+    ServerSpec("S1", 1.0, 1.0, 0.7, 0.7, 8.0, 80.0),
+    ServerSpec("S2", 1.0, 1.0, 0.7, 0.7, 8.0, 80.0),
+    ServerSpec("S3", 2.5, 2.5, 0.3, 0.3, 3.0, 150.0),
+)
+
+HOT_TABLES = ("lineitem", "product")
+
+
+def build_partial_deployment():
+    deployment = build_federation(specs=SPECS, scale=TEST_SCALE)
+    registry = NicknameRegistry()
+    for name in deployment.registry.nicknames():
+        table = deployment.servers["S1"].database.catalog.lookup(name)
+        registry.register(name, "S1", name, table_def=table)
+        registry.register(name, "S2", name)
+        if name not in HOT_TABLES:
+            registry.register(name, "S3", name)
+    deployment.registry = registry
+    deployment.integrator.registry = registry
+    for name in HOT_TABLES:
+        deployment.servers["S3"].database.storage.drop_table(name)
+    return deployment
+
+
+def main() -> None:
+    deployment = build_partial_deployment()
+    print(
+        "Placements: lineitem/product only on S1+S2 (slow, loaded); "
+        "S3 (fast) has neither.\n"
+    )
+    deployment.set_load({"S1": 0.8, "S2": 0.8, "S3": 0.0})
+
+    instance = QT2.instance(0)
+    responses_before = []
+    for _ in range(8):
+        result = deployment.integrator.submit(instance.sql, label="QT2")
+        responses_before.append(result.response_ms)
+    deployment.qcc.probe_servers(deployment.clock.now)
+    deployment.qcc.recalibrate(deployment.clock.now)
+    before_ms = mean(responses_before)
+    print(f"Hot QT2 workload, before: {before_ms:.1f} ms "
+          f"(servers available: S1, S2 only)")
+
+    advisor = PlacementAdvisor(
+        deployment.registry,
+        deployment.meta_wrapper,
+        deployment.qcc,
+        factor_gap=1.1,
+    )
+    print("\nAdvisor's view of where the workload's time goes:")
+    rows = [
+        [load.nickname, load.server, load.observed_ms, load.executions]
+        for load in advisor.nickname_loads()[:6]
+    ]
+    print(ascii_table(["Nickname", "Server", "Observed ms", "Executions"], rows))
+
+    recommendations = advisor.recommend()
+    print("\nRecommendations:")
+    for recommendation in recommendations:
+        print(f"  {recommendation.describe()}")
+
+    for recommendation in recommendations:
+        copied = apply_recommendation(
+            recommendation, deployment.registry, deployment.servers
+        )
+        print(
+            f"Applied: {recommendation.nickname} -> "
+            f"{recommendation.target} ({copied} rows copied)"
+        )
+
+    responses_after = []
+    for _ in range(8):
+        result = deployment.integrator.submit(instance.sql, label="QT2")
+        responses_after.append(result.response_ms)
+    after_ms = mean(responses_after)
+    servers = sorted(result.plan.servers)
+    print(
+        f"\nHot QT2 workload, after: {after_ms:.1f} ms (now routed to "
+        f"{servers})"
+    )
+    print(
+        f"Improvement: {100 * (before_ms - after_ms) / before_ms:.0f}% — "
+        "with no optimizer change:\nthe new replica simply became a "
+        "candidate and calibrated routing took it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""A real update storm (Section 5.1, step 4) — not a knob.
+
+The evaluation hits servers with "a heavy update load".  In this
+reproduction the storm is actual DML: UPDATE statements execute against
+the server's heap, are metered like queries, and — through the
+traffic-induced load model — heat the server for concurrent reads.
+Watch the federation's routing walk away from the stormed server and
+come back when the storm passes.
+
+Run:  python examples/update_storm.py
+"""
+
+from repro.baselines import qcc_deployment
+from repro.harness import ascii_table, mean, run_workload_once
+from repro.sim import InducedLoad, UpdateStormDriver
+from repro.workload import TEST_SCALE, build_workload
+
+
+def main() -> None:
+    deployment = qcc_deployment(scale=TEST_SCALE)
+    # Give S3 a traffic-sensitive load model so DML heat is felt.
+    s3 = deployment.servers["S3"]
+    s3_load = InducedLoad(gain=0.0012, decay_ms=5_000.0, base=deployment.loads["S3"])
+    s3.load = s3_load
+    storm = UpdateStormDriver(s3, seed=11)
+    workload = build_workload(instances_per_type=3)
+
+    def measure(label):
+        outcomes = run_workload_once(deployment, workload)
+        deployment.qcc.recalibrate(deployment.clock.now)
+        s3_hits = sum(1 for o in outcomes if "S3" in o.servers)
+        return [
+            label,
+            mean([o.response_ms for o in outcomes]),
+            f"{s3_hits}/{len(outcomes)}",
+            f"{s3.current_load(deployment.clock.now):.2f}",
+        ]
+
+    rows = []
+    run_workload_once(deployment, workload)  # let QCC learn the baseline
+    deployment.qcc.recalibrate(deployment.clock.now)
+    rows.append(measure("calm"))
+
+    print("Unleashing the update storm on S3 "
+          "(sustained UPDATE bursts against its largest table)...")
+    storm.sustained(
+        deployment.clock.now, duration_ms=4_000.0,
+        statements_per_burst=8, burst_interval_ms=200.0,
+    )
+    run_workload_once(deployment, workload)  # adaptation pass
+    deployment.qcc.recalibrate(deployment.clock.now)
+    # keep the storm alive while measuring
+    storm.sustained(
+        deployment.clock.now, duration_ms=2_000.0,
+        statements_per_burst=8, burst_interval_ms=200.0,
+    )
+    rows.append(measure("storm on S3"))
+
+    print("Storm over; letting S3 cool down...")
+    deployment.clock.advance(60_000.0)
+    deployment.qcc.probe_servers(deployment.clock.now)
+    run_workload_once(deployment, workload)
+    deployment.qcc.recalibrate(deployment.clock.now)
+    rows.append(measure("after storm"))
+
+    print()
+    print(
+        ascii_table(
+            ["Condition", "Mean response (ms)", "Queries on S3", "S3 load"],
+            rows,
+            title="Routing under a real DML storm",
+        )
+    )
+    print(
+        "\nThe storm's writes are real work: they mutate S3's tables, heat "
+        "its load\nlevel, slow its reads, and QCC's calibration factors "
+        "carry the traffic away\nuntil the storm passes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+`pip install -e .` requires building an editable wheel; in fully offline
+environments without `wheel`, `python setup.py develop` provides the same
+editable install via an egg-link.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,30 @@
+"""Baseline systems the paper compares against.
+
+Each baseline is a deployment factory: the same federation, but routed
+without QCC's runtime feedback.
+
+* :func:`fixed_assignment_deployment` — Fixed Assignment 1: routing
+  frozen at nickname-registration time (QT1,QT3→S1; QT2→S2; QT4→S3).
+* :func:`preferred_server_deployment` — Fixed Assignment 2: always the
+  most powerful server (S3).
+* :func:`uncalibrated_deployment` — cost-based routing on raw, load-
+  blind estimates (DB2 II without QCC).
+* :func:`blind_round_robin_deployment` — cost-oblivious rotation, a
+  load-spreading strawman used in ablations.
+"""
+
+from .builders import (
+    blind_round_robin_deployment,
+    fixed_assignment_deployment,
+    preferred_server_deployment,
+    qcc_deployment,
+    uncalibrated_deployment,
+)
+
+__all__ = [
+    "blind_round_robin_deployment",
+    "fixed_assignment_deployment",
+    "preferred_server_deployment",
+    "qcc_deployment",
+    "uncalibrated_deployment",
+]

@@ -1,0 +1,212 @@
+"""Command-line interface.
+
+::
+
+    python -m repro demo                     # guided quickstart
+    python -m repro experiment figure10      # regenerate a paper figure
+    python -m repro query "SELECT ..."       # one federated query
+    python -m repro status --queries 20      # QCC state after a workload
+
+Experiments accept ``--scale {test,bench,paper}`` (paper scale loads
+100k-row tables; expect minutes, not seconds).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .harness import build_federation
+from .harness.experiments import (
+    run_figure9,
+    run_figure10,
+    run_figure11,
+    run_table2,
+)
+from .workload import BENCH_SCALE, PAPER_SCALE, TEST_SCALE, build_workload
+
+_SCALES = {"test": TEST_SCALE, "bench": BENCH_SCALE, "paper": PAPER_SCALE}
+
+_EXPERIMENTS = {
+    "figure9": run_figure9,
+    "table2": run_table2,
+    "figure10": run_figure10,
+    "figure11": run_figure11,
+}
+
+
+def _parse_load(values: List[str]):
+    loads = {}
+    for item in values:
+        server, _, level = item.partition("=")
+        if not level:
+            raise argparse.ArgumentTypeError(
+                f"--load expects SERVER=LEVEL, got {item!r}"
+            )
+        loads[server] = float(level)
+    return loads
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Load and Network Aware Query Routing for "
+            "Information Integration' (ICDE 2005)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="guided quickstart demo")
+    demo.add_argument(
+        "--scale", choices=_SCALES, default="test", help="data scale"
+    )
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate a paper table/figure"
+    )
+    experiment.add_argument("name", choices=sorted(_EXPERIMENTS))
+    experiment.add_argument(
+        "--scale", choices=_SCALES, default="bench", help="data scale"
+    )
+    experiment.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the structured result as JSON",
+    )
+
+    query = sub.add_parser("query", help="run one federated query")
+    query.add_argument("sql", help="federated SELECT over the sample schema")
+    query.add_argument(
+        "--scale", choices=_SCALES, default="test", help="data scale"
+    )
+    query.add_argument(
+        "--load",
+        action="append",
+        default=[],
+        metavar="SERVER=LEVEL",
+        help="set a server's load level, e.g. --load S3=0.8 (repeatable)",
+    )
+    query.add_argument(
+        "--explain",
+        action="store_true",
+        help="show ranked global plans without executing",
+    )
+
+    status = sub.add_parser(
+        "status", help="run a workload and dump QCC's learned state"
+    )
+    status.add_argument(
+        "--scale", choices=_SCALES, default="test", help="data scale"
+    )
+    status.add_argument(
+        "--queries", type=int, default=16, help="workload size"
+    )
+    status.add_argument(
+        "--load",
+        action="append",
+        default=[],
+        metavar="SERVER=LEVEL",
+        help="set a server's load level (repeatable)",
+    )
+    return parser
+
+
+def _cmd_demo(args) -> int:
+    scale = _SCALES[args.scale]
+    print(f"Building federation at {args.scale} scale...")
+    deployment = build_federation(scale=scale)
+    workload = build_workload(instances_per_type=3)
+    print(f"Running a {len(workload)}-query mixed workload (QT1-QT4)...")
+    for instance in workload:
+        deployment.integrator.submit(instance.sql, label=instance.label)
+    deployment.qcc.recalibrate(deployment.clock.now)
+    patroller = deployment.integrator.patroller
+    print(f"\nMean response: {patroller.mean_response_ms():.1f} ms")
+    print("Per-type means:")
+    for template in ("QT1", "QT2", "QT3", "QT4"):
+        print(f"  {template}: {patroller.mean_response_ms(template):8.1f} ms")
+    print("\nQCC status:")
+    for key, value in deployment.qcc.status().items():
+        print(f"  {key}: {value}")
+    print(
+        "\nNext: `python -m repro experiment figure10` regenerates the "
+        "paper's headline result."
+    )
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    scale = _SCALES[args.scale]
+    runner = _EXPERIMENTS[args.name]
+    print(f"Running {args.name} at {args.scale} scale (this executes the "
+          "full phase sweep)...\n")
+    result = runner(scale=scale)
+    print(result.render())
+    if args.json:
+        import json
+
+        with open(args.json, "w") as handle:
+            json.dump(result.to_dict(), handle, indent=2)
+        print(f"\nStructured result written to {args.json}")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    scale = _SCALES[args.scale]
+    deployment = build_federation(scale=scale)
+    if args.load:
+        deployment.set_load(_parse_load(args.load))
+    if args.explain:
+        _, plans = deployment.integrator.compile(args.sql)
+        print("Ranked global plans (calibrated cost):")
+        for plan in plans:
+            print(f"  {plan.describe()}")
+        return 0
+    result = deployment.integrator.submit(args.sql)
+    print(f"servers: {sorted(result.plan.servers)}")
+    print(
+        f"response: {result.response_ms:.1f} ms "
+        f"(remote {result.remote_ms:.1f} + merge {result.merge_ms:.1f})"
+    )
+    print(f"rows ({result.row_count}):")
+    for row in result.rows[:20]:
+        print(f"  {row}")
+    if result.row_count > 20:
+        print(f"  ... {result.row_count - 20} more")
+    return 0
+
+
+def _cmd_status(args) -> int:
+    scale = _SCALES[args.scale]
+    deployment = build_federation(scale=scale)
+    if args.load:
+        deployment.set_load(_parse_load(args.load))
+    workload = build_workload(
+        instances_per_type=max(1, args.queries // 4)
+    )
+    for instance in workload[: args.queries]:
+        deployment.integrator.submit(instance.sql, label=instance.label)
+    deployment.qcc.recalibrate(deployment.clock.now)
+    for key, value in deployment.qcc.status().items():
+        print(f"{key}: {value}")
+    return 0
+
+
+_COMMANDS = {
+    "demo": _cmd_demo,
+    "experiment": _cmd_experiment,
+    "query": _cmd_query,
+    "status": _cmd_status,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""The paper's contribution: the Query Cost Calibrator (QCC)."""
+
+from .availability import AvailabilityMonitor, ServerHealth
+from .bidding import Auction, Bid, BidBroker, BiddingQcc
+from .calibrator import CalibratorConfig, CostCalibrator, IICalibrator
+from .cycle import CalibrationCycleController, CycleConfig
+from .history import Ewma, RatioHistory, RunningStats
+from .load_balance import (
+    FragmentLoadBalancer,
+    GlobalLoadBalancer,
+    LoadBalanceConfig,
+)
+from .placement import (
+    NicknameLoad,
+    PlacementAdvisor,
+    PlacementRecommendation,
+    apply_recommendation,
+)
+from .routing import Decision, QCCConfig, QueryCostCalibrator
+from .whatif import WhatIfPlanner, WhatIfResult, build_simulated_meta_wrapper
+
+__all__ = [
+    "Auction",
+    "AvailabilityMonitor",
+    "Bid",
+    "BidBroker",
+    "BiddingQcc",
+    "CalibrationCycleController",
+    "CalibratorConfig",
+    "CostCalibrator",
+    "CycleConfig",
+    "Decision",
+    "Ewma",
+    "FragmentLoadBalancer",
+    "GlobalLoadBalancer",
+    "IICalibrator",
+    "LoadBalanceConfig",
+    "NicknameLoad",
+    "PlacementAdvisor",
+    "PlacementRecommendation",
+    "QCCConfig",
+    "QueryCostCalibrator",
+    "RatioHistory",
+    "RunningStats",
+    "ServerHealth",
+    "WhatIfPlanner",
+    "WhatIfResult",
+    "apply_recommendation",
+    "build_simulated_meta_wrapper",
+]

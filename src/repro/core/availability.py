@@ -1,0 +1,127 @@
+"""Availability and reliability tracking (Section 3.3).
+
+Two information sources feed the monitor:
+
+* the query execution log — errors surfaced by the meta-wrapper mark a
+  server down *immediately*, so no further fragments are routed to it;
+* daemon probes — periodic pings through the meta-wrapper that both
+  detect recovery (a down server becomes eligible again) and measure
+  network latency for initial calibration factors.
+
+A *reliability factor* ≥ 1 additionally penalises flaky servers in cost
+calibration, steering II toward "not only high performance but also
+highly available remote servers".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+
+@dataclass
+class ServerHealth:
+    """Mutable health state of one server."""
+
+    up: bool = True
+    last_error_ms: Optional[float] = None
+    last_success_ms: Optional[float] = None
+    last_probe_rtt_ms: Optional[float] = None
+    #: recent request outcomes: (t_ms, succeeded)
+    outcomes: Deque[Tuple[float, bool]] = field(
+        default_factory=lambda: deque(maxlen=64)
+    )
+
+    def success_rate(self) -> float:
+        if not self.outcomes:
+            return 1.0
+        good = sum(1 for _, ok in self.outcomes if ok)
+        return good / len(self.outcomes)
+
+
+class AvailabilityMonitor:
+    """Tracks up/down state and reliability of every remote source."""
+
+    def __init__(
+        self,
+        servers: Iterable[str],
+        reliability_weight: float = 1.0,
+        outcome_window: int = 64,
+    ):
+        self._health: Dict[str, ServerHealth] = {
+            name: ServerHealth(
+                outcomes=deque(maxlen=outcome_window)
+            )
+            for name in servers
+        }
+        self.reliability_weight = reliability_weight
+
+    def _get(self, server: str) -> ServerHealth:
+        health = self._health.get(server)
+        if health is None:
+            health = ServerHealth()
+            self._health[server] = health
+        return health
+
+    # -- event intake ----------------------------------------------------
+
+    def record_error(self, server: str, t_ms: float) -> None:
+        """A request to *server* failed: mark it down at once.
+
+        The runtime log "enables QCC to influence II not to route queries
+        to the unavailable remote sources" — recovery requires a
+        successful daemon probe.
+        """
+        health = self._get(server)
+        health.up = False
+        health.last_error_ms = t_ms
+        health.outcomes.append((t_ms, False))
+
+    def record_success(self, server: str, t_ms: float) -> None:
+        health = self._get(server)
+        health.up = True
+        health.last_success_ms = t_ms
+        health.outcomes.append((t_ms, True))
+
+    def record_probe(self, server: str, t_ms: float, rtt_ms: Optional[float]) -> None:
+        """Outcome of a daemon probe; ``rtt_ms`` None means unreachable."""
+        health = self._get(server)
+        if rtt_ms is None:
+            health.up = False
+            health.last_error_ms = t_ms
+        else:
+            health.up = True
+            health.last_success_ms = t_ms
+            health.last_probe_rtt_ms = rtt_ms
+
+    # -- queries ----------------------------------------------------------
+
+    def is_available(self, server: str, t_ms: float) -> bool:
+        return self._get(server).up
+
+    def reliability_factor(self, server: str) -> float:
+        """Cost multiplier ≥ 1 penalising observed unreliability.
+
+        With success rate *s*, the expected number of attempts until a
+        success is 1/s; the factor interpolates toward that with
+        ``reliability_weight``.
+        """
+        health = self._get(server)
+        rate = health.success_rate()
+        if rate >= 1.0:
+            return 1.0
+        rate = max(rate, 0.05)
+        penalty = (1.0 / rate) - 1.0
+        return 1.0 + self.reliability_weight * penalty
+
+    def probe_rtt(self, server: str) -> Optional[float]:
+        return self._get(server).last_probe_rtt_ms
+
+    def down_servers(self) -> List[str]:
+        return sorted(
+            name for name, health in self._health.items() if not health.up
+        )
+
+    def snapshot(self) -> Dict[str, bool]:
+        return {name: health.up for name, health in self._health.items()}

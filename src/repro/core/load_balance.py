@@ -1,0 +1,163 @@
+"""Load distribution (Section 4).
+
+Two granularities:
+
+* **Fragment level** (4.1): when the plan II selected for a fragment has
+  *identical* alternatives on other servers with calibrated costs within
+  a band (default 20%), QCC clusters them and rotates round-robin — but
+  only once the fragment's workload (calibrated cost × submission
+  frequency) exceeds a threshold.
+
+* **Global level** (4.2): among enumerated global plans, drop plans
+  dominated by a cheaper plan on the same server set, cluster plans
+  within the band of the cheapest, and rotate round-robin across the
+  cluster — spreading a hot query's load over disjoint server sets.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Sequence, Tuple
+
+from ..fed.decomposer import DecomposedQuery
+from ..fed.global_optimizer import (
+    FragmentOption,
+    GlobalPlan,
+    cluster_near_cost,
+    eliminate_dominated,
+)
+
+
+@dataclass(frozen=True)
+class LoadBalanceConfig:
+    """Shared knobs for both balancing levels."""
+
+    #: Plans within (1 + band) × cheapest are considered exchangeable.
+    band: float = 0.2
+    #: Minimum workload (cost-ms × queries / window) before balancing.
+    workload_threshold: float = 0.0
+    #: Sliding window (virtual ms) over which workload is measured.
+    window_ms: float = 60_000.0
+
+
+class _WorkloadTracker:
+    """Measures per-key workload: calibrated cost × frequency in a window."""
+
+    def __init__(self, window_ms: float):
+        self.window_ms = window_ms
+        self._events: Dict[str, Deque[Tuple[float, float]]] = {}
+
+    def note(self, key: str, cost: float, t_ms: float) -> None:
+        events = self._events.setdefault(key, deque())
+        events.append((t_ms, cost))
+        self._trim(events, t_ms)
+
+    def workload(self, key: str, t_ms: float) -> float:
+        events = self._events.get(key)
+        if not events:
+            return 0.0
+        self._trim(events, t_ms)
+        return sum(cost for _, cost in events)
+
+    def _trim(self, events: Deque[Tuple[float, float]], t_ms: float) -> None:
+        horizon = t_ms - self.window_ms
+        while events and events[0][0] < horizon:
+            events.popleft()
+
+
+class FragmentLoadBalancer:
+    """Round-robin rotation across identical fragment plans (Section 4.1)."""
+
+    def __init__(self, config: LoadBalanceConfig = LoadBalanceConfig()):
+        self.config = config
+        self._tracker = _WorkloadTracker(config.window_ms)
+        self._counters: Dict[str, int] = {}
+        #: (fragment_signature -> rotation membership) for introspection.
+        self.last_clusters: Dict[str, List[str]] = {}
+
+    def note_execution(
+        self, fragment_signature: str, calibrated_cost: float, t_ms: float
+    ) -> None:
+        self._tracker.note(fragment_signature, calibrated_cost, t_ms)
+
+    def substitute(
+        self,
+        chosen: FragmentOption,
+        siblings: Sequence[FragmentOption],
+        t_ms: float,
+    ) -> FragmentOption:
+        """Possibly swap *chosen* for an identical plan on another server.
+
+        Exchangeability requires the sibling's plan to be *identical*
+        (equal plan signatures): "two different query fragment processing
+        plans may result in different global processing plans with
+        dramatically different costs even [if] they have an identical
+        calibrated cost."
+        """
+        signature = chosen.fragment.signature
+        workload = self._tracker.workload(signature, t_ms)
+        if workload < self.config.workload_threshold:
+            return chosen
+        cluster = self._cluster(chosen, siblings)
+        self.last_clusters[signature] = [o.server for o in cluster]
+        if len(cluster) < 2:
+            return chosen
+        index = self._counters.get(signature, 0)
+        self._counters[signature] = index + 1
+        return cluster[index % len(cluster)]
+
+    def _cluster(
+        self, chosen: FragmentOption, siblings: Sequence[FragmentOption]
+    ) -> List[FragmentOption]:
+        plan_signature = chosen.plan_signature
+        matches = [
+            option
+            for option in siblings
+            if option.plan_signature == plan_signature and option.is_viable
+        ]
+        if chosen not in matches:
+            matches.append(chosen)
+        cheapest = min(o.calibrated.total for o in matches)
+        threshold = cheapest * (1.0 + self.config.band)
+        cluster = [o for o in matches if o.calibrated.total <= threshold]
+        # Deterministic rotation order: by server name.
+        cluster.sort(key=lambda o: o.server)
+        return cluster
+
+
+class GlobalLoadBalancer:
+    """Round-robin rotation across near-cost global plans (Section 4.2)."""
+
+    def __init__(self, config: LoadBalanceConfig = LoadBalanceConfig()):
+        self.config = config
+        self._tracker = _WorkloadTracker(config.window_ms)
+        self._counters: Dict[str, int] = {}
+        self.last_clusters: Dict[str, List[str]] = {}
+
+    def recommend(
+        self,
+        decomposed: DecomposedQuery,
+        plans: Sequence[GlobalPlan],
+        t_ms: float,
+    ) -> GlobalPlan:
+        """Choose the plan to run for this submission.
+
+        Below the workload threshold this is simply the cheapest plan;
+        above it, rotation over the dominance-pruned near-cost cluster.
+        """
+        if not plans:
+            raise ValueError("no plans to recommend from")
+        key = decomposed.statement.sql()
+        cheapest = plans[0]
+        self._tracker.note(key, cheapest.total_cost, t_ms)
+        if self._tracker.workload(key, t_ms) < self.config.workload_threshold:
+            return cheapest
+        survivors = eliminate_dominated(plans)
+        cluster = cluster_near_cost(survivors, self.config.band)
+        self.last_clusters[key] = [p.plan_id for p in cluster]
+        if len(cluster) < 2:
+            return cheapest
+        index = self._counters.get(key, 0)
+        self._counters[key] = index + 1
+        return cluster[index % len(cluster)]

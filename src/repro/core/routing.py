@@ -1,0 +1,353 @@
+"""The Query Cost Calibrator facade (QCC).
+
+This is the component the paper contributes: it consumes the meta-
+wrapper's compile-time and runtime records, maintains calibration
+factors, availability and reliability state, dynamically adjusts its own
+calibration cycle, and influences routing *indirectly* — by scaling the
+cost estimates II sees and (optionally) rotating near-equal-cost plans
+for load distribution.
+
+The integrator and meta-wrapper call a small, documented interface:
+
+=====================  ======================================================
+``is_available``        availability gate used while collecting options
+``calibrate``           scale a fragment's estimated cost (Figure 5)
+``record_compile``      compile-time record (a)-(d) of Section 2
+``record_execution``    runtime record (e): response time of a fragment
+``record_error``        server failure observed by MW
+``substitute``          fragment-level load-balance rotation (Section 4.1)
+``recommend_global``    global-plan choice / rotation (Section 4.2)
+``ii_factor``           workload calibration factor for II (Section 3.2)
+``record_ii_execution`` II-level (estimate, observation) pair
+``tick``                drive daemons and the calibration cycle
+=====================  ======================================================
+"""
+
+from __future__ import annotations
+
+import re
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional, Sequence
+
+from ..sqlengine import INFINITE_COST, PlanCost
+from ..sim import PeriodicTimer, ServerUnavailable
+from ..fed.decomposer import DecomposedQuery
+from ..fed.global_optimizer import FragmentOption, GlobalPlan
+from .availability import AvailabilityMonitor
+from .calibrator import CalibratorConfig, CostCalibrator, IICalibrator
+from .cycle import CalibrationCycleController, CycleConfig
+from .load_balance import (
+    FragmentLoadBalancer,
+    GlobalLoadBalancer,
+    LoadBalanceConfig,
+)
+
+
+@dataclass(frozen=True)
+class QCCConfig:
+    """Every QCC knob in one place."""
+
+    calibrator: CalibratorConfig = CalibratorConfig()
+    cycle: CycleConfig = CycleConfig()
+    load_balance: LoadBalanceConfig = LoadBalanceConfig()
+    #: Daemon probe period (virtual ms); 0 disables probing.
+    probe_interval_ms: float = 2_000.0
+    enable_fragment_balancing: bool = False
+    enable_global_balancing: bool = False
+    enable_reliability: bool = True
+    #: Assumed processing time when converting a probe RTT into an
+    #: initial calibration factor before any execution history exists.
+    nominal_probe_ms: float = 50.0
+    reliability_weight: float = 1.0
+    #: Generalise fragment signatures by stripping literal constants, so
+    #: factors learned on one parameterisation apply to unseen instances
+    #: of the same query template (the paper's Figure 5: QF3's estimate
+    #: is calibrated before QF3 has ever executed).
+    generalize_signatures: bool = True
+    #: Force an early recalibration when live observed/estimated ratios
+    #: diverge from the active factors by this multiple — a reactive
+    #: extension of Section 3.4's cycle adjustment (the paper lists
+    #: "dynamic tuning of the re-calibration cycles" as future work).
+    #: 0 disables (default): timer-driven cycles only.
+    drift_trigger_ratio: float = 0.0
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One entry in QCC's decision log: what it did and why.
+
+    QCC influences routing *indirectly*, which makes its behaviour hard
+    to audit from the outside; the decision log is the operator-facing
+    record ("why did queries leave S3 at 14:02?").
+    """
+
+    t_ms: float
+    kind: str
+    detail: str
+
+
+_LITERAL_RE = re.compile(r"\b\d+(\.\d+)?\b|'(?:[^']|'')*'")
+
+
+def generalize_signature(signature: str) -> str:
+    """Replace literal constants in a fragment signature with ``?``."""
+    return _LITERAL_RE.sub("?", signature)
+
+
+class QueryCostCalibrator:
+    """QCC: transparent runtime calibration of federated cost functions."""
+
+    def __init__(
+        self,
+        servers: Sequence[str],
+        config: QCCConfig = QCCConfig(),
+        start_ms: float = 0.0,
+    ):
+        self.config = config
+        self.calibrator = CostCalibrator(config.calibrator)
+        self.ii_calibrator = IICalibrator(window=config.calibrator.window)
+        self.availability = AvailabilityMonitor(
+            servers, reliability_weight=config.reliability_weight
+        )
+        self.cycle = CalibrationCycleController(config.cycle)
+        self.fragment_balancer = FragmentLoadBalancer(config.load_balance)
+        self.global_balancer = GlobalLoadBalancer(config.load_balance)
+        self._calibration_timer = PeriodicTimer(
+            config.cycle.base_interval_ms, start_ms
+        )
+        self._probe_timer = (
+            PeriodicTimer(config.probe_interval_ms, start_ms)
+            if config.probe_interval_ms > 0
+            else None
+        )
+        self._meta_wrapper = None
+        self._probed_once = False
+        self.decision_log: Deque[Decision] = deque(maxlen=256)
+        self.compile_records = 0
+        self.execution_records = 0
+        self.recalibrations = 0
+        self.drift_recalibrations = 0
+        self.probes = 0
+
+    # -- wiring ----------------------------------------------------------
+
+    def bind_meta_wrapper(self, meta_wrapper) -> None:
+        """Called by MW on attach; gives daemons a probe path."""
+        self._meta_wrapper = meta_wrapper
+
+    # -- MW-facing interface ------------------------------------------------
+
+    def is_available(self, server: str, t_ms: float) -> bool:
+        return self.availability.is_available(server, t_ms)
+
+    def _signature(self, fragment_signature: str) -> str:
+        if self.config.generalize_signatures:
+            return generalize_signature(fragment_signature)
+        return fragment_signature
+
+    def calibrate(
+        self, server: str, fragment_signature: str, cost: PlanCost
+    ) -> PlanCost:
+        """Calibrated cost = estimate × calibration factor × reliability."""
+        if not self.availability.is_available(server, 0.0):
+            return INFINITE_COST
+        factor = self.calibrator.factor(
+            server, self._signature(fragment_signature)
+        )
+        if self.config.enable_reliability:
+            factor *= self.availability.reliability_factor(server)
+        return cost.scaled(factor)
+
+    def record_compile(
+        self, server: str, fragment_signature: str, option: FragmentOption
+    ) -> None:
+        self.compile_records += 1
+
+    def record_execution(
+        self,
+        server: str,
+        fragment_signature: str,
+        plan_signature: str,
+        estimated: PlanCost,
+        observed_ms: float,
+        t_ms: float,
+    ) -> None:
+        self.execution_records += 1
+        self.calibrator.record(
+            server, self._signature(fragment_signature), estimated.total, observed_ms
+        )
+        self.availability.record_success(server, t_ms)
+        self.fragment_balancer.note_execution(
+            fragment_signature, observed_ms, t_ms
+        )
+
+    def _log(self, t_ms: float, kind: str, detail: str) -> None:
+        self.decision_log.append(Decision(t_ms=t_ms, kind=kind, detail=detail))
+
+    def record_error(self, server: str, t_ms: float) -> None:
+        was_up = self.availability.is_available(server, t_ms)
+        self.availability.record_error(server, t_ms)
+        if was_up:
+            self._log(
+                t_ms,
+                "server-down",
+                f"{server} marked unavailable after a request error; "
+                "cost adjusted to infinity",
+            )
+
+    def substitute(
+        self,
+        option: FragmentOption,
+        siblings: Sequence[FragmentOption],
+        t_ms: float,
+    ) -> FragmentOption:
+        if not self.config.enable_fragment_balancing:
+            return option
+        return self.fragment_balancer.substitute(option, siblings, t_ms)
+
+    # -- II-facing interface ------------------------------------------------
+
+    def recommend_global(
+        self,
+        decomposed: DecomposedQuery,
+        plans: Sequence[GlobalPlan],
+        t_ms: float,
+    ) -> GlobalPlan:
+        if not self.config.enable_global_balancing:
+            return plans[0]
+        return self.global_balancer.recommend(decomposed, plans, t_ms)
+
+    def ii_factor(self) -> float:
+        return self.ii_calibrator.factor
+
+    def record_ii_execution(
+        self, estimated_total: float, observed_ms: float, t_ms: float
+    ) -> None:
+        self.ii_calibrator.record(estimated_total, observed_ms)
+
+    # -- daemons and the calibration cycle -------------------------------------
+
+    def tick(self, t_ms: float) -> None:
+        """Advance QCC's background work to virtual time *t_ms*."""
+        if self._probe_timer is not None and (
+            not self._probed_once or self._probe_timer.due(t_ms)
+        ):
+            # The first tick always probes: "the daemon programs are also
+            # used to derive initial query cost calibration factors" —
+            # without this, never-visited servers keep factor 1.0 and
+            # look spuriously attractive.
+            self._probe_timer.fire(t_ms)
+            self.probe_servers(t_ms)
+        if self._calibration_timer.due(t_ms):
+            self._calibration_timer.fire(t_ms)
+            self.recalibrate(t_ms)
+        elif (
+            self.config.drift_trigger_ratio > 0
+            and self.calibrator.max_drift() >= self.config.drift_trigger_ratio
+        ):
+            # The environment moved out from under the active factors:
+            # close the cycle early rather than waiting out the timer.
+            self.drift_recalibrations += 1
+            self._calibration_timer.fire(t_ms)
+            self.recalibrate(t_ms, count_staleness=False)
+
+    def probe_servers(self, t_ms: float) -> Dict[str, Optional[float]]:
+        """Daemon pass: probe every server through the meta-wrapper."""
+        results: Dict[str, Optional[float]] = {}
+        if self._meta_wrapper is None:
+            return results
+        self._probed_once = True
+        for server in self._meta_wrapper.server_names():
+            self.probes += 1
+            was_up = self.availability.is_available(server, t_ms)
+            try:
+                rtt = self._meta_wrapper.probe(server, t_ms)
+            except ServerUnavailable:
+                self.availability.record_probe(server, t_ms, None)
+                results[server] = None
+                if was_up:
+                    self._log(
+                        t_ms, "server-down",
+                        f"{server} failed its daemon probe",
+                    )
+                continue
+            self.availability.record_probe(server, t_ms, rtt)
+            if not was_up:
+                self._log(
+                    t_ms, "server-up",
+                    f"{server} answered a daemon probe "
+                    f"(rtt {rtt:.1f} ms); eligible for routing again",
+                )
+            results[server] = rtt
+            if self.calibrator.sample_count(server) == 0:
+                # Initial factor from network exploration: a server whose
+                # probe RTT is large relative to nominal processing gets
+                # its estimates inflated before any query has run.
+                initial = (
+                    self.config.nominal_probe_ms + rtt
+                ) / self.config.nominal_probe_ms
+                self.calibrator.set_initial_factor(server, initial)
+            try:
+                pair = self._meta_wrapper.probe_ratio(server, t_ms)
+            except ServerUnavailable:
+                self.availability.record_probe(server, t_ms, None)
+                continue
+            if pair is not None:
+                estimated, observed = pair
+                if estimated > 0:
+                    self.calibrator.record_probe(server, estimated, observed)
+        return results
+
+    def recalibrate(self, t_ms: float, count_staleness: bool = True) -> None:
+        """Fold histories into active factors and adapt the cycle."""
+        self.recalibrations += 1
+        # Volatility must be read before folding: recalibration drains
+        # the sample windows it summarises.
+        volatility = max(
+            self.calibrator.max_volatility(), self.ii_calibrator.volatility()
+        )
+        before = self.calibrator.server_factors()
+        self.calibrator.recalibrate(count_staleness=count_staleness)
+        self.ii_calibrator.recalibrate()
+        after = self.calibrator.server_factors()
+        for server, factor in after.items():
+            previous = before.get(server)
+            if previous is None or (
+                previous > 0
+                and max(factor / previous, previous / factor) >= 1.5
+            ):
+                self._log(
+                    t_ms,
+                    "factor-shift",
+                    f"{server} calibration factor "
+                    f"{previous if previous is not None else 1.0:.2f} -> "
+                    f"{factor:.2f}",
+                )
+        interval = self.cycle.next_interval(volatility)
+        self._calibration_timer.reschedule(interval, t_ms)
+
+    # -- introspection ----------------------------------------------------
+
+    def factor(self, server: str, fragment_signature: Optional[str] = None) -> float:
+        if fragment_signature is not None:
+            fragment_signature = self._signature(fragment_signature)
+        return self.calibrator.factor(server, fragment_signature)
+
+    def status(self) -> Dict[str, object]:
+        """A snapshot for dashboards/tests."""
+        return {
+            "server_factors": self.calibrator.server_factors(),
+            "ii_factor": self.ii_calibrator.factor,
+            "down_servers": self.availability.down_servers(),
+            "cycle_interval_ms": self.cycle.current_interval_ms,
+            "compile_records": self.compile_records,
+            "execution_records": self.execution_records,
+            "recalibrations": self.recalibrations,
+            "drift_recalibrations": self.drift_recalibrations,
+            "probes": self.probes,
+            "recent_decisions": [
+                f"[{d.t_ms:.0f}ms] {d.kind}: {d.detail}"
+                for d in list(self.decision_log)[-5:]
+            ],
+        }

@@ -1,0 +1,63 @@
+"""Federated integration layer (the DB2 Information Integrator analog)."""
+
+from .cursor import BatchInfo, FederatedCursor
+from .decomposer import DecomposedQuery, QueryFragment, decompose
+from .explain import ExplainRecord, ExplainTable
+from .global_optimizer import (
+    FragmentOption,
+    GlobalPlan,
+    cluster_near_cost,
+    eliminate_dominated,
+    enumerate_global_plans,
+)
+from .integrator import (
+    FederatedResult,
+    FragmentOutcome,
+    InformationIntegrator,
+)
+from .merge import EstimatedInput, build_merge_plan, estimate_merge_cost
+from .nicknames import FederationError, NicknameRegistry, Placement
+from .patroller import PatrolRecord, QueryPatroller, QueryStatus
+from .replication import ReplicaManager, ReplicaState, ReplicaSyncDaemon
+from .routers import (
+    CostBasedRouter,
+    FixedRouter,
+    PreferredServerRouter,
+    RoundRobinRouter,
+    Router,
+)
+
+__all__ = [
+    "BatchInfo",
+    "CostBasedRouter",
+    "FederatedCursor",
+    "DecomposedQuery",
+    "EstimatedInput",
+    "ExplainRecord",
+    "ExplainTable",
+    "FederatedResult",
+    "FederationError",
+    "FixedRouter",
+    "FragmentOption",
+    "FragmentOutcome",
+    "GlobalPlan",
+    "InformationIntegrator",
+    "NicknameRegistry",
+    "PatrolRecord",
+    "Placement",
+    "PreferredServerRouter",
+    "QueryFragment",
+    "QueryPatroller",
+    "QueryStatus",
+    "ReplicaManager",
+    "ReplicaState",
+    "ReplicaSyncDaemon",
+    "RoundRobinRouter",
+    "Router",
+    "build_merge_plan",
+    "cluster_near_cost",
+    "decompose",
+    "eliminate_dominated",
+    "enumerate_global_plans",
+    "estimate_merge_cost",
+]

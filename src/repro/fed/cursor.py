@@ -1,0 +1,167 @@
+"""Long-running queries with mid-execution source switching.
+
+Section 6: "For very long-running or continuous queries, we could
+extend our method to periodically re-check the load and switch data
+sources if needed; the open question is how we deal with duplicates."
+
+:class:`FederatedCursor` implements that extension for keyset-ordered
+scans.  The query executes in batches; every batch is compiled afresh,
+so routing follows the current calibration factors — a server that
+degrades mid-query loses the remaining batches.  Duplicates (the
+paper's open question) are answered by *keyset pagination*: each batch
+is bounded by ``key > last_seen_key`` over a strictly-increasing unique
+key, so switching to a replica mid-stream can neither repeat nor skip
+rows, regardless of which server served the earlier batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from ..sqlengine import Row, parse
+from ..sqlengine.expressions import And, ColumnRef, Comparison, Literal
+from ..sqlengine.parser import OrderItem, SelectStatement
+from .nicknames import FederationError
+
+
+@dataclass(frozen=True)
+class BatchInfo:
+    """Bookkeeping for one executed batch."""
+
+    index: int
+    servers: Tuple[str, ...]
+    rows: int
+    response_ms: float
+    last_key: Optional[object]
+
+
+class FederatedCursor:
+    """Batched execution of a keyset-ordered federated scan.
+
+    Requirements on the statement: a plain SELECT (no aggregation,
+    DISTINCT, ORDER BY or LIMIT of its own — the cursor imposes the
+    ordering), and ``key_column`` must be a strictly-increasing unique
+    column that appears in the select list.
+    """
+
+    def __init__(
+        self,
+        integrator,
+        sql: str,
+        key_column: str,
+        batch_size: int = 200,
+    ):
+        if batch_size < 1:
+            raise ValueError("batch size must be positive")
+        statement = parse(sql)
+        if statement.group_by or statement.having is not None:
+            raise FederationError(
+                "cursors do not support aggregated queries"
+            )
+        if statement.distinct:
+            raise FederationError("cursors do not support DISTINCT")
+        if statement.order_by or statement.limit is not None:
+            raise FederationError(
+                "the cursor imposes its own ORDER BY/LIMIT; remove them "
+                "from the statement"
+            )
+        if statement.is_select_star:
+            raise FederationError(
+                "cursors require an explicit select list containing the "
+                "key column"
+            )
+        self.integrator = integrator
+        self.key_column = key_column
+        self.batch_size = batch_size
+        self._statement = statement
+        self._key_position = self._find_key_position(statement, key_column)
+        self._last_key: Optional[object] = None
+        self._exhausted = False
+        self.batches: List[BatchInfo] = []
+
+    @staticmethod
+    def _find_key_position(statement: SelectStatement, key_column: str) -> int:
+        bare = key_column.rpartition(".")[2]
+        for position, item in enumerate(statement.items):
+            if item.star_table is not None:
+                continue
+            expr = item.expr
+            if isinstance(expr, ColumnRef) and expr.bare_name == bare:
+                return position
+        raise FederationError(
+            f"key column {key_column!r} must appear in the select list"
+        )
+
+    # -- batching ----------------------------------------------------------
+
+    def _batch_statement(self) -> SelectStatement:
+        where = self._statement.where
+        if self._last_key is not None:
+            bound = Comparison(
+                ">", ColumnRef(self.key_column), Literal(self._last_key)
+            )
+            where = bound if where is None else And(where, bound)
+        return SelectStatement(
+            items=self._statement.items,
+            tables=self._statement.tables,
+            joins=self._statement.joins,
+            where=where,
+            group_by=(),
+            having=None,
+            order_by=(OrderItem(ColumnRef(self.key_column), True),),
+            limit=self.batch_size,
+            distinct=False,
+        )
+
+    def fetch_batch(self) -> Optional[List[Row]]:
+        """Execute the next batch; None when the cursor is exhausted.
+
+        Each call is a full compile + execute through the integrator, so
+        the batch lands on whichever server the *current* calibrated
+        costs favour.
+        """
+        if self._exhausted:
+            return None
+        statement = self._batch_statement()
+        result = self.integrator.submit(statement.sql(), label="cursor")
+        rows = result.rows
+        if rows:
+            self._last_key = rows[-1][self._key_position]
+        if len(rows) < self.batch_size:
+            self._exhausted = True
+        self.batches.append(
+            BatchInfo(
+                index=len(self.batches),
+                servers=tuple(sorted(result.plan.servers)),
+                rows=len(rows),
+                response_ms=result.response_ms,
+                last_key=self._last_key,
+            )
+        )
+        return rows if rows else None
+
+    def __iter__(self) -> Iterator[Row]:
+        while True:
+            batch = self.fetch_batch()
+            if not batch:
+                return
+            yield from batch
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def exhausted(self) -> bool:
+        return self._exhausted
+
+    @property
+    def total_response_ms(self) -> float:
+        return sum(b.response_ms for b in self.batches)
+
+    def servers_used(self) -> Tuple[str, ...]:
+        used: List[str] = []
+        for batch in self.batches:
+            for server in batch.servers:
+                if server not in used:
+                    used.append(server)
+        return tuple(used)

@@ -1,0 +1,313 @@
+"""The Information Integrator (II): federated compile + runtime phases.
+
+Reproduces the operational flow of the paper's Figure 1/2:
+
+Compile time — decompose the federated query into fragments, collect
+candidate plans and (calibrated) costs through the meta-wrapper,
+enumerate global plans, let the router pick the winner, store it in the
+explain table.
+
+Runtime — dispatch the chosen fragment plans through the meta-wrapper
+(which reports response times to QCC), merge the fragment results
+locally, and log completion with the query patroller.  Fragments execute
+concurrently; the response time is ``max(fragment times) + merge time``,
+with the merge inflated by II's own load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..sqlengine import (
+    Catalog,
+    CostParameters,
+    DEFAULT_COST_PARAMETERS,
+    MaterializedInput,
+    PhysicalPlan,
+    REFERENCE_PROFILE,
+    Row,
+    Schema,
+    ServerProfile,
+    execute_plan,
+)
+from ..sqlengine.storage import StorageManager
+from ..sim import (
+    ConstantLoad,
+    ContentionProfile,
+    LoadSchedule,
+    RemoteExecution,
+    ServerUnavailable,
+    VirtualClock,
+)
+from ..wrappers.meta import MetaWrapper
+from .decomposer import DecomposedQuery, decompose
+from .explain import ExplainTable
+from .global_optimizer import (
+    FragmentOption,
+    GlobalPlan,
+    enumerate_global_plans,
+)
+from .merge import build_merge_plan
+from .nicknames import FederationError, NicknameRegistry
+from .patroller import PatrolRecord, QueryPatroller
+from .routers import CostBasedRouter, Router
+
+
+@dataclass
+class FragmentOutcome:
+    """What actually happened to one fragment at run time."""
+
+    option: FragmentOption
+    execution: RemoteExecution
+
+
+@dataclass
+class FederatedResult:
+    """The integrator's answer to one federated query."""
+
+    rows: List[Row]
+    schema: Schema
+    response_ms: float
+    plan: GlobalPlan
+    fragments: Dict[str, FragmentOutcome]
+    record: PatrolRecord
+    merge_ms: float
+    remote_ms: float
+    retries: int = 0
+
+    @property
+    def row_count(self) -> int:
+        return len(self.rows)
+
+
+class InformationIntegrator:
+    """Federated query processor with pluggable routing and optional QCC."""
+
+    def __init__(
+        self,
+        registry: NicknameRegistry,
+        meta_wrapper: MetaWrapper,
+        clock: Optional[VirtualClock] = None,
+        profile: ServerProfile = REFERENCE_PROFILE,
+        params: CostParameters = DEFAULT_COST_PARAMETERS,
+        load: LoadSchedule = ConstantLoad(),
+        contention: ContentionProfile = ContentionProfile(),
+        router: Optional[Router] = None,
+        qcc=None,
+        replica_manager=None,
+        compile_overhead_ms: float = 2.0,
+        failure_penalty_ms: float = 250.0,
+        max_retries: int = 3,
+        advance_clock: bool = True,
+    ):
+        self.registry = registry
+        self.meta_wrapper = meta_wrapper
+        self.clock = clock if clock is not None else VirtualClock()
+        self.profile = profile
+        self.params = params
+        self.load = load
+        self.contention = contention
+        self.router = router if router is not None else CostBasedRouter()
+        self.qcc = qcc
+        self.replica_manager = replica_manager
+        if qcc is not None:
+            self.meta_wrapper.attach_qcc(qcc)
+        self.compile_overhead_ms = compile_overhead_ms
+        self.failure_penalty_ms = failure_penalty_ms
+        self.max_retries = max_retries
+        self.advance_clock = advance_clock
+        self.patroller = QueryPatroller()
+        self.explain_table = ExplainTable()
+        # Merge plans touch no stored tables; a bare storage manager is
+        # enough for the execution context.
+        self._merge_storage = StorageManager(Catalog())
+
+    # -- compile time ----------------------------------------------------
+
+    def compile(
+        self,
+        sql: str,
+        t_ms: Optional[float] = None,
+        excluded_servers: Optional[set] = None,
+        staleness_tolerance_ms: Optional[float] = None,
+    ) -> Tuple[DecomposedQuery, List[GlobalPlan]]:
+        """Compile *sql* into ranked global plans (no execution).
+
+        With a replica manager attached and a ``staleness_tolerance_ms``,
+        candidate servers whose copies are older than the tolerance are
+        excluded — runtime-aware replica currency, re-evaluated at every
+        compilation.
+        """
+        t = self.clock.now if t_ms is None else t_ms
+        decomposed = decompose(sql, self.registry)
+        plans = self._plans_for(
+            decomposed, t, excluded_servers or set(), staleness_tolerance_ms
+        )
+        return decomposed, plans
+
+    def _plans_for(
+        self,
+        decomposed: DecomposedQuery,
+        t_ms: float,
+        excluded_servers: set,
+        staleness_tolerance_ms: Optional[float] = None,
+    ) -> List[GlobalPlan]:
+        options: Dict[str, List[FragmentOption]] = {}
+        for fragment in decomposed.fragments:
+            fragment_options = self.meta_wrapper.compile_fragment(fragment, t_ms)
+            allowed = None
+            if (
+                self.replica_manager is not None
+                and staleness_tolerance_ms is not None
+            ):
+                allowed = self.replica_manager.fresh_servers(
+                    fragment.nicknames, t_ms, staleness_tolerance_ms
+                )
+            options[fragment.fragment_id] = [
+                o
+                for o in fragment_options
+                if o.server not in excluded_servers
+                and (allowed is None or o.server in allowed)
+            ]
+        ii_factor = self.qcc.ii_factor() if self.qcc is not None else 1.0
+        return enumerate_global_plans(
+            decomposed,
+            options,
+            self.profile,
+            self.params,
+            ii_calibration_factor=ii_factor,
+        )
+
+    # -- run time ------------------------------------------------------------
+
+    def submit(
+        self,
+        sql: str,
+        label: Optional[str] = None,
+        t_ms: Optional[float] = None,
+        staleness_tolerance_ms: Optional[float] = None,
+    ) -> FederatedResult:
+        """Process one federated query end to end."""
+        t0 = self.clock.now if t_ms is None else t_ms
+        record = self.patroller.submit(sql, t0, label=label)
+        if self.qcc is not None:
+            self.qcc.tick(t0)
+
+        elapsed = self.compile_overhead_ms
+        excluded: set = set()
+        retries = 0
+        last_error: Optional[ServerUnavailable] = None
+
+        while retries <= self.max_retries:
+            try:
+                decomposed, plans = self.compile(
+                    sql, t0, excluded, staleness_tolerance_ms
+                )
+            except FederationError as exc:
+                self.patroller.fail(record, t0 + elapsed, str(exc))
+                raise
+            if self.qcc is not None:
+                chosen = self.qcc.recommend_global(decomposed, plans, t0)
+            else:
+                chosen = self.router.choose(decomposed, plans, label, t0)
+            try:
+                result = self._execute_plan(
+                    decomposed, chosen, t0 + elapsed, record, retries
+                )
+            except ServerUnavailable as exc:
+                last_error = exc
+                excluded.add(exc.server)
+                self.patroller.note_server_failure(record, exc.server)
+                elapsed += self.failure_penalty_ms
+                retries += 1
+                continue
+            self.patroller.complete(record, t0 + result.response_ms)
+            if self.advance_clock and t_ms is None:
+                self.clock.advance(result.response_ms)
+            return result
+
+        message = (
+            f"query failed after {retries} retries"
+            + (f": {last_error}" if last_error else "")
+        )
+        self.patroller.fail(
+            record,
+            t0 + elapsed,
+            message,
+            server=last_error.server if last_error else None,
+        )
+        raise FederationError(message)
+
+    def _execute_plan(
+        self,
+        decomposed: DecomposedQuery,
+        chosen: GlobalPlan,
+        t_ms: float,
+        record: PatrolRecord,
+        retries: int,
+    ) -> FederatedResult:
+        self.explain_table.record(record.query_id, record.sql, t_ms, chosen)
+
+        # Dispatch every fragment at the same instant (concurrently).
+        outcomes: Dict[str, FragmentOutcome] = {}
+        remote_ms = 0.0
+        for choice in chosen.choices:
+            option, execution = self.meta_wrapper.execute_option(choice, t_ms)
+            outcomes[option.fragment.fragment_id] = FragmentOutcome(
+                option=option, execution=execution
+            )
+            remote_ms = max(remote_ms, execution.observed_ms)
+
+        # II-side merge over the fragment results.
+        inputs: Dict[str, PhysicalPlan] = {
+            fragment_id: MaterializedInput(
+                fragment_id,
+                decomposed.fragment_for_binding(
+                    outcome.option.fragment.bindings[0]
+                ).output_schema,
+                outcome.execution.rows,
+            )
+            for fragment_id, outcome in outcomes.items()
+        }
+        merge_plan = build_merge_plan(decomposed, inputs)
+        merge_result = execute_plan(merge_plan, self._merge_storage, self.params)
+        level = self.load.level(t_ms)
+        merge_ms = (
+            self.profile.cpu_ms(merge_result.meter.cpu_ms)
+            * self.contention.cpu_multiplier(level)
+            + self.profile.io_ms(merge_result.meter.io_ms)
+            * self.contention.io_multiplier(level)
+        )
+
+        response_ms = (t_ms - record.submitted_ms) + remote_ms + merge_ms
+
+        if self.qcc is not None:
+            raw_estimate = (
+                max(c.calibrated.total for c in chosen.choices)
+                + chosen.merge_cost.total
+            )
+            self.qcc.record_ii_execution(
+                estimated_total=raw_estimate,
+                observed_ms=remote_ms + merge_ms,
+                t_ms=t_ms,
+            )
+
+        return FederatedResult(
+            rows=merge_result.rows,
+            schema=merge_result.schema,
+            response_ms=response_ms,
+            plan=chosen,
+            fragments=outcomes,
+            record=record,
+            merge_ms=merge_ms,
+            remote_ms=remote_ms,
+            retries=retries,
+        )
+
+    # -- convenience -----------------------------------------------------
+
+    def explain(self, sql: str) -> List[GlobalPlan]:
+        """Compile-only entry point (explain mode)."""
+        _, plans = self.compile(sql)
+        return plans

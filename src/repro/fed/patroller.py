@@ -1,0 +1,115 @@
+"""Query Patroller: the federation's submission/completion log.
+
+The patroller intercepts every user query, recording submission and
+completion times plus errors.  QCC mines this log for system-down events
+(Section 3.3) and the experiments read response-time distributions out
+of it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+
+class QueryStatus(enum.Enum):
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+
+
+@dataclass
+class PatrolRecord:
+    """One query's lifecycle entry."""
+
+    query_id: int
+    sql: str
+    submitted_ms: float
+    completed_ms: Optional[float] = None
+    status: QueryStatus = QueryStatus.RUNNING
+    error: Optional[str] = None
+    failed_servers: List[str] = field(default_factory=list)
+    label: Optional[str] = None
+
+    @property
+    def response_time_ms(self) -> Optional[float]:
+        if self.completed_ms is None:
+            return None
+        return self.completed_ms - self.submitted_ms
+
+
+class QueryPatroller:
+    """Append-only query lifecycle log with simple analytics."""
+
+    def __init__(self) -> None:
+        self._records: List[PatrolRecord] = []
+        self._next_id = 1
+
+    def submit(
+        self, sql: str, t_ms: float, label: Optional[str] = None
+    ) -> PatrolRecord:
+        record = PatrolRecord(
+            query_id=self._next_id, sql=sql, submitted_ms=t_ms, label=label
+        )
+        self._next_id += 1
+        self._records.append(record)
+        return record
+
+    def complete(self, record: PatrolRecord, t_ms: float) -> None:
+        record.completed_ms = t_ms
+        record.status = QueryStatus.COMPLETED
+
+    def fail(
+        self,
+        record: PatrolRecord,
+        t_ms: float,
+        error: str,
+        server: Optional[str] = None,
+    ) -> None:
+        record.completed_ms = t_ms
+        record.status = QueryStatus.FAILED
+        record.error = error
+        if server is not None:
+            record.failed_servers.append(server)
+
+    def note_server_failure(self, record: PatrolRecord, server: str) -> None:
+        """Record a server failure that the query survived via failover."""
+        record.failed_servers.append(server)
+
+    # -- analytics -----------------------------------------------------
+
+    def records(self, label: Optional[str] = None) -> List[PatrolRecord]:
+        if label is None:
+            return list(self._records)
+        return [r for r in self._records if r.label == label]
+
+    def completed(self, label: Optional[str] = None) -> List[PatrolRecord]:
+        return [
+            r
+            for r in self.records(label)
+            if r.status is QueryStatus.COMPLETED
+        ]
+
+    def mean_response_ms(self, label: Optional[str] = None) -> float:
+        times = [
+            r.response_time_ms
+            for r in self.completed(label)
+            if r.response_time_ms is not None
+        ]
+        if not times:
+            return 0.0
+        return sum(times) / len(times)
+
+    def failure_count(self, label: Optional[str] = None) -> int:
+        return sum(
+            1
+            for r in self.records(label)
+            if r.status is QueryStatus.FAILED
+        )
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[PatrolRecord]:
+        return iter(self._records)

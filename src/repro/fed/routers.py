@@ -1,0 +1,136 @@
+"""Global plan selection strategies.
+
+The integrator delegates the final "which global plan runs" decision to a
+router.  The default :class:`CostBasedRouter` picks the cheapest plan —
+which, with QCC attached upstream, means the cheapest *calibrated* plan:
+QCC influences the decision without the router knowing it exists.
+
+The other routers model the baselines of Section 5:
+
+* :class:`FixedRouter` — the "typical federated information system in
+  which how federated queries are distributed to remote servers are fixed
+  and pre-determined in the phase of nickname definition registration"
+  (Fixed Assignment 1 in our benchmarks).
+* :class:`PreferredServerRouter` — always use one designated (most
+  powerful) server when possible (Fixed Assignment 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from .decomposer import DecomposedQuery
+from .global_optimizer import GlobalPlan
+from .nicknames import FederationError
+
+
+class Router:
+    """Strategy interface for choosing among enumerated global plans."""
+
+    def choose(
+        self,
+        decomposed: DecomposedQuery,
+        plans: Sequence[GlobalPlan],
+        label: Optional[str] = None,
+        t_ms: float = 0.0,
+    ) -> GlobalPlan:
+        raise NotImplementedError
+
+
+class CostBasedRouter(Router):
+    """Pick the plan with the lowest (possibly calibrated) cost."""
+
+    def choose(
+        self,
+        decomposed: DecomposedQuery,
+        plans: Sequence[GlobalPlan],
+        label: Optional[str] = None,
+        t_ms: float = 0.0,
+    ) -> GlobalPlan:
+        if not plans:
+            raise FederationError("no global plan to choose from")
+        return plans[0]
+
+
+class FixedRouter(Router):
+    """Route each query label to a statically assigned server.
+
+    *assignment* maps a query label (e.g. ``"QT1"``) to the server that
+    was designated at nickname-registration time.  Plans running every
+    fragment on the assigned server are preferred; if none exists (e.g.
+    the server is down), the router falls back to the cheapest plan, as
+    an administrator's manual failover would.
+    """
+
+    def __init__(self, assignment: Mapping[str, str]):
+        self.assignment = dict(assignment)
+
+    def choose(
+        self,
+        decomposed: DecomposedQuery,
+        plans: Sequence[GlobalPlan],
+        label: Optional[str] = None,
+        t_ms: float = 0.0,
+    ) -> GlobalPlan:
+        if not plans:
+            raise FederationError("no global plan to choose from")
+        target = self.assignment.get(label or "")
+        if target is not None:
+            matching = [p for p in plans if p.servers == frozenset([target])]
+            if matching:
+                return min(matching, key=lambda p: p.total_cost)
+        return plans[0]
+
+
+class PreferredServerRouter(Router):
+    """Always route to one preferred server when it can serve the query."""
+
+    def __init__(self, server: str):
+        self.server = server
+
+    def choose(
+        self,
+        decomposed: DecomposedQuery,
+        plans: Sequence[GlobalPlan],
+        label: Optional[str] = None,
+        t_ms: float = 0.0,
+    ) -> GlobalPlan:
+        if not plans:
+            raise FederationError("no global plan to choose from")
+        matching = [p for p in plans if p.servers == frozenset([self.server])]
+        if matching:
+            return min(matching, key=lambda p: p.total_cost)
+        return plans[0]
+
+
+class RoundRobinRouter(Router):
+    """Blind round-robin over plans on distinct server sets.
+
+    A cost-oblivious load-spreading baseline: rotates across all server
+    sets able to run the query, regardless of their speed or load.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+
+    def choose(
+        self,
+        decomposed: DecomposedQuery,
+        plans: Sequence[GlobalPlan],
+        label: Optional[str] = None,
+        t_ms: float = 0.0,
+    ) -> GlobalPlan:
+        if not plans:
+            raise FederationError("no global plan to choose from")
+        by_servers: Dict[frozenset, GlobalPlan] = {}
+        for plan in plans:
+            existing = by_servers.get(plan.servers)
+            if existing is None or plan.total_cost < existing.total_cost:
+                by_servers[plan.servers] = plan
+        rotation = sorted(
+            by_servers.values(), key=lambda p: sorted(p.servers)
+        )
+        key = decomposed.statement.sql()
+        index = self._counters.get(key, 0)
+        self._counters[key] = index + 1
+        return rotation[index % len(rotation)]

@@ -1,0 +1,55 @@
+"""Experiment harness: deployment builders, runners, metrics, reports."""
+
+from .deployment import (
+    DEFAULT_SERVER_SPECS,
+    Deployment,
+    ServerSpec,
+    build_databases,
+    build_federation,
+    build_replica_federation,
+)
+from .experiment import (
+    PhaseOutcome,
+    ProcedureReport,
+    QueryOutcome,
+    dynamic_assignment,
+    estimate_on_servers,
+    gains_by_phase,
+    observe_on_servers,
+    run_phase,
+    run_phase_sweep,
+    run_procedure,
+    run_query,
+    run_workload_once,
+)
+from .metrics import ResponseStats, geometric_mean, mean, percent_gain, percentile
+from .report import ascii_table, bar_chart, grouped_series
+
+__all__ = [
+    "DEFAULT_SERVER_SPECS",
+    "Deployment",
+    "PhaseOutcome",
+    "ProcedureReport",
+    "QueryOutcome",
+    "ResponseStats",
+    "ServerSpec",
+    "ascii_table",
+    "bar_chart",
+    "build_databases",
+    "build_federation",
+    "build_replica_federation",
+    "dynamic_assignment",
+    "estimate_on_servers",
+    "gains_by_phase",
+    "geometric_mean",
+    "grouped_series",
+    "mean",
+    "observe_on_servers",
+    "percent_gain",
+    "percentile",
+    "run_phase",
+    "run_phase_sweep",
+    "run_procedure",
+    "run_query",
+    "run_workload_once",
+]

@@ -1,0 +1,247 @@
+"""Self-contained runners for the paper's experiments.
+
+These wrap the same measurement logic the benchmark suite uses into
+plain functions returning structured results, so the CLI (``python -m
+repro experiment ...``) and notebooks can regenerate any table or figure
+without pytest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from ..baselines import (
+    fixed_assignment_deployment,
+    preferred_server_deployment,
+    qcc_deployment,
+    uncalibrated_deployment,
+)
+from ..sqlengine import Database
+from ..workload import (
+    BENCH_SCALE,
+    LOAD_LEVEL,
+    PHASES,
+    QUERY_TYPES,
+    WorkloadScale,
+    build_workload,
+)
+from .deployment import DEFAULT_SERVER_SPECS, build_databases
+from .experiment import (
+    PhaseOutcome,
+    dynamic_assignment,
+    gains_by_phase,
+    observe_on_servers,
+    run_phase,
+)
+from .metrics import mean
+from .report import ascii_table, bar_chart, grouped_series
+
+
+@dataclass
+class Figure9Result:
+    """Per-type, per-condition, per-server response times (ms)."""
+
+    measurements: Dict[str, Dict[str, Dict[str, float]]]
+
+    def to_dict(self) -> Dict:
+        return {"experiment": "figure9", "measurements": self.measurements}
+
+    def render(self) -> str:
+        parts = ["=== Figure 9: response time (ms) per server, per query type ==="]
+        for name, data in self.measurements.items():
+            parts.append(
+                grouped_series(
+                    ["S1", "S2", "S3"],
+                    {
+                        "Base (all idle)": data["base"],
+                        "Load (all loaded)": data["loaded"],
+                        "Only S3 loaded": data["s3_loaded"],
+                    },
+                    title=f"\n{name}",
+                    unit="ms",
+                )
+            )
+        return "\n".join(parts)
+
+
+def run_figure9(
+    scale: WorkloadScale = BENCH_SCALE,
+    databases: Optional[Mapping[str, Database]] = None,
+    load_level: float = LOAD_LEVEL,
+) -> Figure9Result:
+    if databases is None:
+        databases = build_databases(DEFAULT_SERVER_SPECS, scale)
+    deployment = uncalibrated_deployment(scale=scale, prebuilt_databases=databases)
+    servers = deployment.server_names()
+    measurements: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for template in QUERY_TYPES:
+        instance = template.instance(0)
+        deployment.set_load({name: 0.0 for name in servers})
+        base = observe_on_servers(deployment, instance)
+        deployment.set_load({name: load_level for name in servers})
+        loaded = observe_on_servers(deployment, instance)
+        deployment.set_load({name: 0.0 for name in servers})
+        deployment.set_load({"S3": load_level})
+        s3_only = observe_on_servers(deployment, instance)
+        deployment.set_load({name: 0.0 for name in servers})
+        measurements[template.name] = {
+            "base": base,
+            "loaded": loaded,
+            "s3_loaded": s3_only,
+        }
+    return Figure9Result(measurements=measurements)
+
+
+@dataclass
+class Table2Result:
+    """QCC's per-phase dynamic assignment plus the phase response sweep."""
+
+    assignments: Dict[str, List[str]]
+    sweep: Dict[str, PhaseOutcome]
+
+    def to_dict(self) -> Dict:
+        return {
+            "experiment": "table2",
+            "assignments": self.assignments,
+            "mean_response_ms": {
+                phase: outcome.mean_response_ms
+                for phase, outcome in self.sweep.items()
+            },
+        }
+
+    def render(self) -> str:
+        parts = ["=== Table 1: combinations of server load conditions ==="]
+        rows = [
+            [server] + [phase.condition(server) for phase in PHASES]
+            for server in ("S1", "S2", "S3")
+        ]
+        parts.append(ascii_table(["Server"] + [p.name for p in PHASES], rows))
+        parts.append("")
+        parts.append("=== Table 2: dynamic assignment per phase ===")
+        rows = [[name] + values for name, values in self.assignments.items()]
+        parts.append(ascii_table(["Type"] + [p.name for p in PHASES], rows))
+        return "\n".join(parts)
+
+
+def run_table2(
+    scale: WorkloadScale = BENCH_SCALE,
+    databases: Optional[Mapping[str, Database]] = None,
+    instances_per_type: int = 5,
+) -> Table2Result:
+    if databases is None:
+        databases = build_databases(DEFAULT_SERVER_SPECS, scale)
+    deployment = qcc_deployment(scale=scale, prebuilt_databases=databases)
+    workload = build_workload(instances_per_type=instances_per_type)
+    sweep: Dict[str, PhaseOutcome] = {}
+    assignments: Dict[str, List[str]] = {t.name: [] for t in QUERY_TYPES}
+    for phase in PHASES:
+        sweep[phase.name] = run_phase(deployment, workload, phase)
+        for template in QUERY_TYPES:
+            servers = dynamic_assignment(deployment, template.instance(0))
+            assignments[template.name].append("/".join(servers))
+    return Table2Result(assignments=assignments, sweep=sweep)
+
+
+@dataclass
+class GainResult:
+    """A per-phase comparison of a baseline system against QCC."""
+
+    title: str
+    baseline_ms: Dict[str, float]
+    qcc_ms: Dict[str, float]
+    gains: Dict[str, float]
+
+    @property
+    def average_gain(self) -> float:
+        return mean(list(self.gains.values()))
+
+    def to_dict(self) -> Dict:
+        return {
+            "experiment": self.title.strip("= ").strip(),
+            "baseline_ms": self.baseline_ms,
+            "qcc_ms": self.qcc_ms,
+            "gains_percent": self.gains,
+            "average_gain_percent": self.average_gain,
+        }
+
+    def render(self) -> str:
+        rows = [
+            [
+                phase,
+                self.baseline_ms[phase],
+                self.qcc_ms[phase],
+                self.gains[phase],
+            ]
+            for phase in self.baseline_ms
+        ]
+        table = ascii_table(
+            ["Phase", "Baseline (ms)", "QCC (ms)", "Gain (%)"],
+            rows,
+            title=self.title,
+        )
+        chart = bar_chart(self.gains, unit="%", title="Gain per phase")
+        return (
+            f"{table}\n\n{chart}\n\nAverage gain: {self.average_gain:.1f}%"
+        )
+
+
+def _gain_sweep(
+    baseline_factory,
+    title: str,
+    scale: WorkloadScale,
+    databases: Optional[Mapping[str, Database]],
+    instances_per_type: int,
+) -> GainResult:
+    if databases is None:
+        databases = build_databases(DEFAULT_SERVER_SPECS, scale)
+    workload = build_workload(instances_per_type=instances_per_type)
+    baseline = baseline_factory(scale=scale, prebuilt_databases=databases)
+    calibrated = qcc_deployment(scale=scale, prebuilt_databases=databases)
+    baseline_sweep = {
+        phase.name: run_phase(baseline, workload, phase) for phase in PHASES
+    }
+    qcc_sweep = {
+        phase.name: run_phase(calibrated, workload, phase) for phase in PHASES
+    }
+    gains = gains_by_phase(baseline_sweep, qcc_sweep)
+    return GainResult(
+        title=title,
+        baseline_ms={
+            name: outcome.mean_response_ms
+            for name, outcome in baseline_sweep.items()
+        },
+        qcc_ms={
+            name: outcome.mean_response_ms
+            for name, outcome in qcc_sweep.items()
+        },
+        gains=gains,
+    )
+
+
+def run_figure10(
+    scale: WorkloadScale = BENCH_SCALE,
+    databases: Optional[Mapping[str, Database]] = None,
+    instances_per_type: int = 5,
+) -> GainResult:
+    return _gain_sweep(
+        fixed_assignment_deployment,
+        "=== Figure 10: QCC vs Fixed Assignment 1 ===",
+        scale,
+        databases,
+        instances_per_type,
+    )
+
+
+def run_figure11(
+    scale: WorkloadScale = BENCH_SCALE,
+    databases: Optional[Mapping[str, Database]] = None,
+    instances_per_type: int = 5,
+) -> GainResult:
+    return _gain_sweep(
+        preferred_server_deployment,
+        "=== Figure 11: QCC vs Fixed Assignment 2 (always S3) ===",
+        scale,
+        databases,
+        instances_per_type,
+    )

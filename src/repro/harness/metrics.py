@@ -1,0 +1,72 @@
+"""Response-time statistics and gain computations."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class ResponseStats:
+    """Summary of a set of response times (ms)."""
+
+    count: int
+    mean: float
+    median: float
+    p95: float
+    minimum: float
+    maximum: float
+
+    @staticmethod
+    def from_samples(samples: Sequence[float]) -> "ResponseStats":
+        if not samples:
+            return ResponseStats(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        ordered = sorted(samples)
+        return ResponseStats(
+            count=len(ordered),
+            mean=sum(ordered) / len(ordered),
+            median=percentile(ordered, 0.5),
+            p95=percentile(ordered, 0.95),
+            minimum=ordered[0],
+            maximum=ordered[-1],
+        )
+
+
+def percentile(ordered: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile of an already sorted sequence."""
+    if not ordered:
+        return 0.0
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    low = math.floor(position)
+    high = math.ceil(position)
+    if low == high:
+        return ordered[low]
+    fraction = position - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+def percent_gain(baseline: float, treatment: float) -> float:
+    """How much faster *treatment* is than *baseline*, in percent.
+
+    Matches the paper's 'performance gain': 50% means the treatment's
+    response time is half the baseline's.
+    """
+    if baseline <= 0.0:
+        return 0.0
+    return (baseline - treatment) / baseline * 100.0
+
+
+def mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    positive = [v for v in values if v > 0]
+    if not positive:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in positive) / len(positive))

@@ -1,0 +1,54 @@
+"""Simulation substrate: virtual time, load, network and failures.
+
+This package supplies the runtime dynamics the paper's testbed produced
+with real machines and update storms: per-server load levels inflating
+service times, WAN links with congestion, and availability schedules.
+"""
+
+from .clock import PeriodicTimer, VirtualClock
+from .failures import (
+    AlwaysUp,
+    AvailabilitySchedule,
+    ErrorInjector,
+    OutageSchedule,
+    ServerUnavailable,
+)
+from .load import (
+    ConstantLoad,
+    ContentionProfile,
+    InducedLoad,
+    LoadSchedule,
+    MutableLoad,
+    StepSchedule,
+    UpdateStorm,
+)
+from .network import LOCAL_LINK, NetworkLink
+from .rng import derive_rng, derive_seed
+from .server import REQUEST_BYTES, RemoteExecution, RemoteServer
+from .storms import StormReport, UpdateStormDriver
+
+__all__ = [
+    "AlwaysUp",
+    "AvailabilitySchedule",
+    "ConstantLoad",
+    "ContentionProfile",
+    "ErrorInjector",
+    "InducedLoad",
+    "LOCAL_LINK",
+    "LoadSchedule",
+    "MutableLoad",
+    "NetworkLink",
+    "OutageSchedule",
+    "PeriodicTimer",
+    "REQUEST_BYTES",
+    "RemoteExecution",
+    "RemoteServer",
+    "ServerUnavailable",
+    "StepSchedule",
+    "StormReport",
+    "UpdateStorm",
+    "UpdateStormDriver",
+    "VirtualClock",
+    "derive_rng",
+    "derive_seed",
+]

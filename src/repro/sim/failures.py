@@ -1,0 +1,75 @@
+"""Availability modelling: outages and flaky error injection."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from .rng import derive_rng
+
+
+class AvailabilitySchedule:
+    """Whether a server is reachable at a point in virtual time."""
+
+    def is_up(self, t_ms: float) -> bool:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class AlwaysUp(AvailabilitySchedule):
+    def is_up(self, t_ms: float) -> bool:
+        return True
+
+
+class OutageSchedule(AvailabilitySchedule):
+    """Down during each [start, end) interval."""
+
+    def __init__(self, outages: Sequence[Tuple[float, float]]):
+        for start, end in outages:
+            if end <= start:
+                raise ValueError(f"empty outage interval [{start}, {end})")
+        self._outages = sorted(outages)
+
+    def is_up(self, t_ms: float) -> bool:
+        for start, end in self._outages:
+            if start <= t_ms < end:
+                return False
+            if t_ms < start:
+                break
+        return True
+
+    @property
+    def outages(self) -> List[Tuple[float, float]]:
+        return list(self._outages)
+
+
+class ErrorInjector:
+    """Injects transient request errors with a fixed probability.
+
+    Deterministic given (seed, server name): the nth request to a server
+    always behaves identically, which keeps reliability-factor tests
+    reproducible.
+    """
+
+    def __init__(self, error_rate: float = 0.0, seed: int = 0, name: str = ""):
+        if not 0.0 <= error_rate < 1.0:
+            raise ValueError("error rate must be in [0, 1)")
+        self.error_rate = error_rate
+        self._rng = derive_rng(seed, "errors", name)
+
+    def should_fail(self) -> bool:
+        if self.error_rate <= 0.0:
+            return False
+        return self._rng.random() < self.error_rate
+
+
+class ServerUnavailable(Exception):
+    """Raised when a request reaches a server that is down or erroring."""
+
+    def __init__(self, server: str, t_ms: float, transient: bool = False):
+        self.server = server
+        self.t_ms = t_ms
+        self.transient = transient
+        kind = "transient error" if transient else "unavailable"
+        super().__init__(f"server {server} {kind} at t={t_ms:.1f}ms")

@@ -1,0 +1,28 @@
+"""Deterministic seed derivation.
+
+Every stochastic component derives its own ``random.Random`` from a root
+seed plus a path of names, so adding a new randomness consumer never
+perturbs the streams of existing ones, and results are stable across
+processes (no reliance on salted ``hash()``).
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Union
+
+
+def derive_seed(root: int, *path: Union[str, int]) -> int:
+    """Mix *root* with a path of names into a stable 31-bit seed."""
+    value = root & 0xFFFFFFFF
+    for part in path:
+        encoded = str(part).encode("utf-8")
+        value = zlib.crc32(encoded, value)
+        value = (value * 2654435761 + 0x9E3779B9) & 0xFFFFFFFF
+    return value & 0x7FFFFFFF
+
+
+def derive_rng(root: int, *path: Union[str, int]) -> random.Random:
+    """A ``random.Random`` seeded deterministically from *root* and *path*."""
+    return random.Random(derive_seed(root, *path))

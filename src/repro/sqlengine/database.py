@@ -1,0 +1,138 @@
+"""Single-node database facade.
+
+:class:`Database` glues together catalog, storage, optimizer and executor,
+offering the interface a remote server exposes to the federation:
+
+* ``explain(sql)`` — compile-time plan alternatives with estimated costs;
+* ``run(sql)`` / ``run_plan(plan)`` — execute and meter actual work.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence
+
+from .catalog import Catalog
+from .cost import CostParameters, DEFAULT_COST_PARAMETERS, ServerProfile, REFERENCE_PROFILE
+from .executor import ExecutionResult, execute_plan
+from .logical import bind
+from .optimizer import Optimizer, OptimizerConfig, DEFAULT_CONFIG, PlanCandidate
+from .parser import parse
+from .physical import PhysicalPlan
+from .storage import StorageManager
+from .types import Schema
+
+
+class Database:
+    """An embedded relational database instance."""
+
+    def __init__(
+        self,
+        name: str = "db",
+        profile: ServerProfile = REFERENCE_PROFILE,
+        params: CostParameters = DEFAULT_COST_PARAMETERS,
+        optimizer_config: Optional[OptimizerConfig] = None,
+    ):
+        self.name = name
+        self.profile = profile
+        self.params = params
+        self.catalog = Catalog()
+        self.storage = StorageManager(self.catalog)
+        config = optimizer_config or DEFAULT_CONFIG
+        if config.params is not params:
+            config = OptimizerConfig(
+                keep_alternatives=config.keep_alternatives,
+                enable_nested_loop=config.enable_nested_loop,
+                enable_index_scan=config.enable_index_scan,
+                params=params,
+            )
+        self.optimizer = Optimizer(profile=profile, config=config)
+
+    # -- DDL / DML ---------------------------------------------------------
+
+    def create_table(self, name: str, schema: Schema) -> None:
+        self.storage.create_table(name, schema)
+
+    def create_index(self, table: str, column: str) -> None:
+        self.storage.create_index(table, column)
+
+    def load_rows(self, table: str, rows: Iterable[Sequence[Any]]) -> int:
+        return self.storage.load_rows(table, rows)
+
+    def analyze(self, table: Optional[str] = None) -> None:
+        self.storage.analyze(table)
+
+    # -- compile time --------------------------------------------------------
+
+    def explain(self, sql: str) -> List[PlanCandidate]:
+        """Plan alternatives for *sql*, cheapest first (no execution)."""
+        block = bind(parse(sql), self.catalog)
+        return self.optimizer.optimize(block)
+
+    def estimate_plan(
+        self, plan: PhysicalPlan, profile: Optional[ServerProfile] = None
+    ):
+        """Re-cost an existing plan, optionally under another profile.
+
+        Used by execution-time quoting: a server prices a plan under a
+        *load-adjusted* profile to produce a bid that reflects its
+        current contention.
+        """
+        from .physical import CostEstimator, stats_context_for_plan
+
+        estimator = CostEstimator(
+            params=self.params,
+            profile=profile or self.profile,
+            stats=stats_context_for_plan(plan),
+        )
+        return plan.estimate_cost(estimator)
+
+    # -- run time ------------------------------------------------------------
+
+    def run_plan(self, plan: PhysicalPlan) -> ExecutionResult:
+        return execute_plan(plan, self.storage, self.params)
+
+    def run(self, sql: str) -> ExecutionResult:
+        """Optimize and execute *sql*, returning rows and metered work."""
+        best = self.explain(sql)[0]
+        return self.run_plan(best.plan)
+
+    def run_dml(self, sql: str):
+        """Execute an INSERT/UPDATE/DELETE statement."""
+        from .dml import DmlError, execute_dml
+        from .parser import SelectStatement, parse_statement
+
+        statement = parse_statement(sql)
+        if isinstance(statement, SelectStatement):
+            raise DmlError("run_dml expects INSERT/UPDATE/DELETE; use run()")
+        return execute_dml(statement, self.storage, self.params)
+
+    # -- simulation ------------------------------------------------------------
+
+    @classmethod
+    def stats_only_copy(cls, source: "Database") -> "Database":
+        """A copy carrying catalog (schemas, statistics, indexes) but no
+        data — the paper's 'simulated catalog and virtual tables'.
+
+        ``explain`` works identically to the source (the optimizer only
+        reads the catalog); executing a plan fails, which is the point:
+        the simulated federated system costs plans for data it does not
+        hold.
+        """
+        clone = cls(
+            name=f"{source.name}:simulated",
+            profile=source.profile,
+            params=source.params,
+        )
+        clone.catalog = source.catalog.stats_only_clone()
+        clone.storage = StorageManager(clone.catalog)
+        clone.optimizer = source.optimizer
+        return clone
+
+    # -- introspection ---------------------------------------------------------
+
+    def row_count(self, table: str) -> int:
+        return len(self.storage.table(table))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tables = ", ".join(self.catalog.table_names())
+        return f"<Database {self.name}: {tables}>"

@@ -1,0 +1,41 @@
+"""Plan execution entry points."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .cost import CostParameters, DEFAULT_COST_PARAMETERS
+from .physical import ExecutionContext, PhysicalPlan, WorkMeter
+from .storage import StorageManager
+from .types import Row, Schema
+
+
+@dataclass
+class ExecutionResult:
+    """Rows produced by a plan plus the work actually performed.
+
+    ``meter`` holds the real CPU/IO work in reference-machine ms; the
+    simulation layer turns it into an observed response time under the
+    server's current load and link conditions.
+    """
+
+    rows: List[Row]
+    schema: Schema
+    meter: WorkMeter
+
+    @property
+    def row_count(self) -> int:
+        return len(self.rows)
+
+
+def execute_plan(
+    plan: PhysicalPlan,
+    storage: StorageManager,
+    params: CostParameters = DEFAULT_COST_PARAMETERS,
+) -> ExecutionResult:
+    """Run *plan* to completion against *storage*."""
+    ctx = ExecutionContext(storage=storage, params=params)
+    rows = list(plan.rows(ctx))
+    ctx.meter.tuples_out = len(rows)
+    return ExecutionResult(rows=rows, schema=plan.output_schema, meter=ctx.meter)

@@ -1,0 +1,413 @@
+"""Logical query representation and binding.
+
+Rather than a fixed operator tree, a bound query is normalised into a
+:class:`QueryBlock`: base relations with pushed-down local predicates, a
+set of equijoin edges, residual predicates, and the projection /
+aggregation / ordering surface.  The optimizer enumerates join orders and
+physical operators over this block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from .catalog import Catalog, TableDef
+from .expressions import (
+    AggregateCall,
+    ColumnRef,
+    Comparison,
+    Expression,
+    combine_conjuncts,
+    conjuncts,
+    is_equijoin_conjunct,
+    walk,
+)
+from .parser import SelectItem, SelectStatement, OrderItem
+from .types import Column, Schema, SchemaError, SqlError
+
+
+class BindError(SqlError):
+    """Raised when a statement does not bind against the catalog."""
+
+
+@dataclass(frozen=True)
+class BoundRelation:
+    """A base table occurrence with its binding name and local predicate."""
+
+    binding: str
+    table: TableDef
+    predicate: Optional[Expression] = None
+
+    @property
+    def schema(self) -> Schema:
+        return self.table.schema.rename_table(self.binding)
+
+    def sql_fragment(self) -> str:
+        if self.table.name == self.binding:
+            return self.table.name
+        return f"{self.table.name} AS {self.binding}"
+
+
+@dataclass(frozen=True)
+class JoinEdge:
+    """An equijoin conjunct connecting two bound relations."""
+
+    left_binding: str
+    left_column: str
+    right_binding: str
+    right_column: str
+
+    def connects(self, left: FrozenSet[str], right: FrozenSet[str]) -> bool:
+        return (self.left_binding in left and self.right_binding in right) or (
+            self.left_binding in right and self.right_binding in left
+        )
+
+    def oriented(self, left: FrozenSet[str]) -> Tuple[str, str]:
+        """Return (left_col, right_col) oriented so left_col is in *left*."""
+        if self.left_binding in left:
+            return self.left_column, self.right_column
+        return self.right_column, self.left_column
+
+    def expression(self) -> Expression:
+        return Comparison(
+            "=", ColumnRef(self.left_column), ColumnRef(self.right_column)
+        )
+
+
+@dataclass(frozen=True)
+class FixedJoinStep:
+    """One step of a fixed (non-reorderable) join chain.
+
+    Outer joins pin the join order: the optimizer must not commute or
+    reassociate across them, so a query containing any LEFT JOIN binds
+    to an ordered chain instead of the edge-set normal form.
+    """
+
+    binding: str
+    condition: Expression
+    outer: bool
+
+
+@dataclass
+class QueryBlock:
+    """A bound, normalised single-block SELECT."""
+
+    relations: Dict[str, BoundRelation]
+    join_edges: Tuple[JoinEdge, ...]
+    residual: Optional[Expression]
+    items: Tuple[SelectItem, ...]
+    output_schema: Schema
+    group_by: Tuple[Expression, ...] = ()
+    having: Optional[Expression] = None
+    order_by: Tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    distinct: bool = False
+    #: Non-empty when the statement contains outer joins: the ordered
+    #: chain starting at ``fixed_join_root``; ``join_edges`` is empty
+    #: and no predicates are pushed into scans in this mode.
+    fixed_joins: Tuple[FixedJoinStep, ...] = ()
+    fixed_join_root: Optional[str] = None
+
+    @property
+    def has_aggregation(self) -> bool:
+        if self.group_by:
+            return True
+        return any(
+            item.expr is not None and item.expr.contains_aggregate()
+            for item in self.items
+        )
+
+    def bindings(self) -> Tuple[str, ...]:
+        return tuple(self.relations)
+
+
+def _binding_of(name: str, input_schemas: Dict[str, Schema]) -> str:
+    """Resolve a column reference to the unique binding that provides it."""
+    table, _, bare = name.rpartition(".")
+    if table:
+        if table not in input_schemas:
+            raise BindError(f"unknown table reference {table!r} in {name!r}")
+        if not input_schemas[table].has_column(bare):
+            raise BindError(f"column {name!r} not found")
+        return table
+    owners = [
+        binding
+        for binding, schema in input_schemas.items()
+        if schema.has_column(bare)
+    ]
+    if not owners:
+        raise BindError(f"column {name!r} not found in any table")
+    if len(owners) > 1:
+        raise BindError(
+            f"ambiguous column {name!r} (in {', '.join(sorted(owners))})"
+        )
+    return owners[0]
+
+
+def _qualify(expr: Expression, input_schemas: Dict[str, Schema]) -> Expression:
+    """Rewrite bare column refs into fully qualified ones."""
+    if isinstance(expr, ColumnRef):
+        binding = _binding_of(expr.name, input_schemas)
+        return ColumnRef(f"{binding}.{expr.bare_name}")
+    replacements = tuple(
+        _qualify(child, input_schemas) for child in expr.children()
+    )
+    if not replacements:
+        return expr
+    return _rebuild(expr, replacements)
+
+
+def _rebuild(expr: Expression, children: Tuple[Expression, ...]) -> Expression:
+    """Clone an expression node with new children."""
+    from . import expressions as E
+
+    if isinstance(expr, E.Comparison):
+        return E.Comparison(expr.op, children[0], children[1])
+    if isinstance(expr, E.And):
+        return E.And(children[0], children[1])
+    if isinstance(expr, E.Or):
+        return E.Or(children[0], children[1])
+    if isinstance(expr, E.Not):
+        return E.Not(children[0])
+    if isinstance(expr, E.IsNull):
+        return E.IsNull(children[0], expr.negated)
+    if isinstance(expr, E.Like):
+        return E.Like(children[0], expr.pattern, expr.negated)
+    if isinstance(expr, E.InList):
+        return E.InList(children[0], expr.values, expr.negated)
+    if isinstance(expr, E.Arithmetic):
+        return E.Arithmetic(expr.op, children[0], children[1])
+    if isinstance(expr, E.FuncCall):
+        return E.FuncCall(expr.name, children[0])
+    if isinstance(expr, E.AggregateCall):
+        return E.AggregateCall(expr.name, children[0], expr.distinct)
+    raise BindError(f"cannot rebuild expression node {type(expr).__name__}")
+
+
+def _referenced_bindings(expr: Expression) -> Set[str]:
+    bindings = set()
+    for node in walk(expr):
+        if isinstance(node, ColumnRef) and node.table:
+            bindings.add(node.table)
+    return bindings
+
+
+def bind(statement: SelectStatement, catalog: Catalog) -> QueryBlock:
+    """Bind and normalise a parsed statement against *catalog*."""
+    input_schemas: Dict[str, Schema] = {}
+    table_defs: Dict[str, TableDef] = {}
+    refs = list(statement.tables) + [j.table for j in statement.joins]
+    for ref in refs:
+        if not catalog.has_table(ref.name):
+            raise BindError(f"unknown table {ref.name!r}")
+        if ref.binding in input_schemas:
+            raise BindError(f"duplicate table binding {ref.binding!r}")
+        table = catalog.lookup(ref.name)
+        table_defs[ref.binding] = table
+        input_schemas[ref.binding] = table.schema.rename_table(ref.binding)
+
+    if any(join.outer for join in statement.joins):
+        return _bind_fixed_chain(statement, input_schemas, table_defs)
+
+    # Gather every predicate conjunct (WHERE plus all JOIN ... ON).
+    all_conjuncts: List[Expression] = []
+    for join in statement.joins:
+        all_conjuncts.extend(conjuncts(join.condition))
+    all_conjuncts.extend(conjuncts(statement.where))
+    all_conjuncts = [_qualify(c, input_schemas) for c in all_conjuncts]
+
+    local: Dict[str, List[Expression]] = {b: [] for b in input_schemas}
+    edges: List[JoinEdge] = []
+    residual: List[Expression] = []
+    for conjunct in all_conjuncts:
+        bindings = _referenced_bindings(conjunct)
+        if len(bindings) == 1:
+            local[next(iter(bindings))].append(conjunct)
+        elif is_equijoin_conjunct(conjunct):
+            assert isinstance(conjunct, Comparison)
+            left = conjunct.left
+            right = conjunct.right
+            assert isinstance(left, ColumnRef) and isinstance(right, ColumnRef)
+            edges.append(
+                JoinEdge(
+                    left_binding=left.table or "",
+                    left_column=left.name,
+                    right_binding=right.table or "",
+                    right_column=right.name,
+                )
+            )
+        else:
+            residual.append(conjunct)
+
+    relations = {
+        binding: BoundRelation(
+            binding=binding,
+            table=table_defs[binding],
+            predicate=combine_conjuncts(local[binding]),
+        )
+        for binding in input_schemas
+    }
+
+    # Qualify the output surface.
+    items = _bind_items(statement.items, input_schemas)
+    group_by = tuple(_qualify(e, input_schemas) for e in statement.group_by)
+    having = (
+        _qualify(statement.having, input_schemas)
+        if statement.having is not None
+        else None
+    )
+    order_by = tuple(
+        OrderItem(_qualify(o.expr, input_schemas), o.ascending)
+        for o in statement.order_by
+    )
+
+    output_schema = _output_schema(items, input_schemas, group_by)
+    block = QueryBlock(
+        relations=relations,
+        join_edges=tuple(edges),
+        residual=combine_conjuncts(residual),
+        items=items,
+        output_schema=output_schema,
+        group_by=group_by,
+        having=having,
+        order_by=order_by,
+        limit=statement.limit,
+        distinct=statement.distinct,
+    )
+    _validate_aggregation(block)
+    return block
+
+
+def _bind_fixed_chain(
+    statement: SelectStatement,
+    input_schemas: Dict[str, Schema],
+    table_defs: Dict[str, TableDef],
+) -> QueryBlock:
+    """Bind a statement containing outer joins into a fixed join chain.
+
+    Conservative by design: no predicate pushdown (the WHERE clause runs
+    after the whole chain, which is always correct for outer joins) and
+    no join reordering.
+    """
+    if len(statement.tables) != 1:
+        raise BindError(
+            "outer joins cannot be combined with comma-separated FROM items"
+        )
+    relations = {
+        binding: BoundRelation(
+            binding=binding, table=table_defs[binding], predicate=None
+        )
+        for binding in input_schemas
+    }
+    steps = tuple(
+        FixedJoinStep(
+            binding=join.table.binding,
+            condition=_qualify(join.condition, input_schemas),
+            outer=join.outer,
+        )
+        for join in statement.joins
+    )
+    residual = (
+        _qualify(statement.where, input_schemas)
+        if statement.where is not None
+        else None
+    )
+    items = _bind_items(statement.items, input_schemas)
+    group_by = tuple(_qualify(e, input_schemas) for e in statement.group_by)
+    having = (
+        _qualify(statement.having, input_schemas)
+        if statement.having is not None
+        else None
+    )
+    order_by = tuple(
+        OrderItem(_qualify(o.expr, input_schemas), o.ascending)
+        for o in statement.order_by
+    )
+    block = QueryBlock(
+        relations=relations,
+        join_edges=(),
+        residual=residual,
+        items=items,
+        output_schema=_output_schema(items, input_schemas, group_by),
+        group_by=group_by,
+        having=having,
+        order_by=order_by,
+        limit=statement.limit,
+        distinct=statement.distinct,
+        fixed_joins=steps,
+        fixed_join_root=statement.tables[0].binding,
+    )
+    _validate_aggregation(block)
+    return block
+
+
+def _bind_items(
+    items: Sequence[SelectItem], input_schemas: Dict[str, Schema]
+) -> Tuple[SelectItem, ...]:
+    bound: List[SelectItem] = []
+    if not items:
+        # SELECT * expands to every column of every binding, in FROM order.
+        for binding, schema in input_schemas.items():
+            for col in schema.columns:
+                bound.append(
+                    SelectItem(expr=ColumnRef(f"{binding}.{col.name}"))
+                )
+        return tuple(bound)
+    for item in items:
+        if item.star_table:
+            if item.star_table not in input_schemas:
+                raise BindError(f"unknown table {item.star_table!r} in select list")
+            for col in input_schemas[item.star_table].columns:
+                bound.append(
+                    SelectItem(expr=ColumnRef(f"{item.star_table}.{col.name}"))
+                )
+        else:
+            assert item.expr is not None
+            bound.append(
+                SelectItem(
+                    expr=_qualify(item.expr, input_schemas), alias=item.alias
+                )
+            )
+    return tuple(bound)
+
+
+def _output_schema(
+    items: Sequence[SelectItem],
+    input_schemas: Dict[str, Schema],
+    group_by: Sequence[Expression],
+) -> Schema:
+    joined = Schema(
+        tuple(
+            col
+            for schema in input_schemas.values()
+            for col in schema.columns
+        )
+    )
+    columns: List[Column] = []
+    for ordinal, item in enumerate(items):
+        assert item.expr is not None
+        try:
+            ctype = item.expr.result_type(joined)
+        except SchemaError as exc:
+            raise BindError(str(exc)) from exc
+        columns.append(Column(item.output_name(ordinal), ctype))
+    return Schema(tuple(columns))
+
+
+def _validate_aggregation(block: QueryBlock) -> None:
+    """Reject non-grouped non-aggregate items in an aggregated query."""
+    if not block.has_aggregation:
+        if block.having is not None:
+            raise BindError("HAVING requires GROUP BY or aggregation")
+        return
+    group_keys = {e.sql() for e in block.group_by}
+    for item in block.items:
+        assert item.expr is not None
+        if item.expr.contains_aggregate():
+            continue
+        if item.expr.sql() not in group_keys:
+            raise BindError(
+                f"non-aggregated item {item.expr.sql()!r} "
+                "must appear in GROUP BY"
+            )

@@ -1,0 +1,446 @@
+"""Cost-based plan enumeration.
+
+The optimizer runs dynamic programming over relation subsets, keeping the
+top-*k* cheapest alternatives per subset instead of only the single best.
+Retaining alternatives is essential for the reproduction: the paper's
+wrappers return *multiple* candidate plans per query fragment
+(``QF1_p1``, ``QF1_p2``, ...) and QCC's load balancing rotates between
+near-equal-cost plans.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from .catalog import Catalog
+from .cost import (
+    CostParameters,
+    DEFAULT_COST_PARAMETERS,
+    PlanCost,
+    REFERENCE_PROFILE,
+    ServerProfile,
+    StatsContext,
+)
+from .expressions import (
+    ColumnRef,
+    Comparison,
+    Expression,
+    Literal,
+    combine_conjuncts,
+    conjuncts,
+)
+from .logical import BoundRelation, JoinEdge, QueryBlock, bind
+from .parser import SelectStatement, parse
+from .physical import (
+    CostEstimator,
+    Distinct,
+    Filter,
+    HashAggregate,
+    HashJoin,
+    IndexScan,
+    Limit,
+    NestedLoopJoin,
+    PhysicalPlan,
+    Project,
+    SeqScan,
+    Sort,
+    SortMergeJoin,
+)
+from .types import SqlError
+
+
+class OptimizerError(SqlError):
+    """Raised when no executable plan can be constructed."""
+
+
+@dataclass(frozen=True)
+class PlanCandidate:
+    """A complete physical plan with its estimated cost."""
+
+    plan: PhysicalPlan
+    cost: PlanCost
+
+    @property
+    def signature(self) -> str:
+        return self.plan.signature()
+
+
+@dataclass(frozen=True)
+class OptimizerConfig:
+    """Optimizer knobs."""
+
+    #: Alternatives retained per DP subset and returned overall.
+    keep_alternatives: int = 3
+    #: Consider nested-loop joins even when a hash join is applicable.
+    enable_nested_loop: bool = True
+    #: Consider sort-merge joins (off by default: adds plan diversity at
+    #: enumeration cost; the engine tracks no interesting orders).
+    enable_merge_join: bool = False
+    #: Consider index scans for equality predicates on indexed columns.
+    enable_index_scan: bool = True
+    params: CostParameters = DEFAULT_COST_PARAMETERS
+
+
+DEFAULT_CONFIG = OptimizerConfig()
+
+
+class Optimizer:
+    """Plans a bound :class:`QueryBlock` for one server profile."""
+
+    def __init__(
+        self,
+        profile: ServerProfile = REFERENCE_PROFILE,
+        config: OptimizerConfig = DEFAULT_CONFIG,
+    ):
+        self.profile = profile
+        self.config = config
+
+    # -- public API ----------------------------------------------------
+
+    def optimize(self, block: QueryBlock) -> List[PlanCandidate]:
+        """Return the top-k complete plans, cheapest first."""
+        estimator = CostEstimator(
+            params=self.config.params,
+            profile=self.profile,
+            stats=StatsContext(
+                {b: r.table.stats for b, r in block.relations.items()}
+            ),
+        )
+        if block.fixed_joins:
+            join_alternatives = self._fixed_chain_plans(block, estimator)
+        else:
+            join_alternatives = self._enumerate_joins(block, estimator)
+        finished: List[PlanCandidate] = []
+        seen_signatures = set()
+        for candidate in join_alternatives:
+            plan = self._finish_plan(candidate.plan, block)
+            signature = plan.signature()
+            if signature in seen_signatures:
+                continue
+            seen_signatures.add(signature)
+            finished.append(
+                PlanCandidate(plan=plan, cost=plan.estimate_cost(estimator))
+            )
+        finished.sort(key=lambda c: c.cost.total)
+        if not finished:
+            raise OptimizerError("no plan produced")
+        return finished[: self.config.keep_alternatives]
+
+    def best_plan(self, block: QueryBlock) -> PlanCandidate:
+        return self.optimize(block)[0]
+
+    # -- access paths ----------------------------------------------------
+
+    def _access_paths(
+        self, relation: BoundRelation, estimator: CostEstimator
+    ) -> List[PlanCandidate]:
+        paths: List[PlanCandidate] = []
+        seq = SeqScan(relation.table, relation.binding, relation.predicate)
+        paths.append(PlanCandidate(seq, seq.estimate_cost(estimator)))
+        if self.config.enable_index_scan and relation.predicate is not None:
+            paths.extend(
+                self._index_paths(relation, estimator)
+            )
+        paths.sort(key=lambda c: c.cost.total)
+        return paths[: self.config.keep_alternatives]
+
+    def _index_paths(
+        self, relation: BoundRelation, estimator: CostEstimator
+    ) -> List[PlanCandidate]:
+        paths: List[PlanCandidate] = []
+        parts = conjuncts(relation.predicate)
+        for i, part in enumerate(parts):
+            probe = _equality_probe(part)
+            if probe is None:
+                continue
+            column, value = probe
+            if not relation.table.has_index_on(column):
+                continue
+            residual = combine_conjuncts(
+                [p for j, p in enumerate(parts) if j != i]
+            )
+            scan = IndexScan(
+                relation.table, relation.binding, column, value, residual
+            )
+            paths.append(PlanCandidate(scan, scan.estimate_cost(estimator)))
+        return paths
+
+    # -- join enumeration -------------------------------------------------
+
+    def _enumerate_joins(
+        self, block: QueryBlock, estimator: CostEstimator
+    ) -> List[PlanCandidate]:
+        bindings = tuple(block.relations)
+        best: Dict[FrozenSet[str], List[PlanCandidate]] = {}
+        for binding in bindings:
+            best[frozenset([binding])] = self._access_paths(
+                block.relations[binding], estimator
+            )
+        n = len(bindings)
+        for size in range(2, n + 1):
+            for subset in itertools.combinations(bindings, size):
+                subset_key = frozenset(subset)
+                candidates: List[PlanCandidate] = []
+                for left_key, right_key in _splits(subset_key):
+                    if left_key not in best or right_key not in best:
+                        continue
+                    edges = [
+                        e
+                        for e in block.join_edges
+                        if e.connects(left_key, right_key)
+                    ]
+                    candidates.extend(
+                        self._join_pair(
+                            best[left_key],
+                            best[right_key],
+                            edges,
+                            estimator,
+                        )
+                    )
+                if not candidates:
+                    continue
+                candidates.sort(key=lambda c: c.cost.total)
+                best[subset_key] = _dedupe(candidates)[
+                    : self.config.keep_alternatives
+                ]
+        full = frozenset(bindings)
+        if full not in best:
+            raise OptimizerError(
+                "query's join graph is disconnected and cross joins "
+                "produced no plan"
+            )
+        return best[full]
+
+    def _join_pair(
+        self,
+        left_alternatives: Sequence[PlanCandidate],
+        right_alternatives: Sequence[PlanCandidate],
+        edges: Sequence[JoinEdge],
+        estimator: CostEstimator,
+    ) -> List[PlanCandidate]:
+        results: List[PlanCandidate] = []
+        for left_alt, right_alt in itertools.product(
+            left_alternatives, right_alternatives
+        ):
+            left, right = left_alt.plan, right_alt.plan
+            if edges:
+                left_keys = []
+                right_keys = []
+                left_bound = frozenset(
+                    _schema_bindings(left)
+                )
+                for edge in edges:
+                    lk, rk = edge.oriented(left_bound)
+                    left_keys.append(lk)
+                    right_keys.append(rk)
+                hash_join = HashJoin(left, right, left_keys, right_keys)
+                results.append(
+                    PlanCandidate(
+                        hash_join, hash_join.estimate_cost(estimator)
+                    )
+                )
+                if self.config.enable_merge_join:
+                    merge_join = SortMergeJoin(
+                        left, right, left_keys, right_keys
+                    )
+                    results.append(
+                        PlanCandidate(
+                            merge_join, merge_join.estimate_cost(estimator)
+                        )
+                    )
+                if self.config.enable_nested_loop:
+                    condition = combine_conjuncts(
+                        [e.expression() for e in edges]
+                    )
+                    nl_join = NestedLoopJoin(left, right, condition)
+                    results.append(
+                        PlanCandidate(
+                            nl_join, nl_join.estimate_cost(estimator)
+                        )
+                    )
+            else:
+                cross = NestedLoopJoin(left, right, None)
+                results.append(
+                    PlanCandidate(cross, cross.estimate_cost(estimator))
+                )
+        return results
+
+    # -- fixed join chains (outer joins) ------------------------------------
+
+    def _fixed_chain_plans(
+        self, block: QueryBlock, estimator: CostEstimator
+    ) -> List[PlanCandidate]:
+        """Left-deep plans in statement order (outer joins pin the order).
+
+        Two method profiles are tried — hash joins wherever the ON
+        clause permits, and nested loops throughout — giving the caller
+        genuine alternatives without violating the fixed order.
+        """
+        assert block.fixed_join_root is not None
+        candidates: List[PlanCandidate] = []
+        for prefer_hash in (True, False):
+            root = block.relations[block.fixed_join_root]
+            plan: PhysicalPlan = SeqScan(root.table, root.binding, None)
+            bound = {root.binding}
+            for step in block.fixed_joins:
+                relation = block.relations[step.binding]
+                right: PhysicalPlan = SeqScan(
+                    relation.table, relation.binding, None
+                )
+                plan = self._fixed_join(
+                    plan, right, step, frozenset(bound), prefer_hash
+                )
+                bound.add(step.binding)
+            candidates.append(
+                PlanCandidate(plan, plan.estimate_cost(estimator))
+            )
+        candidates.sort(key=lambda c: c.cost.total)
+        return _dedupe(candidates)
+
+    def _fixed_join(
+        self,
+        left: PhysicalPlan,
+        right: PhysicalPlan,
+        step,
+        left_bindings: FrozenSet[str],
+        prefer_hash: bool,
+    ) -> PhysicalPlan:
+        parts = conjuncts(step.condition)
+        left_keys: List[str] = []
+        right_keys: List[str] = []
+        residual_parts: List[Expression] = []
+        for part in parts:
+            keys = _chain_equi_keys(part, left_bindings, step.binding)
+            if keys is not None and prefer_hash:
+                left_keys.append(keys[0])
+                right_keys.append(keys[1])
+            else:
+                residual_parts.append(part)
+        if left_keys:
+            return HashJoin(
+                left,
+                right,
+                left_keys,
+                right_keys,
+                residual=combine_conjuncts(residual_parts),
+                outer=step.outer,
+            )
+        return NestedLoopJoin(left, right, step.condition, outer=step.outer)
+
+    # -- finishing touches --------------------------------------------------
+
+    def _finish_plan(
+        self, join_plan: PhysicalPlan, block: QueryBlock
+    ) -> PhysicalPlan:
+        plan = join_plan
+        if block.residual is not None:
+            plan = Filter(plan, block.residual)
+        if block.has_aggregation:
+            plan = HashAggregate(
+                plan,
+                block.group_by,
+                block.items,
+                block.output_schema,
+                having=block.having,
+            )
+        else:
+            plan = Project(plan, block.items, block.output_schema)
+        if block.distinct:
+            plan = Distinct(plan)
+        if block.order_by:
+            plan = Sort(plan, block.order_by)
+        if block.limit is not None:
+            plan = Limit(plan, block.limit)
+        return plan
+
+
+def _schema_bindings(plan: PhysicalPlan) -> List[str]:
+    bindings = []
+    for column in plan.output_schema.columns:
+        if column.table and column.table not in bindings:
+            bindings.append(column.table)
+    return bindings
+
+
+def _chain_equi_keys(
+    part: Expression,
+    left_bindings: FrozenSet[str],
+    right_binding: str,
+) -> Optional[Tuple[str, str]]:
+    """Match ``l.x = r.y`` between the accumulated left side and the new
+    right relation (either orientation); None if not a usable key."""
+    if not (
+        isinstance(part, Comparison)
+        and part.op == "="
+        and isinstance(part.left, ColumnRef)
+        and isinstance(part.right, ColumnRef)
+    ):
+        return None
+    lt, rt = part.left.table, part.right.table
+    if lt in left_bindings and rt == right_binding:
+        return part.left.name, part.right.name
+    if rt in left_bindings and lt == right_binding:
+        return part.right.name, part.left.name
+    return None
+
+
+def _equality_probe(
+    part: Expression,
+) -> Optional[Tuple[str, Literal]]:
+    """Match ``col = literal`` (either orientation) for index probing."""
+    if not isinstance(part, Comparison) or part.op != "=":
+        return None
+    if isinstance(part.left, ColumnRef) and isinstance(part.right, Literal):
+        return part.left.name, part.right
+    if isinstance(part.right, ColumnRef) and isinstance(part.left, Literal):
+        return part.right.name, part.left
+    return None
+
+
+def _splits(
+    subset: FrozenSet[str],
+) -> List[Tuple[FrozenSet[str], FrozenSet[str]]]:
+    """All two-way partitions of *subset* (both orientations)."""
+    members = sorted(subset)
+    splits = []
+    for size in range(1, len(members)):
+        for combo in itertools.combinations(members, size):
+            left = frozenset(combo)
+            right = subset - left
+            splits.append((left, right))
+    return splits
+
+
+def _dedupe(candidates: Sequence[PlanCandidate]) -> List[PlanCandidate]:
+    seen = set()
+    unique = []
+    for candidate in candidates:
+        signature = candidate.signature
+        if signature in seen:
+            continue
+        seen.add(signature)
+        unique.append(candidate)
+    return unique
+
+
+def plan_statement(
+    statement: SelectStatement,
+    catalog: Catalog,
+    profile: ServerProfile = REFERENCE_PROFILE,
+    config: OptimizerConfig = DEFAULT_CONFIG,
+) -> List[PlanCandidate]:
+    """Bind and optimize a parsed statement against *catalog*."""
+    block = bind(statement, catalog)
+    return Optimizer(profile, config).optimize(block)
+
+
+def plan_sql(
+    sql: str,
+    catalog: Catalog,
+    profile: ServerProfile = REFERENCE_PROFILE,
+    config: OptimizerConfig = DEFAULT_CONFIG,
+) -> List[PlanCandidate]:
+    """Parse, bind and optimize a SQL string."""
+    return plan_statement(parse(sql), catalog, profile, config)

@@ -1,0 +1,1104 @@
+"""Physical operators: costing and iterator execution.
+
+Every operator supports two independent uses:
+
+* ``estimate_cost(estimator)`` — statistics-only costing.  This works on a
+  catalog with **no data attached** (the "simulated federated system" of
+  the paper uses exactly this path for what-if planning).
+* ``rows(ctx)`` — iterator execution against real storage.  Execution
+  meters the actual work performed (CPU/IO in reference-machine ms) into
+  ``ctx.meter``; the simulation layer converts metered work into observed
+  response time under the server's current load.
+
+Operators are immutable; a plan tree is shared freely between the
+optimizer, the explain table, QCC's records and the executor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .catalog import TableDef
+from .cost import (
+    CostParameters,
+    PlanCost,
+    ServerProfile,
+    StatsContext,
+    equijoin_selectivity,
+    estimate_selectivity,
+    pages_for,
+)
+from .expressions import AggregateCall, ColumnRef, Expression, Literal, walk
+from .parser import OrderItem, SelectItem
+from .storage import StorageManager
+from .types import Column, ColumnType, Row, Schema, SqlError
+
+
+class ExecutionError(SqlError):
+    """Raised when a plan cannot be executed."""
+
+
+class WorkMeter:
+    """Accumulates the actual work performed by an execution.
+
+    Units are reference-machine milliseconds, the same currency as the
+    cost model, so (metered work) / (estimated cost) is dimensionless.
+    """
+
+    __slots__ = ("cpu_ms", "io_ms", "tuples_out")
+
+    def __init__(self) -> None:
+        self.cpu_ms = 0.0
+        self.io_ms = 0.0
+        self.tuples_out = 0
+
+    @property
+    def total_ms(self) -> float:
+        return self.cpu_ms + self.io_ms
+
+    def merge(self, other: "WorkMeter") -> None:
+        self.cpu_ms += other.cpu_ms
+        self.io_ms += other.io_ms
+        self.tuples_out += other.tuples_out
+
+
+@dataclass
+class ExecutionContext:
+    """Everything an operator needs at run time."""
+
+    storage: StorageManager
+    params: CostParameters
+    meter: WorkMeter = field(default_factory=WorkMeter)
+
+
+class CostEstimator:
+    """Bundles the knobs used when costing a plan."""
+
+    def __init__(
+        self,
+        params: CostParameters,
+        profile: ServerProfile,
+        stats: StatsContext,
+    ):
+        self.params = params
+        self.profile = profile
+        self.stats = stats
+
+
+class PhysicalPlan:
+    """Base class of all physical operators."""
+
+    #: filled in by subclasses
+    output_schema: Schema
+
+    def children(self) -> Tuple["PhysicalPlan", ...]:
+        return ()
+
+    def estimate_cost(self, estimator: CostEstimator) -> PlanCost:
+        raise NotImplementedError
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line operator description (also the plan signature leaf)."""
+        raise NotImplementedError
+
+    def signature(self) -> str:
+        """Stable identity of this plan tree.
+
+        Two plans with equal signatures perform identical work; the paper's
+        fragment-level load balancing requires *identical* plans before it
+        will treat them as exchangeable (Section 4.1).
+        """
+        inner = ",".join(child.signature() for child in self.children())
+        return f"{self.describe()}[{inner}]" if inner else self.describe()
+
+    def explain_lines(self, indent: int = 0) -> List[str]:
+        lines = ["  " * indent + self.describe()]
+        for child in self.children():
+            lines.extend(child.explain_lines(indent + 1))
+        return lines
+
+    def explain(self) -> str:
+        return "\n".join(self.explain_lines())
+
+    def base_tables(self) -> Tuple[str, ...]:
+        """Names of base tables referenced anywhere in the tree."""
+        names: List[str] = []
+        stack: List[PhysicalPlan] = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (SeqScan, IndexScan)):
+                names.append(node.table.name)
+            stack.extend(node.children())
+        return tuple(sorted(names))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+def _predicate_sql(predicate: Optional[Expression]) -> str:
+    return predicate.sql() if predicate is not None else ""
+
+
+def _count_operators(predicate: Optional[Expression]) -> int:
+    if predicate is None:
+        return 0
+    return sum(1 for _ in walk(predicate))
+
+
+# ---------------------------------------------------------------------------
+# Scans
+# ---------------------------------------------------------------------------
+
+
+class SeqScan(PhysicalPlan):
+    """Full scan of a base table with an optional pushed-down predicate."""
+
+    def __init__(
+        self,
+        table: TableDef,
+        binding: str,
+        predicate: Optional[Expression] = None,
+    ):
+        self.table = table
+        self.binding = binding
+        self.predicate = predicate
+        self.output_schema = table.schema.rename_table(binding)
+
+    def estimate_cost(self, estimator: CostEstimator) -> PlanCost:
+        params, profile = estimator.params, estimator.profile
+        rows_in = self.table.stats.row_count
+        width = self.output_schema.row_width_bytes()
+        selectivity = estimate_selectivity(self.predicate, estimator.stats)
+        rows_out = max(rows_in * selectivity, 0.0)
+        io = profile.io_ms(pages_for(rows_in, width) * params.seq_page_cost)
+        ops = _count_operators(self.predicate)
+        cpu = profile.cpu_ms(
+            rows_in * (params.cpu_tuple_cost + ops * params.cpu_operator_cost)
+        )
+        total = params.startup_cost + io + cpu
+        first = params.startup_cost + (io + cpu) / max(rows_out, 1.0)
+        return PlanCost(
+            first_tuple=min(first, total),
+            total=total,
+            rows=rows_out,
+            width_bytes=width,
+        )
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        heap = ctx.storage.table(self.table.name)
+        params = ctx.params
+        meter = ctx.meter
+        width = self.output_schema.row_width_bytes()
+        meter.io_ms += pages_for(len(heap), width) * params.seq_page_cost
+        predicate = (
+            self.predicate.compile(self.output_schema)
+            if self.predicate is not None
+            else None
+        )
+        ops = _count_operators(self.predicate)
+        per_row = params.cpu_tuple_cost + ops * params.cpu_operator_cost
+        for row in heap.scan():
+            meter.cpu_ms += per_row
+            if predicate is None or predicate(row) is True:
+                meter.tuples_out += 1
+                yield row
+
+    def describe(self) -> str:
+        pred = _predicate_sql(self.predicate)
+        suffix = f" WHERE {pred}" if pred else ""
+        return f"SeqScan({self.table.name} AS {self.binding}{suffix})"
+
+
+class IndexScan(PhysicalPlan):
+    """Equality probe into a hash index, with an optional residual filter."""
+
+    def __init__(
+        self,
+        table: TableDef,
+        binding: str,
+        column: str,
+        value: Expression,
+        residual: Optional[Expression] = None,
+    ):
+        if not isinstance(value, Literal):
+            raise ExecutionError("IndexScan requires a literal probe value")
+        self.table = table
+        self.binding = binding
+        self.column = column.rpartition(".")[2]
+        self.value = value
+        self.residual = residual
+        self.output_schema = table.schema.rename_table(binding)
+
+    def estimate_cost(self, estimator: CostEstimator) -> PlanCost:
+        params, profile = estimator.params, estimator.profile
+        stats = self.table.stats.for_column(self.column)
+        rows_in = self.table.stats.row_count
+        n_distinct = stats.n_distinct if stats else max(rows_in, 1)
+        matched = rows_in / max(n_distinct, 1)
+        selectivity = estimate_selectivity(self.residual, estimator.stats)
+        rows_out = max(matched * selectivity, 0.0)
+        width = self.output_schema.row_width_bytes()
+        probe = profile.io_ms(params.index_probe_cost)
+        ops = _count_operators(self.residual)
+        cpu = profile.cpu_ms(
+            matched * (params.cpu_tuple_cost + ops * params.cpu_operator_cost)
+        )
+        total = params.startup_cost + probe + cpu
+        first = params.startup_cost + probe + cpu / max(rows_out, 1.0)
+        return PlanCost(
+            first_tuple=min(first, total),
+            total=total,
+            rows=rows_out,
+            width_bytes=width,
+        )
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        heap = ctx.storage.table(self.table.name)
+        index = heap.index_on(self.column)
+        if index is None:
+            raise ExecutionError(
+                f"no index on {self.table.name}.{self.column}"
+            )
+        params = ctx.params
+        meter = ctx.meter
+        meter.io_ms += params.index_probe_cost
+        residual = (
+            self.residual.compile(self.output_schema)
+            if self.residual is not None
+            else None
+        )
+        ops = _count_operators(self.residual)
+        per_row = params.cpu_tuple_cost + ops * params.cpu_operator_cost
+        for rid in index.lookup(self.value.value):
+            row = heap.fetch(rid)
+            meter.cpu_ms += per_row
+            if residual is None or residual(row) is True:
+                meter.tuples_out += 1
+                yield row
+
+    def describe(self) -> str:
+        parts = [f"{self.table.name} AS {self.binding}", f"{self.column}={self.value.sql()}"]
+        if self.residual is not None:
+            parts.append(f"WHERE {self.residual.sql()}")
+        return f"IndexScan({' '.join(parts)})"
+
+
+# ---------------------------------------------------------------------------
+# Filter / Project
+# ---------------------------------------------------------------------------
+
+
+class Filter(PhysicalPlan):
+    """Row filter applied above an arbitrary child plan."""
+
+    def __init__(self, child: PhysicalPlan, predicate: Expression):
+        self.child = child
+        self.predicate = predicate
+        self.output_schema = child.output_schema
+
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    def estimate_cost(self, estimator: CostEstimator) -> PlanCost:
+        params, profile = estimator.params, estimator.profile
+        child = self.child.estimate_cost(estimator)
+        selectivity = estimate_selectivity(self.predicate, estimator.stats)
+        rows_out = max(child.rows * selectivity, 0.0)
+        ops = _count_operators(self.predicate)
+        cpu = profile.cpu_ms(child.rows * ops * params.cpu_operator_cost)
+        total = child.total + cpu
+        first = child.first_tuple + cpu / max(rows_out, 1.0)
+        return PlanCost(
+            first_tuple=min(first, total),
+            total=total,
+            rows=rows_out,
+            width_bytes=child.width_bytes,
+        )
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        predicate = self.predicate.compile(self.output_schema)
+        ops = _count_operators(self.predicate)
+        per_row = ops * ctx.params.cpu_operator_cost
+        meter = ctx.meter
+        for row in self.child.rows(ctx):
+            meter.cpu_ms += per_row
+            if predicate(row) is True:
+                yield row
+
+    def describe(self) -> str:
+        return f"Filter({self.predicate.sql()})"
+
+
+class Project(PhysicalPlan):
+    """Expression projection (non-aggregating)."""
+
+    def __init__(
+        self,
+        child: PhysicalPlan,
+        items: Sequence[SelectItem],
+        output_schema: Schema,
+    ):
+        self.child = child
+        self.items = tuple(items)
+        self.output_schema = output_schema
+
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    def estimate_cost(self, estimator: CostEstimator) -> PlanCost:
+        params, profile = estimator.params, estimator.profile
+        child = self.child.estimate_cost(estimator)
+        cpu = profile.cpu_ms(
+            child.rows * len(self.items) * params.cpu_operator_cost
+        )
+        width = self.output_schema.row_width_bytes()
+        return PlanCost(
+            first_tuple=child.first_tuple,
+            total=child.total + cpu,
+            rows=child.rows,
+            width_bytes=width,
+        )
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        evaluators = [
+            item.expr.compile(self.child.output_schema)
+            for item in self.items
+            if item.expr is not None
+        ]
+        per_row = len(evaluators) * ctx.params.cpu_operator_cost
+        meter = ctx.meter
+        for row in self.child.rows(ctx):
+            meter.cpu_ms += per_row
+            yield tuple(f(row) for f in evaluators)
+
+    def describe(self) -> str:
+        return f"Project({', '.join(item.sql() for item in self.items)})"
+
+
+# ---------------------------------------------------------------------------
+# Joins
+# ---------------------------------------------------------------------------
+
+
+class NestedLoopJoin(PhysicalPlan):
+    """Nested-loop join with materialised inner and arbitrary condition.
+
+    With ``outer`` set, unmatched left rows are emitted padded with
+    NULLs (LEFT OUTER JOIN semantics; the condition acts as the ON
+    clause).
+    """
+
+    def __init__(
+        self,
+        left: PhysicalPlan,
+        right: PhysicalPlan,
+        condition: Optional[Expression] = None,
+        outer: bool = False,
+    ):
+        self.left = left
+        self.right = right
+        self.condition = condition
+        self.outer = outer
+        self.output_schema = left.output_schema.concat(right.output_schema)
+
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.left, self.right)
+
+    def estimate_cost(self, estimator: CostEstimator) -> PlanCost:
+        params, profile = estimator.params, estimator.profile
+        left = self.left.estimate_cost(estimator)
+        right = self.right.estimate_cost(estimator)
+        pairs = left.rows * right.rows
+        selectivity = estimate_selectivity(self.condition, estimator.stats)
+        rows_out = max(pairs * selectivity, 0.0)
+        if self.outer:
+            rows_out = max(rows_out, left.rows)
+        ops = max(_count_operators(self.condition), 1)
+        cpu = profile.cpu_ms(
+            pairs * ops * params.cpu_operator_cost
+            + right.rows * params.materialize_tuple_cost
+        )
+        total = left.total + right.total + cpu
+        first = left.first_tuple + right.total + cpu / max(rows_out, 1.0)
+        width = left.width_bytes + right.width_bytes
+        return PlanCost(
+            first_tuple=min(first, total),
+            total=total,
+            rows=rows_out,
+            width_bytes=width,
+        )
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        params = ctx.params
+        meter = ctx.meter
+        inner = list(self.right.rows(ctx))
+        meter.cpu_ms += len(inner) * params.materialize_tuple_cost
+        condition = (
+            self.condition.compile(self.output_schema)
+            if self.condition is not None
+            else None
+        )
+        ops = max(_count_operators(self.condition), 1)
+        per_pair = ops * params.cpu_operator_cost
+        null_pad = (None,) * len(self.right.output_schema)
+        for left_row in self.left.rows(ctx):
+            matched = False
+            for right_row in inner:
+                meter.cpu_ms += per_pair
+                combined = left_row + right_row
+                if condition is None or condition(combined) is True:
+                    matched = True
+                    yield combined
+            if self.outer and not matched:
+                yield left_row + null_pad
+
+    def describe(self) -> str:
+        cond = _predicate_sql(self.condition) or "TRUE"
+        kind = "NestedLoopOuterJoin" if self.outer else "NestedLoopJoin"
+        return f"{kind}(ON {cond})"
+
+
+class HashJoin(PhysicalPlan):
+    """Equi-hash-join; the right child is the build side.
+
+    With ``outer`` set, LEFT OUTER semantics apply: left rows with no
+    surviving match (key miss, NULL key, or residual rejection) are
+    emitted padded with NULLs.  The probe side being the preserved side
+    makes the left-outer variant natural.
+    """
+
+    def __init__(
+        self,
+        left: PhysicalPlan,
+        right: PhysicalPlan,
+        left_keys: Sequence[str],
+        right_keys: Sequence[str],
+        residual: Optional[Expression] = None,
+        outer: bool = False,
+    ):
+        if len(left_keys) != len(right_keys) or not left_keys:
+            raise ExecutionError("hash join requires matching key lists")
+        self.left = left
+        self.right = right
+        self.left_keys = tuple(left_keys)
+        self.right_keys = tuple(right_keys)
+        self.residual = residual
+        self.outer = outer
+        self.output_schema = left.output_schema.concat(right.output_schema)
+
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.left, self.right)
+
+    def estimate_cost(self, estimator: CostEstimator) -> PlanCost:
+        params, profile = estimator.params, estimator.profile
+        left = self.left.estimate_cost(estimator)
+        right = self.right.estimate_cost(estimator)
+        selectivity = 1.0
+        for lk, rk in zip(self.left_keys, self.right_keys):
+            selectivity *= equijoin_selectivity(
+                estimator.stats.column(lk), estimator.stats.column(rk)
+            )
+        rows_out = max(left.rows * right.rows * selectivity, 0.0)
+        if self.residual is not None:
+            rows_out *= estimate_selectivity(self.residual, estimator.stats)
+        if self.outer:
+            rows_out = max(rows_out, left.rows)
+        build = profile.cpu_ms(right.rows * params.hash_build_cost)
+        probe = profile.cpu_ms(left.rows * params.hash_probe_cost)
+        emit = profile.cpu_ms(rows_out * params.cpu_tuple_cost)
+        total = left.total + right.total + build + probe + emit
+        first = right.total + build + left.first_tuple + (probe + emit) / max(
+            rows_out, 1.0
+        )
+        width = left.width_bytes + right.width_bytes
+        return PlanCost(
+            first_tuple=min(first, total),
+            total=total,
+            rows=rows_out,
+            width_bytes=width,
+        )
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        params = ctx.params
+        meter = ctx.meter
+        right_schema = self.right.output_schema
+        left_schema = self.left.output_schema
+        right_idx = [right_schema.index_of(k) for k in self.right_keys]
+        left_idx = [left_schema.index_of(k) for k in self.left_keys]
+
+        buckets: Dict[Tuple[Any, ...], List[Row]] = {}
+        for row in self.right.rows(ctx):
+            meter.cpu_ms += params.hash_build_cost
+            key = tuple(row[i] for i in right_idx)
+            if any(v is None for v in key):
+                continue
+            buckets.setdefault(key, []).append(row)
+
+        residual = (
+            self.residual.compile(self.output_schema)
+            if self.residual is not None
+            else None
+        )
+        null_pad = (None,) * len(self.right.output_schema)
+        for left_row in self.left.rows(ctx):
+            meter.cpu_ms += params.hash_probe_cost
+            key = tuple(left_row[i] for i in left_idx)
+            matched = False
+            if not any(v is None for v in key):
+                for right_row in buckets.get(key, ()):
+                    meter.cpu_ms += params.cpu_tuple_cost
+                    combined = left_row + right_row
+                    if residual is None or residual(combined) is True:
+                        matched = True
+                        yield combined
+            if self.outer and not matched:
+                yield left_row + null_pad
+
+    def describe(self) -> str:
+        keys = ", ".join(
+            f"{l}={r}" for l, r in zip(self.left_keys, self.right_keys)
+        )
+        suffix = (
+            f" AND {self.residual.sql()}" if self.residual is not None else ""
+        )
+        kind = "HashOuterJoin" if self.outer else "HashJoin"
+        return f"{kind}({keys}{suffix})"
+
+
+class SortMergeJoin(PhysicalPlan):
+    """Equi-join by sorting both inputs on the keys and merging.
+
+    Both inputs are materialised and sorted (no interesting-order
+    tracking exists in this engine), so the hash join usually wins on
+    cost; merge join exists as a genuine plan alternative — the paper's
+    wrappers return several plans per fragment, and rotation/what-if
+    analysis benefit from a diverse plan space.
+    """
+
+    def __init__(
+        self,
+        left: PhysicalPlan,
+        right: PhysicalPlan,
+        left_keys: Sequence[str],
+        right_keys: Sequence[str],
+    ):
+        if len(left_keys) != len(right_keys) or not left_keys:
+            raise ExecutionError("merge join requires matching key lists")
+        self.left = left
+        self.right = right
+        self.left_keys = tuple(left_keys)
+        self.right_keys = tuple(right_keys)
+        self.output_schema = left.output_schema.concat(right.output_schema)
+
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.left, self.right)
+
+    def estimate_cost(self, estimator: CostEstimator) -> PlanCost:
+        params, profile = estimator.params, estimator.profile
+        left = self.left.estimate_cost(estimator)
+        right = self.right.estimate_cost(estimator)
+        selectivity = 1.0
+        for lk, rk in zip(self.left_keys, self.right_keys):
+            selectivity *= equijoin_selectivity(
+                estimator.stats.column(lk), estimator.stats.column(rk)
+            )
+        rows_out = max(left.rows * right.rows * selectivity, 0.0)
+        sort_cost = 0.0
+        for side in (left, right):
+            n = max(side.rows, 1.0)
+            sort_cost += n * math.log2(n + 1.0) * params.sort_compare_cost
+            sort_cost += n * params.materialize_tuple_cost
+        merge = (left.rows + right.rows) * params.cpu_tuple_cost
+        emit = rows_out * params.cpu_tuple_cost
+        cpu = profile.cpu_ms(sort_cost + merge + emit)
+        total = left.total + right.total + cpu
+        # Blocking on both sides: nothing emits until both are sorted.
+        first = total - profile.cpu_ms(emit) / max(rows_out, 1.0)
+        width = left.width_bytes + right.width_bytes
+        return PlanCost(
+            first_tuple=min(first, total),
+            total=total,
+            rows=rows_out,
+            width_bytes=width,
+        )
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        params = ctx.params
+        meter = ctx.meter
+        left_idx = [self.left.output_schema.index_of(k) for k in self.left_keys]
+        right_idx = [
+            self.right.output_schema.index_of(k) for k in self.right_keys
+        ]
+
+        def sorted_side(plan, idx):
+            data = list(plan.rows(ctx))
+            n = max(len(data), 1)
+            meter.cpu_ms += n * (
+                math.log2(n + 1.0) * params.sort_compare_cost
+                + params.materialize_tuple_cost
+            )
+            data.sort(key=lambda row: _sort_key(tuple(row[i] for i in idx)))
+            return data
+
+        left_rows = sorted_side(self.left, left_idx)
+        right_rows = sorted_side(self.right, right_idx)
+        meter.cpu_ms += (len(left_rows) + len(right_rows)) * params.cpu_tuple_cost
+
+        def key_of(row, idx):
+            return tuple(row[i] for i in idx)
+
+        i = j = 0
+        while i < len(left_rows) and j < len(right_rows):
+            lk = key_of(left_rows[i], left_idx)
+            rk = key_of(right_rows[j], right_idx)
+            if any(v is None for v in lk):
+                i += 1
+                continue
+            if any(v is None for v in rk):
+                j += 1
+                continue
+            if _sort_key(lk) < _sort_key(rk):
+                i += 1
+            elif _sort_key(lk) > _sort_key(rk):
+                j += 1
+            else:
+                # Gather the duplicate groups on both sides.
+                i_end = i
+                while i_end < len(left_rows) and key_of(
+                    left_rows[i_end], left_idx
+                ) == lk:
+                    i_end += 1
+                j_end = j
+                while j_end < len(right_rows) and key_of(
+                    right_rows[j_end], right_idx
+                ) == rk:
+                    j_end += 1
+                for li in range(i, i_end):
+                    for rj in range(j, j_end):
+                        meter.cpu_ms += params.cpu_tuple_cost
+                        yield left_rows[li] + right_rows[rj]
+                i, j = i_end, j_end
+
+    def describe(self) -> str:
+        keys = ", ".join(
+            f"{l}={r}" for l, r in zip(self.left_keys, self.right_keys)
+        )
+        return f"SortMergeJoin({keys})"
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+
+
+class _AggState:
+    """Incremental state for one aggregate call over one group."""
+
+    __slots__ = ("name", "distinct", "count", "total", "min", "max", "seen")
+
+    def __init__(self, name: str, distinct: bool):
+        self.name = name
+        self.distinct = distinct
+        self.count = 0
+        self.total: Any = None
+        self.min: Any = None
+        self.max: Any = None
+        self.seen = set() if distinct else None
+
+    def update(self, value: Any) -> None:
+        if self.name == "COUNT" and value is _STAR:
+            self.count += 1
+            return
+        if value is None:
+            return
+        if self.seen is not None:
+            if value in self.seen:
+                return
+            self.seen.add(value)
+        self.count += 1
+        if self.name in ("SUM", "AVG"):
+            self.total = value if self.total is None else self.total + value
+        elif self.name == "MIN":
+            self.min = value if self.min is None else min(self.min, value)
+        elif self.name == "MAX":
+            self.max = value if self.max is None else max(self.max, value)
+
+    def result(self) -> Any:
+        if self.name == "COUNT":
+            return self.count
+        if self.name == "SUM":
+            return self.total
+        if self.name == "AVG":
+            return self.total / self.count if self.count else None
+        if self.name == "MIN":
+            return self.min
+        return self.max
+
+
+_STAR = object()
+
+
+def _rewrite_over_internal(
+    expr: Expression,
+    group_map: Dict[str, int],
+    agg_map: Dict[int, int],
+    agg_calls: List[AggregateCall],
+) -> Expression:
+    """Rewrite an output expression over the internal (keys + aggs) row."""
+    key = expr.sql()
+    if key in group_map:
+        return ColumnRef(f"_k{group_map[key]}")
+    if isinstance(expr, AggregateCall):
+        position = agg_map[id(expr)]
+        return ColumnRef(f"_a{position}")
+    children = tuple(
+        _rewrite_over_internal(c, group_map, agg_map, agg_calls)
+        for c in expr.children()
+    )
+    if not children:
+        return expr
+    from .logical import _rebuild
+
+    return _rebuild(expr, children)
+
+
+class HashAggregate(PhysicalPlan):
+    """Grouped aggregation producing the query's output items directly."""
+
+    def __init__(
+        self,
+        child: PhysicalPlan,
+        group_by: Sequence[Expression],
+        items: Sequence[SelectItem],
+        output_schema: Schema,
+        having: Optional[Expression] = None,
+    ):
+        self.child = child
+        self.group_by = tuple(group_by)
+        self.items = tuple(items)
+        self.having = having
+        self.output_schema = output_schema
+
+        # Collect the aggregate calls appearing in items/having, in order.
+        self._agg_calls: List[AggregateCall] = []
+        self._agg_positions: Dict[int, int] = {}
+        sources: List[Expression] = [
+            item.expr for item in self.items if item.expr is not None
+        ]
+        if having is not None:
+            sources.append(having)
+        for source in sources:
+            for node in walk(source):
+                if isinstance(node, AggregateCall) and id(node) not in (
+                    self._agg_positions
+                ):
+                    self._agg_positions[id(node)] = len(self._agg_calls)
+                    self._agg_calls.append(node)
+
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    def _internal_schema(self) -> Schema:
+        columns = [
+            Column(f"_k{i}", ColumnType.FLOAT) for i in range(len(self.group_by))
+        ]
+        columns.extend(
+            Column(f"_a{i}", ColumnType.FLOAT)
+            for i in range(len(self._agg_calls))
+        )
+        return Schema(tuple(columns))
+
+    def estimate_cost(self, estimator: CostEstimator) -> PlanCost:
+        params, profile = estimator.params, estimator.profile
+        child = self.child.estimate_cost(estimator)
+        groups = self._estimate_groups(child.rows, estimator)
+        updates = child.rows * max(len(self._agg_calls), 1)
+        cpu = profile.cpu_ms(
+            updates * params.agg_update_cost
+            + groups * len(self.items) * params.cpu_operator_cost
+        )
+        total = child.total + cpu
+        width = self.output_schema.row_width_bytes()
+        # Aggregation is blocking: nothing is emitted before the input is
+        # consumed, so first-tuple is essentially total minus emission.
+        emit = profile.cpu_ms(
+            groups * len(self.items) * params.cpu_operator_cost
+        )
+        first = max(child.total + cpu - emit, child.first_tuple)
+        return PlanCost(
+            first_tuple=min(first, total),
+            total=total,
+            rows=max(groups, 1.0),
+            width_bytes=width,
+        )
+
+    def _estimate_groups(self, rows_in: float, estimator: CostEstimator) -> float:
+        if not self.group_by:
+            return 1.0
+        distinct = 1.0
+        for expr in self.group_by:
+            if isinstance(expr, ColumnRef):
+                cs = estimator.stats.column(expr.name)
+                distinct *= cs.n_distinct if cs else 10.0
+            else:
+                distinct *= 10.0
+        return max(1.0, min(distinct, rows_in))
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        params = ctx.params
+        meter = ctx.meter
+        child_schema = self.child.output_schema
+        key_fns = [e.compile(child_schema) for e in self.group_by]
+        arg_fns: List[Optional[Callable[[Row], Any]]] = [
+            call.arg.compile(child_schema) if call.arg is not None else None
+            for call in self._agg_calls
+        ]
+
+        groups: Dict[Tuple[Any, ...], List[_AggState]] = {}
+        group_keys: Dict[Tuple[Any, ...], Tuple[Any, ...]] = {}
+        per_row = max(len(self._agg_calls), 1) * params.agg_update_cost
+        for row in self.child.rows(ctx):
+            meter.cpu_ms += per_row
+            key = tuple(f(row) for f in key_fns)
+            states = groups.get(key)
+            if states is None:
+                states = [
+                    _AggState(call.name.upper(), call.distinct)
+                    for call in self._agg_calls
+                ]
+                groups[key] = states
+                group_keys[key] = key
+            for state, arg_fn in zip(states, arg_fns):
+                value = _STAR if arg_fn is None else arg_fn(row)
+                state.update(value)
+
+        if not groups and not self.group_by:
+            # Aggregate over an empty input still yields one row.
+            groups[()] = [
+                _AggState(call.name.upper(), call.distinct)
+                for call in self._agg_calls
+            ]
+            group_keys[()] = ()
+
+        internal_schema = self._internal_schema()
+        group_map = {e.sql(): i for i, e in enumerate(self.group_by)}
+        item_fns = [
+            _rewrite_over_internal(
+                item.expr, group_map, self._agg_positions, self._agg_calls
+            ).compile(internal_schema)
+            for item in self.items
+            if item.expr is not None
+        ]
+        having_fn = None
+        if self.having is not None:
+            having_fn = _rewrite_over_internal(
+                self.having, group_map, self._agg_positions, self._agg_calls
+            ).compile(internal_schema)
+
+        per_group = len(self.items) * params.cpu_operator_cost
+        for key, states in groups.items():
+            meter.cpu_ms += per_group
+            internal_row = group_keys[key] + tuple(s.result() for s in states)
+            if having_fn is not None and having_fn(internal_row) is not True:
+                continue
+            yield tuple(f(internal_row) for f in item_fns)
+
+    def describe(self) -> str:
+        keys = ", ".join(e.sql() for e in self.group_by) or "<global>"
+        aggs = ", ".join(c.sql() for c in self._agg_calls) or "<none>"
+        having = f" HAVING {self.having.sql()}" if self.having else ""
+        return f"HashAggregate(keys=[{keys}] aggs=[{aggs}]{having})"
+
+
+# ---------------------------------------------------------------------------
+# Sort / Limit / Distinct
+# ---------------------------------------------------------------------------
+
+
+def _sort_key(values: Tuple[Any, ...]) -> Tuple[Tuple[bool, Any], ...]:
+    """NULLs-last total order that survives mixed None values."""
+    return tuple((v is None, v) for v in values)
+
+
+class Sort(PhysicalPlan):
+    """Blocking in-memory sort."""
+
+    def __init__(self, child: PhysicalPlan, order_by: Sequence[OrderItem]):
+        self.child = child
+        self.order_by = tuple(order_by)
+        self.output_schema = child.output_schema
+
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    def estimate_cost(self, estimator: CostEstimator) -> PlanCost:
+        params, profile = estimator.params, estimator.profile
+        child = self.child.estimate_cost(estimator)
+        n = max(child.rows, 1.0)
+        compares = n * math.log2(n + 1.0)
+        cpu = profile.cpu_ms(compares * params.sort_compare_cost)
+        total = child.total + cpu
+        return PlanCost(
+            first_tuple=total - profile.cpu_ms(params.cpu_tuple_cost),
+            total=total,
+            rows=child.rows,
+            width_bytes=child.width_bytes,
+        )
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        params = ctx.params
+        meter = ctx.meter
+        schema = self.child.output_schema
+        key_fns = [
+            (o.expr.compile(schema), o.ascending) for o in self.order_by
+        ]
+        data = list(self.child.rows(ctx))
+        n = max(len(data), 1)
+        meter.cpu_ms += n * math.log2(n + 1.0) * params.sort_compare_cost
+        # Stable multi-key sort: apply keys right-to-left.
+        for fn, ascending in reversed(key_fns):
+            data.sort(key=lambda row: _sort_key((fn(row),)), reverse=not ascending)
+        yield from data
+
+    def describe(self) -> str:
+        keys = ", ".join(o.sql() for o in self.order_by)
+        return f"Sort({keys})"
+
+
+class Limit(PhysicalPlan):
+    """Row-count limit."""
+
+    def __init__(self, child: PhysicalPlan, count: int):
+        if count < 0:
+            raise ExecutionError("LIMIT must be non-negative")
+        self.child = child
+        self.count = count
+        self.output_schema = child.output_schema
+
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    def estimate_cost(self, estimator: CostEstimator) -> PlanCost:
+        child = self.child.estimate_cost(estimator)
+        rows_out = min(child.rows, float(self.count))
+        if child.rows > 0:
+            fraction = rows_out / child.rows
+        else:
+            fraction = 1.0
+        # A limit lets pipelined children stop early; approximate by
+        # scaling the post-first-tuple cost.
+        total = child.first_tuple + (child.total - child.first_tuple) * fraction
+        return PlanCost(
+            first_tuple=child.first_tuple,
+            total=total,
+            rows=rows_out,
+            width_bytes=child.width_bytes,
+        )
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        remaining = self.count
+        if remaining == 0:
+            return
+        for row in self.child.rows(ctx):
+            yield row
+            remaining -= 1
+            if remaining == 0:
+                return
+
+    def describe(self) -> str:
+        return f"Limit({self.count})"
+
+
+class Distinct(PhysicalPlan):
+    """Duplicate elimination via hashing."""
+
+    def __init__(self, child: PhysicalPlan):
+        self.child = child
+        self.output_schema = child.output_schema
+
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    def estimate_cost(self, estimator: CostEstimator) -> PlanCost:
+        params, profile = estimator.params, estimator.profile
+        child = self.child.estimate_cost(estimator)
+        cpu = profile.cpu_ms(child.rows * params.hash_build_cost)
+        rows_out = max(1.0, child.rows * 0.9)
+        return PlanCost(
+            first_tuple=child.first_tuple,
+            total=child.total + cpu,
+            rows=rows_out,
+            width_bytes=child.width_bytes,
+        )
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        params = ctx.params
+        meter = ctx.meter
+        seen = set()
+        for row in self.child.rows(ctx):
+            meter.cpu_ms += params.hash_build_cost
+            key = _sort_key(row)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield row
+
+    def describe(self) -> str:
+        return "Distinct()"
+
+
+def stats_context_for_plan(plan: PhysicalPlan) -> StatsContext:
+    """Rebuild the binding->stats mapping a plan was costed against.
+
+    Lets a plan shipped across component boundaries (e.g. a fragment
+    plan held by the meta-wrapper) be re-costed without access to the
+    query block that produced it.
+    """
+    stats: Dict[str, TableDef] = {}
+    mapping = {}
+    nodes: List[PhysicalPlan] = [plan]
+    while nodes:
+        node = nodes.pop()
+        if isinstance(node, (SeqScan, IndexScan)):
+            mapping[node.binding] = node.table.stats
+        nodes.extend(node.children())
+    return StatsContext(mapping)
+
+
+class MaterializedInput(PhysicalPlan):
+    """An already-computed row set injected as a plan leaf.
+
+    Used by the federated integrator to run II-side merge plans over
+    fragment results returned by remote servers.
+    """
+
+    def __init__(self, name: str, schema: Schema, data: Sequence[Row]):
+        self.name = name
+        self.output_schema = schema
+        self.data = list(data)
+
+    def estimate_cost(self, estimator: CostEstimator) -> PlanCost:
+        params, profile = estimator.params, estimator.profile
+        n = float(len(self.data))
+        cpu = profile.cpu_ms(n * params.cpu_tuple_cost)
+        return PlanCost(
+            first_tuple=params.startup_cost,
+            total=params.startup_cost + cpu,
+            rows=max(n, 1.0),
+            width_bytes=self.output_schema.row_width_bytes(),
+        )
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        per_row = ctx.params.cpu_tuple_cost
+        meter = ctx.meter
+        for row in self.data:
+            meter.cpu_ms += per_row
+            yield row
+
+    def describe(self) -> str:
+        return f"MaterializedInput({self.name} rows={len(self.data)})"

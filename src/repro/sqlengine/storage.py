@@ -1,0 +1,184 @@
+"""In-memory storage: heap tables and single-column hash indexes."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .catalog import Catalog, IndexDef, TableDef, collect_stats
+from .types import Row, Schema, SqlError
+
+
+class StorageError(SqlError):
+    """Raised for storage-level misuse (unknown table/index, bad rows)."""
+
+
+class HashIndex:
+    """A hash index from one column's value to row positions."""
+
+    def __init__(self, table: "HeapTable", column: str):
+        self.column = column
+        self._position = table.schema.index_of(column)
+        self._buckets: Dict[Any, List[int]] = {}
+        for rid, row in enumerate(table.rows):
+            self._insert(rid, row)
+
+    def _insert(self, rid: int, row: Row) -> None:
+        key = row[self._position]
+        if key is None:
+            return
+        self._buckets.setdefault(key, []).append(rid)
+
+    def lookup(self, value: Any) -> Sequence[int]:
+        """Row ids whose indexed column equals *value* (empty if none)."""
+        if value is None:
+            return ()
+        return self._buckets.get(value, ())
+
+    def __len__(self) -> int:
+        return sum(len(b) for b in self._buckets.values())
+
+
+class HeapTable:
+    """An append-only heap of tuples plus optional hash indexes."""
+
+    def __init__(self, name: str, schema: Schema):
+        self.name = name
+        self.schema = schema
+        self.rows: List[Row] = []
+        self._indexes: Dict[str, HashIndex] = {}
+
+    def insert(self, row: Sequence[Any]) -> None:
+        validated = self.schema.validate_row(row)
+        rid = len(self.rows)
+        self.rows.append(validated)
+        for index in self._indexes.values():
+            index._insert(rid, validated)
+
+    def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def scan(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def fetch(self, rid: int) -> Row:
+        return self.rows[rid]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def update_rows(
+        self,
+        predicate: Optional[Any],
+        assign: Any,
+    ) -> int:
+        """Update rows matching *predicate* via *assign* (row -> row).
+
+        ``predicate`` is a compiled row predicate or None (all rows);
+        ``assign`` maps an old row tuple to its replacement.  Indexes are
+        rebuilt afterwards.  Returns the number of rows changed.
+        """
+        changed = 0
+        for rid, row in enumerate(self.rows):
+            if predicate is None or predicate(row) is True:
+                self.rows[rid] = self.schema.validate_row(assign(row))
+                changed += 1
+        if changed:
+            self._rebuild_indexes()
+        return changed
+
+    def delete_rows(self, predicate: Optional[Any]) -> int:
+        """Delete rows matching *predicate* (all rows when None)."""
+        before = len(self.rows)
+        if predicate is None:
+            self.rows.clear()
+        else:
+            self.rows = [
+                row for row in self.rows if predicate(row) is not True
+            ]
+        deleted = before - len(self.rows)
+        if deleted:
+            self._rebuild_indexes()
+        return deleted
+
+    def _rebuild_indexes(self) -> None:
+        for column in list(self._indexes):
+            self._indexes[column] = HashIndex(self, column)
+
+    def create_index(self, column: str) -> HashIndex:
+        bare = column.rpartition(".")[2]
+        if bare in self._indexes:
+            raise StorageError(f"index on {self.name}.{bare} already exists")
+        index = HashIndex(self, bare)
+        self._indexes[bare] = index
+        return index
+
+    def index_on(self, column: str) -> Optional[HashIndex]:
+        bare = column.rpartition(".")[2]
+        return self._indexes.get(bare)
+
+    def index_columns(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._indexes))
+
+
+class StorageManager:
+    """Owns the heap tables of one database instance and keeps the
+    catalog's definitions in sync with physical state."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+        self._tables: Dict[str, HeapTable] = {}
+
+    def create_table(self, name: str, schema: Schema) -> HeapTable:
+        key = name.lower()
+        if key in self._tables:
+            raise StorageError(f"table {name!r} already exists")
+        qualified = schema.rename_table(name)
+        table = HeapTable(name, qualified)
+        self._tables[key] = table
+        self.catalog.register(
+            TableDef(name=name, schema=qualified, stats=collect_stats(qualified, []))
+        )
+        return table
+
+    def drop_table(self, name: str) -> None:
+        key = name.lower()
+        if key not in self._tables:
+            raise StorageError(f"unknown table {name!r}")
+        del self._tables[key]
+        self.catalog.unregister(name)
+
+    def table(self, name: str) -> HeapTable:
+        table = self._tables.get(name.lower())
+        if table is None:
+            raise StorageError(f"unknown table {name!r}")
+        return table
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def create_index(self, table_name: str, column: str) -> None:
+        table = self.table(table_name)
+        table.create_index(column)
+        definition = self.catalog.lookup(table_name)
+        bare = column.rpartition(".")[2]
+        definition.indexes = definition.indexes + (IndexDef(table_name, bare),)
+
+    def analyze(self, name: Optional[str] = None) -> None:
+        """Refresh catalog statistics from physical data (RUNSTATS)."""
+        names = [name] if name else list(self._tables)
+        for table_name in names:
+            table = self.table(table_name)
+            self.catalog.update_stats(
+                table.name, collect_stats(table.schema, table.rows)
+            )
+
+    def load_rows(self, name: str, rows: Iterable[Sequence[Any]]) -> int:
+        """Bulk-insert rows and refresh statistics."""
+        table = self.table(name)
+        count = table.insert_many(rows)
+        self.analyze(name)
+        return count

@@ -1,0 +1,167 @@
+"""The four query types of Section 5.2.
+
+* **QT1** — equijoin of two large tables (orders ⋈ lineitem) followed by
+  a "greater than" selection on the input parameter and an aggregation.
+* **QT2** — like QT1 but the selection table is small (orders ⋈
+  customer, predicate on customer).
+* **QT3** — like QT1 but the selection condition is much more selective.
+* **QT4** — a three-table join with a highly selective predicate.
+
+Each template yields parameterised *instances* ("each with 10 different
+query instances" in the paper's workload): the parameter is drawn from a
+type-specific selectivity band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from ..sim.rng import derive_rng
+from .schema import PRICE_RANGE, TOTALPRICE_RANGE
+
+
+@dataclass(frozen=True)
+class QueryInstance:
+    """One concrete query of a given type."""
+
+    query_type: str
+    instance_id: int
+    sql: str
+
+    @property
+    def label(self) -> str:
+        return self.query_type
+
+
+@dataclass(frozen=True)
+class QueryTemplate:
+    """A parameterised query type."""
+
+    name: str
+    description: str
+    sql_format: str
+    #: maps an RNG to the format parameters for one instance
+    param_fn: Callable[["random.Random"], Dict[str, float]]  # noqa: F821
+
+    def instance(self, instance_id: int, seed: int = 7) -> QueryInstance:
+        rng = derive_rng(seed, self.name, instance_id)
+        params = self.param_fn(rng)
+        return QueryInstance(
+            query_type=self.name,
+            instance_id=instance_id,
+            sql=self.sql_format.format(**params),
+        )
+
+    def instances(self, count: int, seed: int = 7) -> List[QueryInstance]:
+        return [self.instance(i, seed) for i in range(count)]
+
+
+def _range_param(low: float, high: float, lo_frac: float, hi_frac: float):
+    """Parameter generator selecting 'value > p' with selectivity in
+    [1-hi_frac, 1-lo_frac] of the column's range (uniform data)."""
+    span = high - low
+
+    def generate(rng) -> Dict[str, float]:
+        fraction = rng.uniform(lo_frac, hi_frac)
+        return {"p": round(low + span * fraction, 2)}
+
+    return generate
+
+
+def _qt4_params(rng) -> Dict[str, float]:
+    price_lo, price_hi = TOTALPRICE_RANGE
+    prod_lo, prod_hi = PRICE_RANGE
+    return {
+        "p": round(price_lo + (price_hi - price_lo) * rng.uniform(0.90, 0.97), 2),
+        "q": round(prod_lo + (prod_hi - prod_lo) * rng.uniform(0.60, 0.80), 2),
+    }
+
+
+QT1 = QueryTemplate(
+    name="QT1",
+    description=(
+        "equijoin on two large tables, 'greater than' selection on the "
+        "input parameter, aggregation"
+    ),
+    sql_format=(
+        "SELECT o.priority, COUNT(*) AS cnt, SUM(l.extprice) AS revenue "
+        "FROM orders o JOIN lineitem l ON o.orderkey = l.orderkey "
+        "WHERE o.totalprice > {p} GROUP BY o.priority"
+    ),
+    param_fn=_range_param(*TOTALPRICE_RANGE, 0.30, 0.60),
+)
+
+QT2 = QueryTemplate(
+    name="QT2",
+    description=(
+        "like QT1 but the selection table is small (1000s of rows); "
+        "aggregation-heavy, making it one of the costlier, most "
+        "CPU-bound types"
+    ),
+    sql_format=(
+        "SELECT p.category, COUNT(*) AS cnt, SUM(l.extprice) AS revenue, "
+        "AVG(l.quantity * l.extprice) AS avg_value, "
+        "MAX(l.extprice) AS max_price, MIN(l.extprice) AS min_price, "
+        "SUM(l.quantity) AS units, AVG(l.extprice - l.quantity) AS spread, "
+        "MAX(l.quantity * l.extprice) AS max_value, "
+        "MIN(l.quantity * l.extprice) AS min_value "
+        "FROM lineitem l JOIN product p ON l.prodkey = p.prodkey "
+        "WHERE p.price > {p} GROUP BY p.category"
+    ),
+    param_fn=_range_param(*PRICE_RANGE, 0.30, 0.60),
+)
+
+QT3 = QueryTemplate(
+    name="QT3",
+    description="like QT1 but with a much more selective condition",
+    sql_format=(
+        "SELECT o.priority, COUNT(*) AS cnt, SUM(l.extprice) AS revenue "
+        "FROM orders o JOIN lineitem l ON o.orderkey = l.orderkey "
+        "WHERE o.totalprice > {p} GROUP BY o.priority"
+    ),
+    param_fn=_range_param(*TOTALPRICE_RANGE, 0.95, 0.99),
+)
+
+QT4 = QueryTemplate(
+    name="QT4",
+    description="three-table join with a highly selective predicate",
+    sql_format=(
+        "SELECT p.category, COUNT(*) AS cnt, AVG(l.extprice) AS avg_price "
+        "FROM orders o JOIN lineitem l ON o.orderkey = l.orderkey "
+        "JOIN product p ON l.prodkey = p.prodkey "
+        "WHERE o.totalprice > {p} AND p.price > {q} GROUP BY p.category"
+    ),
+    param_fn=_qt4_params,
+)
+
+QUERY_TYPES: Tuple[QueryTemplate, ...] = (QT1, QT2, QT3, QT4)
+QUERY_TYPE_NAMES: Tuple[str, ...] = tuple(t.name for t in QUERY_TYPES)
+
+#: Extension beyond the paper's four types: an outer-join report (every
+#: customer, including those without qualifying orders).  Not part of
+#: the reproduction workload — the paper's tables/figures use QT1-QT4 —
+#: but exercised by tests and available to users.
+QT5 = QueryTemplate(
+    name="QT5",
+    description=(
+        "left outer join: per-nation customer count with order volume, "
+        "preserving customers without qualifying orders"
+    ),
+    sql_format=(
+        "SELECT c.nation, COUNT(o.orderkey) AS orders, "
+        "SUM(o.totalprice) AS volume "
+        "FROM customer c LEFT JOIN orders o ON c.custkey = o.custkey "
+        "AND o.totalprice > {p} GROUP BY c.nation"
+    ),
+    param_fn=_range_param(*TOTALPRICE_RANGE, 0.70, 0.90),
+)
+
+EXTENDED_QUERY_TYPES: Tuple[QueryTemplate, ...] = QUERY_TYPES + (QT5,)
+
+
+def template_by_name(name: str) -> QueryTemplate:
+    for template in EXTENDED_QUERY_TYPES:
+        if template.name == name:
+            return template
+    raise KeyError(f"unknown query type {name!r}")

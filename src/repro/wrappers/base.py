@@ -1,0 +1,45 @@
+"""Wrapper protocol.
+
+A wrapper mediates between the integrator and one remote source: it
+answers compile-time ``plans`` requests with candidate execution plans
+and their estimated costs, and runtime ``execute`` requests with rows and
+an observed response time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol, runtime_checkable
+
+from ..sqlengine import PlanCandidate, PhysicalPlan
+from ..sim import RemoteExecution
+
+
+@runtime_checkable
+class Wrapper(Protocol):
+    """Interface every source wrapper implements."""
+
+    source_type: str
+
+    @property
+    def server_name(self) -> str:
+        """Name of the remote source this wrapper fronts."""
+        ...
+
+    def plans(self, fragment_sql: str, t_ms: float) -> List[PlanCandidate]:
+        """Candidate plans + estimated costs for *fragment_sql*.
+
+        Non-relational wrappers that cannot cost queries return
+        candidates whose cost carries ``rows=0`` and zero times; the
+        meta-wrapper substitutes a default estimate (and QCC's daemon
+        probes refine it).  Raises ``ServerUnavailable`` when the source
+        cannot be reached.
+        """
+        ...
+
+    def execute(self, plan: PhysicalPlan, t_ms: float) -> RemoteExecution:
+        """Execute a previously returned plan at the source."""
+        ...
+
+    def ping(self, t_ms: float) -> float:
+        """Probe the source; returns the probe round-trip time in ms."""
+        ...

@@ -1,0 +1,226 @@
+"""Meta-wrapper (MW): the observation point between II and the wrappers.
+
+Per Section 2 of the paper, MW records at compile time (a) incoming
+federated statements, (b) estimated costs, (c) outgoing query fragments
+and (d) their server mappings; at run time it records (e) per-fragment
+response times.  Everything is forwarded to QCC, and — crucially — MW is
+where calibration is *applied*: estimated costs pass through
+``qcc.calibrate`` before II's global optimizer ever sees them, so the
+optimizer is influenced without being modified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..sqlengine import PlanCandidate, PlanCost
+from ..sim import RemoteExecution, ServerUnavailable
+from ..fed.decomposer import QueryFragment
+from ..fed.global_optimizer import FragmentOption
+from .base import Wrapper
+
+#: Estimate substituted when a wrapper withholds cost (file wrapper).
+DEFAULT_UNKNOWN_ESTIMATE = PlanCost(
+    first_tuple=1.0, total=100.0, rows=1000.0, width_bytes=64.0
+)
+
+
+def _is_unknown(cost: PlanCost) -> bool:
+    return cost.total == 0.0 and cost.rows == 0.0
+
+
+@dataclass(frozen=True)
+class CompileLogEntry:
+    """MW's compile-time record: fragment -> candidate plan at a server."""
+
+    t_ms: float
+    fragment_id: str
+    fragment_signature: str
+    server: str
+    plan_signature: str
+    estimated: PlanCost
+    calibrated: PlanCost
+
+
+@dataclass(frozen=True)
+class RuntimeLogEntry:
+    """MW's runtime record: the response time of one fragment execution."""
+
+    t_ms: float
+    fragment_id: str
+    fragment_signature: str
+    server: str
+    plan_signature: str
+    estimated_total: float
+    observed_ms: float
+
+
+class MetaWrapper:
+    """Middleware between the integrator and the per-source wrappers."""
+
+    def __init__(
+        self,
+        wrappers: Mapping[str, Wrapper],
+        qcc=None,
+    ):
+        self.wrappers: Dict[str, Wrapper] = dict(wrappers)
+        self.qcc = qcc
+        self.compile_log: List[CompileLogEntry] = []
+        self.runtime_log: List[RuntimeLogEntry] = []
+        self._siblings: Dict[str, List[FragmentOption]] = {}
+
+    # -- wiring ----------------------------------------------------------
+
+    def add_wrapper(self, name: str, wrapper: Wrapper) -> None:
+        self.wrappers[name] = wrapper
+
+    def attach_qcc(self, qcc) -> None:
+        self.qcc = qcc
+        if qcc is not None and hasattr(qcc, "bind_meta_wrapper"):
+            qcc.bind_meta_wrapper(self)
+
+    # -- compile time -------------------------------------------------------
+
+    def compile_fragment(
+        self, fragment: QueryFragment, t_ms: float
+    ) -> List[FragmentOption]:
+        """Collect candidate plans for *fragment* from every candidate
+        server, applying QCC calibration to the estimated costs."""
+        options: List[FragmentOption] = []
+        for server in fragment.candidate_servers:
+            wrapper = self.wrappers.get(server)
+            if wrapper is None:
+                continue
+            if self.qcc is not None and not self.qcc.is_available(server, t_ms):
+                continue
+            try:
+                candidates = wrapper.plans(fragment.sql, t_ms)
+            except ServerUnavailable:
+                if self.qcc is not None:
+                    self.qcc.record_error(server, t_ms)
+                continue
+            for candidate in candidates:
+                estimated = candidate.cost
+                if _is_unknown(estimated):
+                    estimated = DEFAULT_UNKNOWN_ESTIMATE
+                if self.qcc is not None:
+                    calibrated = self.qcc.calibrate(
+                        server, fragment.signature, estimated
+                    )
+                else:
+                    calibrated = estimated
+                option = FragmentOption(
+                    fragment=fragment,
+                    server=server,
+                    plan=candidate.plan,
+                    estimated=estimated,
+                    calibrated=calibrated,
+                )
+                options.append(option)
+                self.compile_log.append(
+                    CompileLogEntry(
+                        t_ms=t_ms,
+                        fragment_id=fragment.fragment_id,
+                        fragment_signature=fragment.signature,
+                        server=server,
+                        plan_signature=option.plan_signature,
+                        estimated=estimated,
+                        calibrated=calibrated,
+                    )
+                )
+                if self.qcc is not None:
+                    self.qcc.record_compile(server, fragment.signature, option)
+        self._siblings[fragment.signature] = list(options)
+        return options
+
+    def sibling_options(self, fragment_signature: str) -> List[FragmentOption]:
+        """Options recorded at the most recent compile of this fragment."""
+        return list(self._siblings.get(fragment_signature, ()))
+
+    # -- run time ------------------------------------------------------------
+
+    def execute_option(
+        self,
+        option: FragmentOption,
+        t_ms: float,
+        allow_substitution: bool = True,
+    ) -> Tuple[FragmentOption, RemoteExecution]:
+        """Execute a fragment option; returns (actually-run option, result).
+
+        With QCC attached and substitution allowed, the fragment-level
+        load balancer may swap the option for an *identical* plan on an
+        equivalent server (Section 4.1) just before dispatch.
+        """
+        if self.qcc is not None and allow_substitution:
+            siblings = self.sibling_options(option.fragment.signature)
+            option = self.qcc.substitute(option, siblings, t_ms)
+        wrapper = self.wrappers.get(option.server)
+        if wrapper is None:
+            raise ServerUnavailable(option.server, t_ms)
+        try:
+            result = wrapper.execute(option.plan, t_ms)
+        except ServerUnavailable:
+            if self.qcc is not None:
+                self.qcc.record_error(option.server, t_ms)
+            raise
+        self.runtime_log.append(
+            RuntimeLogEntry(
+                t_ms=t_ms,
+                fragment_id=option.fragment.fragment_id,
+                fragment_signature=option.fragment.signature,
+                server=option.server,
+                plan_signature=option.plan_signature,
+                estimated_total=option.estimated.total,
+                observed_ms=result.observed_ms,
+            )
+        )
+        if self.qcc is not None:
+            self.qcc.record_execution(
+                server=option.server,
+                fragment_signature=option.fragment.signature,
+                plan_signature=option.plan_signature,
+                estimated=option.estimated,
+                observed_ms=result.observed_ms,
+                t_ms=t_ms,
+            )
+        return option, result
+
+    # -- probes ----------------------------------------------------------
+
+    def probe(self, server: str, t_ms: float) -> float:
+        """Daemon probe of one server, through its wrapper."""
+        wrapper = self.wrappers.get(server)
+        if wrapper is None:
+            raise ServerUnavailable(server, t_ms)
+        return wrapper.ping(t_ms)
+
+    def quote(self, server: str, plan, t_ms: float) -> Optional[float]:
+        """Solicit a server's execution-time bid for *plan*.
+
+        Returns None when the wrapper cannot quote (non-relational
+        sources); raises ``ServerUnavailable`` when the server is down.
+        """
+        wrapper = self.wrappers.get(server)
+        if wrapper is None:
+            raise ServerUnavailable(server, t_ms)
+        quote = getattr(wrapper, "quote", None)
+        if quote is None:
+            return None
+        return quote(plan, t_ms)
+
+    def probe_ratio(self, server: str, t_ms: float):
+        """Optional (estimated, observed) pair from a calibration probe.
+
+        Returns None when the wrapper cannot produce one (file sources).
+        """
+        wrapper = self.wrappers.get(server)
+        if wrapper is None:
+            raise ServerUnavailable(server, t_ms)
+        probe = getattr(wrapper, "probe_ratio", None)
+        if probe is None:
+            return None
+        return probe(t_ms)
+
+    def server_names(self) -> List[str]:
+        return sorted(self.wrappers)

@@ -1,0 +1,74 @@
+"""Unit tests for baseline deployment factories."""
+
+import pytest
+
+from repro.baselines import (
+    blind_round_robin_deployment,
+    fixed_assignment_deployment,
+    preferred_server_deployment,
+    qcc_deployment,
+    uncalibrated_deployment,
+)
+from repro.fed import (
+    FixedRouter,
+    PreferredServerRouter,
+    RoundRobinRouter,
+    CostBasedRouter,
+)
+from repro.workload import TEST_SCALE
+
+SQL = "SELECT COUNT(*) FROM customer"
+
+
+class TestFactories:
+    def test_fixed(self, sample_databases):
+        deployment = fixed_assignment_deployment(
+            scale=TEST_SCALE, prebuilt_databases=sample_databases
+        )
+        assert isinstance(deployment.integrator.router, FixedRouter)
+        assert deployment.qcc is None
+        deployment.integrator.submit(SQL, label="QT1")
+
+    def test_fixed_routes_to_assigned_server(self, sample_databases):
+        deployment = fixed_assignment_deployment(
+            assignment={"QT1": "S2"},
+            scale=TEST_SCALE,
+            prebuilt_databases=sample_databases,
+        )
+        result = deployment.integrator.submit(SQL, label="QT1")
+        assert result.plan.servers == frozenset({"S2"})
+
+    def test_preferred(self, sample_databases):
+        deployment = preferred_server_deployment(
+            scale=TEST_SCALE, prebuilt_databases=sample_databases
+        )
+        assert isinstance(deployment.integrator.router, PreferredServerRouter)
+        result = deployment.integrator.submit(SQL)
+        assert result.plan.servers == frozenset({"S3"})
+
+    def test_uncalibrated(self, sample_databases):
+        deployment = uncalibrated_deployment(
+            scale=TEST_SCALE, prebuilt_databases=sample_databases
+        )
+        assert isinstance(deployment.integrator.router, CostBasedRouter)
+        assert deployment.qcc is None
+
+    def test_blind_round_robin_spreads(self, sample_databases):
+        deployment = blind_round_robin_deployment(
+            scale=TEST_SCALE, prebuilt_databases=sample_databases
+        )
+        assert isinstance(deployment.integrator.router, RoundRobinRouter)
+        servers = set()
+        for _ in range(3):
+            result = deployment.integrator.submit(SQL)
+            servers |= result.plan.servers
+        assert len(servers) == 3
+
+    def test_qcc(self, sample_databases):
+        deployment = qcc_deployment(
+            scale=TEST_SCALE, prebuilt_databases=sample_databases
+        )
+        assert deployment.qcc is not None
+        result = deployment.integrator.submit(SQL)
+        assert deployment.qcc.execution_records >= 1
+        assert result.row_count == 1

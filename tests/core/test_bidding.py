@@ -1,0 +1,119 @@
+"""Tests for execution-time bid solicitation (paper §6 future work)."""
+
+import pytest
+
+from repro.core import BidBroker, BiddingQcc
+from repro.fed import decompose
+from repro.harness import build_federation
+from repro.workload import QT2, TEST_SCALE
+
+
+@pytest.fixture()
+def deployment(sample_databases):
+    return build_federation(
+        scale=TEST_SCALE, prebuilt_databases=sample_databases
+    )
+
+
+def _options(deployment, sql):
+    decomposed = decompose(sql, deployment.registry)
+    fragment = decomposed.fragments[0]
+    options = deployment.meta_wrapper.compile_fragment(fragment, 0.0)
+    return fragment, options
+
+
+class TestBidBroker:
+    def test_one_bid_per_server(self, deployment):
+        _, options = _options(deployment, QT2.instance(0).sql)
+        broker = BidBroker(deployment.meta_wrapper)
+        winner, _ = broker.solicit(options[0], options, 0.0)
+        auction = broker.auctions[-1]
+        servers = [bid.option.server for bid in auction.bids]
+        assert sorted(servers) == ["S1", "S2", "S3"]
+
+    def test_winner_is_lowest_bid(self, deployment):
+        _, options = _options(deployment, QT2.instance(0).sql)
+        broker = BidBroker(deployment.meta_wrapper)
+        winner, _ = broker.solicit(options[0], options, 0.0)
+        auction = broker.auctions[-1]
+        assert auction.winner.amount_ms == min(
+            bid.amount_ms for bid in auction.bids
+        )
+        assert winner is auction.winner.option
+
+    def test_live_load_changes_the_winner(self, deployment):
+        """A load spike *after* compilation — invisible to calibration —
+        is caught by the auction's live probes."""
+        _, options = _options(deployment, QT2.instance(0).sql)
+        broker = BidBroker(deployment.meta_wrapper)
+        baseline_winner, _ = broker.solicit(options[0], options, 0.0)
+        assert baseline_winner.server == "S3"  # fastest machine
+
+        deployment.set_load({"S3": 0.94})
+        spiked_winner, _ = broker.solicit(options[0], options, 0.0)
+        assert spiked_winner.server != "S3"
+
+    def test_down_server_excluded(self, deployment):
+        from repro.sim import OutageSchedule
+
+        deployment.servers["S3"].availability = OutageSchedule([(0.0, 1e9)])
+        _, options = _options(deployment, QT2.instance(0).sql)
+        broker = BidBroker(deployment.meta_wrapper)
+        winner, _ = broker.solicit(options[0], options, 10.0)
+        assert winner.server != "S3"
+        servers = [b.option.server for b in broker.auctions[-1].bids]
+        assert "S3" not in servers
+
+    def test_quote_overhead_accumulates(self, deployment):
+        _, options = _options(deployment, QT2.instance(0).sql)
+        broker = BidBroker(deployment.meta_wrapper, quote_cost_ms=2.0)
+        _, overhead = broker.solicit(options[0], options, 0.0)
+        assert overhead == pytest.approx(6.0)  # three servers quoted
+
+    def test_no_bids_falls_back_to_chosen(self, deployment):
+        from repro.sim import OutageSchedule
+
+        # Compile while healthy, then lose every server before dispatch.
+        _, options = _options(deployment, QT2.instance(0).sql)
+        for server in deployment.servers.values():
+            server.availability = OutageSchedule([(0.0, 1e9)])
+        broker = BidBroker(deployment.meta_wrapper)
+        winner, _ = broker.solicit(options[0], options, 10.0)
+        assert winner is options[0]
+        assert broker.auctions == []
+
+
+class TestBiddingQcc:
+    def test_end_to_end_routing_follows_auctions(self, deployment):
+        broker = BidBroker(deployment.meta_wrapper)
+        bidding = BiddingQcc(deployment.qcc, broker)
+        deployment.meta_wrapper.attach_qcc(bidding)
+
+        instance = QT2.instance(0)
+        result = deployment.integrator.submit(instance.sql, label="QT2")
+        assert broker.auctions  # an auction ran for the fragment
+        executed = next(iter(result.fragments.values())).option.server
+        assert executed == broker.auctions[-1].winner.option.server
+
+    def test_delegates_other_interfaces(self, deployment):
+        broker = BidBroker(deployment.meta_wrapper)
+        bidding = BiddingQcc(deployment.qcc, broker)
+        assert bidding.ii_factor() == deployment.qcc.ii_factor()
+        assert bidding.is_available("S1", 0.0)
+
+    def test_reacts_faster_than_calibration_alone(self, deployment):
+        """After an un-calibrated load spike, bidding avoids the spiked
+        server on the very next query; pure calibration needs a cycle."""
+        broker = BidBroker(deployment.meta_wrapper)
+        bidding = BiddingQcc(deployment.qcc, broker)
+        deployment.meta_wrapper.attach_qcc(bidding)
+        instance = QT2.instance(0)
+
+        first = deployment.integrator.submit(instance.sql, label="QT2")
+        server_before = next(iter(first.fragments.values())).option.server
+        assert server_before == "S3"
+
+        deployment.set_load({"S3": 0.94})
+        second = deployment.integrator.submit(instance.sql, label="QT2")
+        server_after = next(iter(second.fragments.values())).option.server
+        assert server_after != "S3"

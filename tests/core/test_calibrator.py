@@ -1,0 +1,167 @@
+"""Unit tests for calibration factor learning."""
+
+import pytest
+
+from repro.core import CalibratorConfig, CostCalibrator, IICalibrator
+from repro.sqlengine import PlanCost
+
+
+SIG = "SELECT * FROM t WHERE x > ?"
+
+
+def _calibrator(**kwargs):
+    return CostCalibrator(CalibratorConfig(**kwargs))
+
+
+class TestFactorResolution:
+    def test_default_is_one(self):
+        assert _calibrator().factor("S1") == 1.0
+        assert _calibrator().factor("S1", SIG) == 1.0
+
+    def test_initial_factor_used_before_history(self):
+        calibrator = _calibrator()
+        calibrator.set_initial_factor("S1", 1.8)
+        assert calibrator.factor("S1") == 1.8
+
+    def test_server_factor_after_recalibration(self):
+        calibrator = _calibrator()
+        calibrator.record("S1", SIG, 10.0, 25.0)
+        assert calibrator.factor("S1") == 1.0  # not folded yet
+        calibrator.recalibrate()
+        assert calibrator.factor("S1") == pytest.approx(2.5)
+
+    def test_fragment_factor_preferred(self):
+        calibrator = _calibrator()
+        calibrator.record("S1", SIG, 10.0, 30.0)
+        calibrator.record("S1", SIG, 10.0, 30.0)
+        calibrator.record("S1", "other", 10.0, 10.0)
+        calibrator.recalibrate()
+        assert calibrator.factor("S1", SIG) == pytest.approx(3.0)
+        # unseen fragment falls back to the blended per-server factor
+        assert calibrator.factor("S1", "unseen") == pytest.approx(70.0 / 30.0)
+
+    def test_min_fragment_samples_gate(self):
+        calibrator = _calibrator(min_fragment_samples=3)
+        calibrator.record("S1", SIG, 10.0, 50.0)
+        calibrator.record("S1", SIG, 10.0, 50.0)
+        calibrator.recalibrate()
+        # 2 samples < 3: fragment factor not trusted, server factor used
+        assert calibrator.factor("S1", SIG) == pytest.approx(5.0)
+
+    def test_clamping(self):
+        calibrator = _calibrator(max_factor=4.0)
+        calibrator.record("S1", SIG, 1.0, 1000.0)
+        calibrator.record("S1", SIG, 1.0, 1000.0)
+        calibrator.recalibrate()
+        assert calibrator.factor("S1", SIG) == 4.0
+
+    def test_calibrate_scales_cost(self):
+        calibrator = _calibrator()
+        calibrator.record("S1", SIG, 10.0, 20.0)
+        calibrator.recalibrate()
+        cost = PlanCost(first_tuple=1.0, total=10.0, rows=5.0)
+        calibrated = calibrator.calibrate(cost, "S1", SIG)
+        assert calibrated.total == pytest.approx(20.0)
+        assert calibrated.rows == 5.0
+
+
+class TestCycleSemantics:
+    def test_cycle_consumes_samples(self):
+        calibrator = _calibrator()
+        calibrator.record("S1", SIG, 10.0, 50.0)
+        calibrator.record("S1", SIG, 10.0, 50.0)
+        calibrator.recalibrate()
+        assert calibrator.factor("S1", SIG) == pytest.approx(5.0)
+        # A new regime: one cycle of fresh data fully replaces the factor.
+        calibrator.record("S1", SIG, 10.0, 10.0)
+        calibrator.record("S1", SIG, 10.0, 10.0)
+        calibrator.recalibrate()
+        assert calibrator.factor("S1", SIG) == pytest.approx(1.0)
+
+    def test_factor_retained_without_new_samples(self):
+        calibrator = _calibrator(fragment_stale_cycles=10)
+        calibrator.record("S1", SIG, 10.0, 50.0)
+        calibrator.record("S1", SIG, 10.0, 50.0)
+        calibrator.recalibrate()
+        calibrator.recalibrate()
+        assert calibrator.factor("S1", SIG) == pytest.approx(5.0)
+
+    def test_stale_fragment_factor_expires(self):
+        calibrator = _calibrator(fragment_stale_cycles=2)
+        calibrator.record("S1", SIG, 10.0, 50.0)
+        calibrator.record("S1", SIG, 10.0, 50.0)
+        calibrator.record_probe("S1", 10.0, 12.0)
+        calibrator.recalibrate()
+        assert calibrator.factor("S1", SIG) == pytest.approx(5.0)
+        calibrator.record_probe("S1", 10.0, 12.0)
+        calibrator.recalibrate()  # stale cycle 1
+        calibrator.record_probe("S1", 10.0, 12.0)
+        calibrator.recalibrate()  # stale cycle 2 -> expired
+        # falls back to the probe-fed per-server factor
+        assert calibrator.factor("S1", SIG) == pytest.approx(1.2)
+
+    def test_probe_feeds_server_history_only(self):
+        calibrator = _calibrator()
+        calibrator.record_probe("S1", 10.0, 30.0)
+        calibrator.recalibrate()
+        assert calibrator.factor("S1") == pytest.approx(3.0)
+        assert calibrator.factor("S1", SIG) == pytest.approx(3.0)  # fallback
+
+    def test_max_drift(self):
+        calibrator = _calibrator()
+        assert calibrator.max_drift() == 1.0  # no history
+        calibrator.record("S1", SIG, 10.0, 10.0)
+        calibrator.recalibrate()  # active factor 1.0, history drained
+        calibrator.record("S1", SIG, 10.0, 40.0)  # live ratio 4.0
+        assert calibrator.max_drift() == pytest.approx(4.0)
+
+    def test_max_drift_symmetric(self):
+        calibrator = _calibrator()
+        calibrator.record("S1", SIG, 10.0, 40.0)
+        calibrator.recalibrate()  # active 4.0
+        calibrator.record("S1", SIG, 10.0, 10.0)  # live 1.0
+        assert calibrator.max_drift() == pytest.approx(4.0)
+
+    def test_volatility_reporting(self):
+        calibrator = _calibrator()
+        calibrator.record("S1", SIG, 10.0, 10.0)
+        calibrator.record("S1", SIG, 10.0, 90.0)
+        assert calibrator.volatility("S1") > 0.5
+        assert calibrator.max_volatility() > 0.5
+        assert calibrator.volatility("unknown") == 0.0
+
+    def test_sample_count(self):
+        calibrator = _calibrator()
+        assert calibrator.sample_count("S1") == 0
+        calibrator.record("S1", SIG, 1.0, 1.0)
+        assert calibrator.sample_count("S1") == 1
+
+
+class TestIICalibrator:
+    def test_learns_workload_factor(self):
+        ii = IICalibrator(min_samples=2)
+        assert ii.factor == 1.0
+        ii.record(10.0, 15.0)
+        ii.record(10.0, 15.0)
+        ii.recalibrate()
+        assert ii.factor == pytest.approx(1.5)
+
+    def test_below_min_samples_keeps_previous(self):
+        ii = IICalibrator(min_samples=3)
+        ii.record(10.0, 90.0)
+        ii.recalibrate()
+        assert ii.factor == 1.0
+
+    def test_cycle_consumes(self):
+        ii = IICalibrator(min_samples=1)
+        ii.record(10.0, 30.0)
+        ii.recalibrate()
+        ii.record(10.0, 10.0)
+        ii.recalibrate()
+        assert ii.factor == pytest.approx(1.0)
+
+    def test_volatility(self):
+        ii = IICalibrator()
+        ii.record(1.0, 1.0)
+        ii.record(1.0, 3.0)
+        assert ii.volatility() > 0

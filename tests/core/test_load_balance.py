@@ -1,0 +1,213 @@
+"""Unit tests for fragment- and global-level load distribution."""
+
+import pytest
+
+from repro.core import FragmentLoadBalancer, GlobalLoadBalancer, LoadBalanceConfig
+from repro.fed.decomposer import DecomposedQuery, QueryFragment
+from repro.fed.global_optimizer import FragmentOption, GlobalPlan
+from repro.sqlengine import Column, ColumnType, PlanCost, Schema, SeqScan
+from repro.sqlengine.catalog import TableDef, TableStats
+from repro.sqlengine.logical import QueryBlock
+from repro.sqlengine.parser import parse
+
+
+def _fragment(sql="SELECT a FROM t"):
+    return QueryFragment(
+        fragment_id="QF1",
+        sql=sql,
+        bindings=("t",),
+        nicknames=("t",),
+        candidate_servers=("S1", "R1"),
+        output_schema=Schema((Column("a", ColumnType.INT, "t"),)),
+        full_pushdown=True,
+    )
+
+
+def _table(name="t"):
+    return TableDef(
+        name=name,
+        schema=Schema((Column("a", ColumnType.INT),)),
+        stats=TableStats(row_count=10),
+    )
+
+
+def _option(server, total, fragment=None, table_name="t", predicate=None):
+    fragment = fragment or _fragment()
+    cost = PlanCost(1.0, total, 10.0)
+    from repro.sqlengine.parser import parse_expression as pe
+
+    plan = SeqScan(
+        _table(table_name), "t",
+        pe(predicate) if predicate else None,
+    )
+    return FragmentOption(
+        fragment=fragment,
+        server=server,
+        plan=plan,
+        estimated=cost,
+        calibrated=cost,
+    )
+
+
+class TestFragmentBalancer:
+    def _balancer(self, band=0.2, threshold=0.0):
+        return FragmentLoadBalancer(
+            LoadBalanceConfig(band=band, workload_threshold=threshold)
+        )
+
+    def test_rotates_across_identical_plans(self):
+        balancer = self._balancer()
+        fragment = _fragment()
+        chosen = _option("S1", 10.0, fragment)
+        siblings = [chosen, _option("R1", 11.0, fragment)]
+        picks = [
+            balancer.substitute(chosen, siblings, 0.0).server
+            for _ in range(4)
+        ]
+        assert picks == ["R1", "S1", "R1", "S1"]
+
+    def test_non_identical_plans_not_exchangeable(self):
+        balancer = self._balancer()
+        fragment = _fragment()
+        chosen = _option("S1", 10.0, fragment)
+        different = _option("R1", 10.0, fragment, predicate="t.a > 1")
+        picks = {
+            balancer.substitute(chosen, [chosen, different], 0.0).server
+            for _ in range(4)
+        }
+        assert picks == {"S1"}
+
+    def test_band_excludes_expensive_replica(self):
+        balancer = self._balancer(band=0.2)
+        fragment = _fragment()
+        chosen = _option("S1", 10.0, fragment)
+        pricey = _option("R1", 13.0, fragment)  # 30% above cheapest
+        picks = {
+            balancer.substitute(chosen, [chosen, pricey], 0.0).server
+            for _ in range(4)
+        }
+        assert picks == {"S1"}
+
+    def test_workload_threshold_gates_balancing(self):
+        balancer = self._balancer(threshold=1_000.0)
+        fragment = _fragment()
+        chosen = _option("S1", 10.0, fragment)
+        siblings = [chosen, _option("R1", 10.0, fragment)]
+        # Low workload: no substitution even with a perfect replica.
+        assert balancer.substitute(chosen, siblings, 0.0).server == "S1"
+        # Accumulate workload beyond the threshold.
+        for t in range(200):
+            balancer.note_execution(fragment.signature, 10.0, float(t))
+        assert (
+            balancer.substitute(chosen, siblings, 200.0).server in {"S1", "R1"}
+        )
+        picks = {
+            balancer.substitute(chosen, siblings, 200.0).server
+            for _ in range(4)
+        }
+        assert picks == {"S1", "R1"}
+
+    def test_workload_window_expires(self):
+        config = LoadBalanceConfig(workload_threshold=50.0, window_ms=100.0)
+        balancer = FragmentLoadBalancer(config)
+        fragment = _fragment()
+        balancer.note_execution(fragment.signature, 100.0, 0.0)
+        chosen = _option("S1", 10.0, fragment)
+        siblings = [chosen, _option("R1", 10.0, fragment)]
+        # At t=500 the old workload has aged out of the window.
+        assert balancer.substitute(chosen, siblings, 500.0).server == "S1"
+
+    def test_cluster_membership_recorded(self):
+        balancer = self._balancer()
+        fragment = _fragment()
+        chosen = _option("S1", 10.0, fragment)
+        balancer.substitute(chosen, [chosen, _option("R1", 10.0, fragment)], 0.0)
+        assert balancer.last_clusters[fragment.signature] == ["R1", "S1"]
+
+
+def _global_plan(plan_id, servers, total):
+    options = tuple(
+        _option(server, total, _fragment(f"SELECT a FROM t{i}"))
+        for i, server in enumerate(servers)
+    )
+    return GlobalPlan(
+        plan_id=plan_id,
+        choices=options,
+        merge_cost=PlanCost(0.0, 0.0, 1.0),
+        total_cost=total,
+    )
+
+
+def _decomposed(sql="SELECT a FROM t"):
+    block = QueryBlock(
+        relations={},
+        join_edges=(),
+        residual=None,
+        items=(),
+        output_schema=Schema(()),
+    )
+    return DecomposedQuery(
+        statement=parse(sql),
+        block=block,
+        fragments=(_fragment(),),
+        cross_edges=(),
+    )
+
+
+class TestGlobalBalancer:
+    def test_rotates_over_near_cost_server_sets(self):
+        balancer = GlobalLoadBalancer(LoadBalanceConfig(band=0.2))
+        plans = [
+            _global_plan("p1", ["S1"], 10.0),
+            _global_plan("p2", ["R1"], 11.0),
+            _global_plan("p3", ["S2"], 30.0),  # outside band
+        ]
+        decomposed = _decomposed()
+        picks = [
+            balancer.recommend(decomposed, plans, 0.0).plan_id
+            for _ in range(4)
+        ]
+        assert set(picks) == {"p1", "p2"}
+        assert picks[0] != picks[1]
+
+    def test_dominated_plans_never_selected(self):
+        balancer = GlobalLoadBalancer(LoadBalanceConfig(band=0.5))
+        plans = [
+            _global_plan("p1", ["S1"], 10.0),
+            _global_plan("p2", ["S1"], 12.0),  # dominated by p1
+            _global_plan("p3", ["R1"], 11.0),
+        ]
+        picks = {
+            balancer.recommend(_decomposed(), plans, 0.0).plan_id
+            for _ in range(6)
+        }
+        assert "p2" not in picks
+
+    def test_threshold_returns_cheapest(self):
+        balancer = GlobalLoadBalancer(
+            LoadBalanceConfig(workload_threshold=1e9)
+        )
+        plans = [
+            _global_plan("p1", ["S1"], 10.0),
+            _global_plan("p2", ["R1"], 10.0),
+        ]
+        picks = {
+            balancer.recommend(_decomposed(), plans, 0.0).plan_id
+            for _ in range(4)
+        }
+        assert picks == {"p1"}
+
+    def test_empty_plans_rejected(self):
+        with pytest.raises(ValueError):
+            GlobalLoadBalancer().recommend(_decomposed(), [], 0.0)
+
+    def test_rotation_keyed_per_statement(self):
+        balancer = GlobalLoadBalancer(LoadBalanceConfig(band=0.2))
+        plans = [
+            _global_plan("p1", ["S1"], 10.0),
+            _global_plan("p2", ["R1"], 10.5),
+        ]
+        first = balancer.recommend(_decomposed("SELECT a FROM t"), plans, 0.0)
+        other = balancer.recommend(_decomposed("SELECT a FROM u"), plans, 0.0)
+        # independent rotation counters -> both start at the same position
+        assert first.plan_id == other.plan_id

@@ -1,0 +1,164 @@
+"""Tests for the data placement advisor (the paper's future-work item)."""
+
+import pytest
+
+from repro.core import PlacementAdvisor, QCCConfig, apply_recommendation
+from repro.core.placement import _nicknames_of
+from repro.fed import FederationError
+from repro.harness import ServerSpec, build_federation
+from repro.workload import QT2, TEST_SCALE
+
+
+def _partial_specs():
+    """Three servers: S1 slow+hot, S2 slow, S3 fast — with `lineitem` and
+    `product` placed ONLY on S1/S2 so QT2 cannot use S3 until replicated."""
+    return (
+        ServerSpec("S1", 1.0, 1.0, 0.7, 0.7, 8.0, 80.0),
+        ServerSpec("S2", 1.0, 1.0, 0.7, 0.7, 8.0, 80.0),
+        ServerSpec("S3", 2.5, 2.5, 0.3, 0.3, 3.0, 150.0),
+    )
+
+
+@pytest.fixture()
+def partial_deployment():
+    deployment = build_federation(specs=_partial_specs(), scale=TEST_SCALE)
+    # Rebuild the registry with `lineitem`/`product` absent from S3.
+    from repro.fed import NicknameRegistry
+
+    registry = NicknameRegistry()
+    for name in deployment.registry.nicknames():
+        table = deployment.servers["S1"].database.catalog.lookup(name)
+        registry.register(name, "S1", name, table_def=table)
+        registry.register(name, "S2", name)
+        if name not in ("lineitem", "product"):
+            registry.register(name, "S3", name)
+    deployment.registry = registry
+    deployment.integrator.registry = registry
+    # Remove the physical tables from S3 so the placement apply is real.
+    for table_name in ("lineitem", "product"):
+        deployment.servers["S3"].database.storage.drop_table(table_name)
+    return deployment
+
+
+class TestNicknameExtraction:
+    def test_single_table(self):
+        assert _nicknames_of("SELECT a FROM orders WHERE a > 1") == ("orders",)
+
+    def test_join(self):
+        names = _nicknames_of(
+            "SELECT o.a FROM orders o JOIN lineitem l ON o.k = l.k"
+        )
+        assert names == ("orders", "lineitem")
+
+    def test_deduplicated(self):
+        names = _nicknames_of("SELECT a.x FROM t a, t b WHERE a.x = b.x")
+        assert names == ("t",)
+
+
+class TestAdvisor:
+    def _warm(self, deployment, passes=2):
+        instance = QT2.instance(0)
+        deployment.set_load({"S1": 0.8, "S2": 0.8, "S3": 0.0})
+        for _ in range(4 * passes):
+            deployment.integrator.submit(instance.sql, label="QT2")
+        deployment.qcc.probe_servers(deployment.clock.now)
+        deployment.qcc.recalibrate(deployment.clock.now)
+
+    def test_nickname_loads_aggregate_runtime_log(self, partial_deployment):
+        self._warm(partial_deployment)
+        loads = PlacementAdvisor(
+            partial_deployment.registry,
+            partial_deployment.meta_wrapper,
+            partial_deployment.qcc,
+        ).nickname_loads()
+        names = {l.nickname for l in loads}
+        assert "lineitem" in names
+        assert all(l.observed_ms > 0 for l in loads)
+
+    def test_recommends_replicating_hot_table_to_cheap_server(
+        self, partial_deployment
+    ):
+        self._warm(partial_deployment)
+        advisor = PlacementAdvisor(
+            partial_deployment.registry,
+            partial_deployment.meta_wrapper,
+            partial_deployment.qcc,
+            factor_gap=1.1,
+        )
+        recommendations = advisor.recommend()
+        assert recommendations, "expected at least one recommendation"
+        top = recommendations[0]
+        assert top.target == "S3"
+        assert top.nickname in ("lineitem", "product")
+        assert top.expected_benefit_ms > 0
+        assert "replicate" in top.describe()
+
+    def test_no_recommendation_when_gap_too_small(self, partial_deployment):
+        self._warm(partial_deployment)
+        advisor = PlacementAdvisor(
+            partial_deployment.registry,
+            partial_deployment.meta_wrapper,
+            partial_deployment.qcc,
+            factor_gap=1e9,
+        )
+        assert advisor.recommend() == []
+
+
+class TestApply:
+    def test_apply_copies_data_and_registers(self, partial_deployment):
+        deployment = partial_deployment
+        self_warm = TestAdvisor()._warm
+        self_warm(deployment)
+        advisor = PlacementAdvisor(
+            deployment.registry,
+            deployment.meta_wrapper,
+            deployment.qcc,
+            factor_gap=1.1,
+        )
+        top = advisor.recommend()[0]
+        copied = apply_recommendation(
+            top, deployment.registry, deployment.servers
+        )
+        assert copied > 0
+        assert "S3" in deployment.registry.servers_for(top.nickname)
+        target_db = deployment.servers["S3"].database
+        assert target_db.row_count(top.nickname) == copied
+
+    def test_apply_improves_routing(self, partial_deployment):
+        deployment = partial_deployment
+        TestAdvisor()._warm(deployment)
+        instance = QT2.instance(0)
+        before = deployment.integrator.submit(instance.sql, label="QT2")
+        assert "S3" not in before.plan.servers
+
+        advisor = PlacementAdvisor(
+            deployment.registry,
+            deployment.meta_wrapper,
+            deployment.qcc,
+            factor_gap=1.1,
+        )
+        for recommendation in advisor.recommend():
+            apply_recommendation(
+                recommendation, deployment.registry, deployment.servers
+            )
+        # After replicating both QT2 tables, S3 becomes routable & wins.
+        if deployment.registry.common_servers(
+            ["lineitem", "product"]
+        ) >= {"S3"}:
+            after = deployment.integrator.submit(instance.sql, label="QT2")
+            assert "S3" in after.plan.servers
+            assert after.response_ms < before.response_ms
+
+    def test_apply_rejects_duplicate(self, partial_deployment):
+        deployment = partial_deployment
+        TestAdvisor()._warm(deployment)
+        advisor = PlacementAdvisor(
+            deployment.registry,
+            deployment.meta_wrapper,
+            deployment.qcc,
+            factor_gap=1.1,
+        )
+        top = advisor.recommend()[0]
+        apply_recommendation(top, deployment.registry, deployment.servers)
+        with pytest.raises(FederationError):
+            apply_recommendation(top, deployment.registry, deployment.servers)

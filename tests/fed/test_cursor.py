@@ -1,0 +1,168 @@
+"""Tests for long-running cursors with mid-query source switching."""
+
+import pytest
+
+from repro.fed import FederatedCursor, FederationError
+from repro.harness import build_federation
+from repro.workload import TEST_SCALE
+
+SQL = (
+    "SELECT o.orderkey, o.totalprice FROM orders o "
+    "WHERE o.totalprice > 2000"
+)
+
+
+@pytest.fixture()
+def deployment(sample_databases):
+    return build_federation(
+        scale=TEST_SCALE, prebuilt_databases=sample_databases
+    )
+
+
+class TestValidation:
+    def test_rejects_aggregates(self, deployment):
+        with pytest.raises(FederationError, match="aggregated"):
+            FederatedCursor(
+                deployment.integrator,
+                "SELECT COUNT(*) AS n FROM orders GROUP BY priority",
+                key_column="orderkey",
+            )
+
+    def test_rejects_distinct(self, deployment):
+        with pytest.raises(FederationError, match="DISTINCT"):
+            FederatedCursor(
+                deployment.integrator,
+                "SELECT DISTINCT orderkey FROM orders",
+                key_column="orderkey",
+            )
+
+    def test_rejects_own_order_by(self, deployment):
+        with pytest.raises(FederationError, match="imposes its own"):
+            FederatedCursor(
+                deployment.integrator,
+                "SELECT orderkey FROM orders ORDER BY orderkey",
+                key_column="orderkey",
+            )
+
+    def test_rejects_select_star(self, deployment):
+        with pytest.raises(FederationError, match="explicit select list"):
+            FederatedCursor(
+                deployment.integrator,
+                "SELECT * FROM orders",
+                key_column="orderkey",
+            )
+
+    def test_key_must_be_projected(self, deployment):
+        with pytest.raises(FederationError, match="select list"):
+            FederatedCursor(
+                deployment.integrator,
+                "SELECT totalprice FROM orders",
+                key_column="orderkey",
+            )
+
+    def test_invalid_batch_size(self, deployment):
+        with pytest.raises(ValueError):
+            FederatedCursor(
+                deployment.integrator, SQL, key_column="o.orderkey",
+                batch_size=0,
+            )
+
+
+class TestCorrectness:
+    def test_batches_reassemble_full_result(
+        self, deployment, sample_databases
+    ):
+        cursor = FederatedCursor(
+            deployment.integrator, SQL, key_column="o.orderkey",
+            batch_size=100,
+        )
+        streamed = list(cursor)
+        direct = sample_databases["S1"].run(
+            SQL + " ORDER BY o.orderkey"
+        )
+        assert streamed == direct.rows
+        assert cursor.exhausted
+        assert len(cursor.batches) >= 2  # genuinely batched
+
+    def test_no_duplicates_and_ordered(self, deployment):
+        cursor = FederatedCursor(
+            deployment.integrator, SQL, key_column="o.orderkey",
+            batch_size=75,
+        )
+        keys = [row[0] for row in cursor]
+        assert keys == sorted(keys)
+        assert len(keys) == len(set(keys))
+
+    def test_empty_result(self, deployment):
+        cursor = FederatedCursor(
+            deployment.integrator,
+            "SELECT o.orderkey FROM orders o WHERE o.totalprice > 1000000",
+            key_column="o.orderkey",
+        )
+        assert list(cursor) == []
+        assert cursor.exhausted
+
+    def test_batch_bookkeeping(self, deployment):
+        cursor = FederatedCursor(
+            deployment.integrator, SQL, key_column="o.orderkey",
+            batch_size=100,
+        )
+        list(cursor)
+        assert cursor.total_response_ms > 0
+        for index, batch in enumerate(cursor.batches):
+            assert batch.index == index
+            assert batch.servers
+
+
+class TestMidQuerySwitching:
+    def test_routing_recheck_between_batches(self):
+        """A load spike between batches moves the remaining batches to a
+        different server — with no duplicates (the paper's §6 open
+        question, answered by keyset pagination)."""
+        from repro.harness import ServerSpec
+
+        # S3 is fastest but collapses under load; links identical so the
+        # crossover is decisive at test scale.
+        specs = tuple(
+            ServerSpec(
+                name, cpu_speed=speed, io_speed=speed,
+                cpu_sensitivity=sens, io_sensitivity=sens,
+                latency_ms=2.0, bandwidth_mbps=100.0,
+            )
+            for name, speed, sens in (
+                ("S1", 1.0, 0.05),
+                ("S2", 1.0, 0.05),
+                ("S3", 2.0, 0.99),
+            )
+        )
+        deployment = build_federation(specs=specs, scale=TEST_SCALE)
+        cursor = FederatedCursor(
+            deployment.integrator, SQL, key_column="o.orderkey",
+            batch_size=60,
+        )
+        first = cursor.fetch_batch()
+        assert first
+        first_servers = cursor.batches[0].servers
+
+        # Spike the chosen server and let QCC observe + recalibrate.
+        spiked = first_servers[0]
+        deployment.set_load({spiked: 0.94})
+        deployment.clock.advance(3_000.0)
+        deployment.qcc.probe_servers(deployment.clock.now)
+        deployment.qcc.recalibrate(deployment.clock.now)
+
+        keys = [row[0] for row in first]
+        while True:
+            batch = cursor.fetch_batch()
+            if not batch:
+                break
+            keys.extend(row[0] for row in batch)
+
+        later_servers = {
+            server for b in cursor.batches[1:] for server in b.servers
+        }
+        assert later_servers and spiked not in later_servers
+        # Switching cost nothing in correctness.
+        assert keys == sorted(keys)
+        assert len(keys) == len(set(keys))
+        assert len(cursor.servers_used()) >= 2

@@ -1,0 +1,132 @@
+"""Unit tests for federated query decomposition."""
+
+import pytest
+
+from repro.fed import FederationError, NicknameRegistry, decompose
+from repro.sqlengine import parse
+
+
+@pytest.fixture()
+def replicated_registry(sample_databases):
+    """All tables on all three servers (full replication)."""
+    registry = NicknameRegistry()
+    for index, (server, db) in enumerate(sorted(sample_databases.items())):
+        for name in db.catalog.table_names():
+            if index == 0:
+                registry.register(name, server, table_def=db.catalog.lookup(name))
+            else:
+                registry.register(name, server)
+    return registry
+
+
+@pytest.fixture()
+def split_registry(sample_databases):
+    """orders/customer on {S1,R1}; lineitem/product on {S2,R2}."""
+    registry = NicknameRegistry()
+    db = sample_databases["S1"]
+    for name in ("orders", "customer"):
+        registry.register(name, "S1", table_def=db.catalog.lookup(name))
+        registry.register(name, "R1")
+    for name in ("lineitem", "product"):
+        registry.register(name, "S2", table_def=db.catalog.lookup(name))
+        registry.register(name, "R2")
+    return registry
+
+
+JOIN_SQL = (
+    "SELECT o.priority, COUNT(*) AS n FROM orders o "
+    "JOIN lineitem l ON o.orderkey = l.orderkey "
+    "WHERE o.totalprice > 5000 GROUP BY o.priority"
+)
+
+
+class TestSingleFragment:
+    def test_full_pushdown_when_colocated(self, replicated_registry):
+        decomposed = decompose(JOIN_SQL, replicated_registry)
+        assert decomposed.is_single_fragment
+        fragment = decomposed.fragments[0]
+        assert fragment.full_pushdown
+        assert fragment.candidate_servers == ("S1", "S2", "S3")
+        assert fragment.sql == parse(JOIN_SQL).sql()
+        assert decomposed.cross_edges == ()
+
+    def test_single_table(self, replicated_registry):
+        decomposed = decompose(
+            "SELECT custkey FROM customer WHERE acctbal > 100",
+            replicated_registry,
+        )
+        assert decomposed.is_single_fragment
+        assert decomposed.fragments[0].nicknames == ("customer",)
+
+    def test_unknown_nickname(self, replicated_registry):
+        with pytest.raises(Exception):
+            decompose("SELECT * FROM ghost", replicated_registry)
+
+
+class TestMultiFragment:
+    def test_split_by_colocation(self, split_registry):
+        decomposed = decompose(JOIN_SQL, split_registry)
+        assert len(decomposed.fragments) == 2
+        by_nick = {f.nicknames: f for f in decomposed.fragments}
+        orders = by_nick[("orders",)]
+        lineitem = by_nick[("lineitem",)]
+        assert orders.candidate_servers == ("R1", "S1")
+        assert lineitem.candidate_servers == ("R2", "S2")
+        assert len(decomposed.cross_edges) == 1
+
+    def test_fragment_sql_pushes_local_predicate(self, split_registry):
+        decomposed = decompose(JOIN_SQL, split_registry)
+        orders = next(
+            f for f in decomposed.fragments if f.nicknames == ("orders",)
+        )
+        assert "totalprice > 5000" in orders.sql
+        assert not orders.full_pushdown
+
+    def test_fragment_output_covers_needed_columns(self, split_registry):
+        decomposed = decompose(JOIN_SQL, split_registry)
+        orders = next(
+            f for f in decomposed.fragments if f.nicknames == ("orders",)
+        )
+        names = {c.qualified_name for c in orders.output_schema.columns}
+        # join key and group-by column must survive the projection
+        assert "o.orderkey" in names
+        assert "o.priority" in names
+
+    def test_fragment_sql_parses_and_aliases(self, split_registry):
+        decomposed = decompose(JOIN_SQL, split_registry)
+        for fragment in decomposed.fragments:
+            statement = parse(fragment.sql)
+            assert statement.tables  # valid SQL
+
+    def test_colocated_join_plus_remote_table(self, split_registry):
+        sql = (
+            "SELECT o.priority, COUNT(*) AS n FROM orders o "
+            "JOIN customer c ON o.custkey = c.custkey "
+            "JOIN lineitem l ON o.orderkey = l.orderkey "
+            "GROUP BY o.priority"
+        )
+        decomposed = decompose(sql, split_registry)
+        assert len(decomposed.fragments) == 2
+        grouped = next(
+            f for f in decomposed.fragments if len(f.bindings) == 2
+        )
+        assert set(grouped.nicknames) == {"orders", "customer"}
+        # the co-located equijoin is inside the fragment SQL
+        assert "custkey" in grouped.sql
+
+    def test_fragment_for_binding(self, split_registry):
+        decomposed = decompose(JOIN_SQL, split_registry)
+        assert decomposed.fragment_for_binding("o").nicknames == ("orders",)
+        with pytest.raises(FederationError):
+            decomposed.fragment_for_binding("zzz")
+
+
+class TestSignature:
+    def test_signature_is_sql(self, replicated_registry):
+        decomposed = decompose(JOIN_SQL, replicated_registry)
+        assert decomposed.fragments[0].signature == decomposed.fragments[0].sql
+
+    def test_different_params_different_signatures(self, replicated_registry):
+        a = decompose(JOIN_SQL, replicated_registry)
+        b = decompose(JOIN_SQL.replace("5000", "6000"), replicated_registry)
+        assert a.fragments[0].signature != b.fragments[0].signature

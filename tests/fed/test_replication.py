@@ -1,0 +1,156 @@
+"""Tests for replica currency tracking and staleness-tolerant routing."""
+
+import pytest
+
+from repro.fed import FederationError, ReplicaManager
+from repro.harness import build_federation
+from repro.sim import UpdateStormDriver
+from repro.workload import TEST_SCALE
+
+SQL = "SELECT COUNT(*) FROM supplier"
+
+
+@pytest.fixture()
+def deployment(sample_databases):
+    deployment = build_federation(
+        scale=TEST_SCALE, with_qcc=False, prebuilt_databases=sample_databases
+    )
+    manager = ReplicaManager(deployment.registry)
+    deployment.integrator.replica_manager = manager
+    return deployment, manager
+
+
+class TestReplicaManager:
+    def test_default_origin_is_first_placement(self, deployment):
+        _, manager = deployment
+        assert manager.origin_of("supplier") == "S1"
+
+    def test_set_origin_validates_placement(self, deployment):
+        _, manager = deployment
+        manager.set_origin("supplier", "S2")
+        assert manager.origin_of("supplier") == "S2"
+        with pytest.raises(FederationError):
+            manager.set_origin("supplier", "S9")
+
+    def test_origin_is_never_stale(self, deployment):
+        _, manager = deployment
+        manager.note_write("supplier", 100.0)
+        assert manager.staleness_ms("supplier", "S1", 500.0) == 0.0
+
+    def test_write_makes_replicas_stale(self, deployment):
+        _, manager = deployment
+        manager.note_write("supplier", 100.0)
+        assert manager.staleness_ms("supplier", "S2", 500.0) == 400.0
+        assert manager.staleness_ms("supplier", "S3", 500.0) == 400.0
+
+    def test_staleness_anchored_to_oldest_unsynced_write(self, deployment):
+        _, manager = deployment
+        manager.note_write("supplier", 100.0)
+        manager.note_write("supplier", 400.0)  # later write doesn't reset
+        assert manager.staleness_ms("supplier", "S2", 500.0) == 400.0
+
+    def test_sync_restores_currency_and_data(self, deployment):
+        dep, manager = deployment
+        # Real divergence: delete rows at the origin.
+        dep.servers["S1"].database.run_dml(
+            "DELETE FROM supplier WHERE suppkey <= 10"
+        )
+        manager.note_write("supplier", 100.0)
+        copied = manager.sync("supplier", "S2", dep.servers, 200.0)
+        assert copied == dep.servers["S1"].database.row_count("supplier")
+        assert manager.staleness_ms("supplier", "S2", 999.0) == 0.0
+        assert dep.servers["S2"].database.row_count("supplier") == copied
+
+    def test_sync_origin_is_noop(self, deployment):
+        dep, manager = deployment
+        assert manager.sync("supplier", "S1", dep.servers, 0.0) == 0
+
+    def test_stale_placements_listing(self, deployment):
+        _, manager = deployment
+        manager.note_write("supplier", 100.0)
+        stale = manager.stale_placements(500.0)
+        assert {(s.nickname, s.server) for s in stale} == {
+            ("supplier", "S2"),
+            ("supplier", "S3"),
+        }
+        assert all(not s.is_origin for s in stale)
+
+    def test_fresh_servers_intersection(self, deployment):
+        _, manager = deployment
+        manager.note_write("supplier", 100.0)
+        fresh = manager.fresh_servers(["supplier"], 500.0, tolerance_ms=1000.0)
+        assert fresh == frozenset({"S1", "S2", "S3"})  # within tolerance
+        fresh = manager.fresh_servers(["supplier"], 500.0, tolerance_ms=100.0)
+        assert fresh == frozenset({"S1"})
+
+
+class TestSyncDaemon:
+    def test_periodic_sync(self, deployment):
+        from repro.fed import ReplicaSyncDaemon
+
+        dep, manager = deployment
+        daemon = ReplicaSyncDaemon(
+            manager, dep.servers, interval_ms=1_000.0
+        )
+        manager.note_write("supplier", 100.0)
+        assert daemon.tick(500.0) == 0  # not due yet
+        copied = daemon.tick(1_500.0)
+        assert copied > 0
+        assert daemon.sync_rounds == 1
+        assert manager.stale_placements(1_600.0) == []
+
+    def test_noop_when_nothing_stale(self, deployment):
+        from repro.fed import ReplicaSyncDaemon
+
+        dep, manager = deployment
+        daemon = ReplicaSyncDaemon(
+            manager, dep.servers, interval_ms=1_000.0
+        )
+        assert daemon.tick(2_000.0) == 0
+        assert daemon.rows_copied == 0
+
+
+class TestStalenessTolerantRouting:
+    def test_stale_replicas_excluded_from_routing(self, deployment):
+        dep, manager = deployment
+        manager.note_write("supplier", dep.clock.now)
+        dep.clock.advance(5_000.0)
+        result = dep.integrator.submit(SQL, staleness_tolerance_ms=1_000.0)
+        assert result.plan.servers == frozenset({"S1"})  # origin only
+
+    def test_tolerant_query_uses_any_replica(self, deployment):
+        dep, manager = deployment
+        manager.note_write("supplier", dep.clock.now)
+        dep.clock.advance(5_000.0)
+        result = dep.integrator.submit(SQL, staleness_tolerance_ms=1e9)
+        # cheapest server wins as usual
+        assert result.plan.servers == frozenset({"S3"})
+
+    def test_no_tolerance_means_no_filtering(self, deployment):
+        dep, manager = deployment
+        manager.note_write("supplier", dep.clock.now)
+        result = dep.integrator.submit(SQL)
+        assert result.plan.servers == frozenset({"S3"})
+
+    def test_sync_readmits_replica(self, deployment):
+        dep, manager = deployment
+        manager.note_write("supplier", dep.clock.now)
+        dep.clock.advance(5_000.0)
+        manager.sync("supplier", "S3", dep.servers, dep.clock.now)
+        result = dep.integrator.submit(SQL, staleness_tolerance_ms=1_000.0)
+        assert result.plan.servers == frozenset({"S3"})
+
+    def test_storm_hook_marks_staleness(self, deployment):
+        dep, manager = deployment
+        storm = UpdateStormDriver(
+            dep.servers["S1"],
+            table="supplier",
+            on_write=lambda table, t: manager.note_write(table, t),
+        )
+        storm.burst(dep.clock.now, statements=3)
+        dep.clock.advance(2_000.0)
+        assert manager.staleness_ms(
+            "supplier", "S2", dep.clock.now
+        ) == pytest.approx(2_000.0)
+        result = dep.integrator.submit(SQL, staleness_tolerance_ms=500.0)
+        assert result.plan.servers == frozenset({"S1"})

@@ -1,0 +1,106 @@
+"""Tests for the CLI and the packaged experiment runners."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.harness.experiments import run_figure9
+from repro.workload import TEST_SCALE
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "figure10"])
+        assert args.name == "figure10"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "figure99"])
+
+    def test_query_flags(self):
+        args = build_parser().parse_args(
+            ["query", "SELECT 1", "--load", "S3=0.8", "--explain"]
+        )
+        assert args.sql == "SELECT 1"
+        assert args.load == ["S3=0.8"]
+        assert args.explain
+
+
+class TestCommands:
+    def test_query(self, capsys):
+        code = main(
+            ["query", "SELECT COUNT(*) FROM customer", "--scale", "test"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "servers:" in out
+        assert "rows (1):" in out
+
+    def test_query_explain(self, capsys):
+        code = main(
+            [
+                "query",
+                "SELECT COUNT(*) FROM customer",
+                "--scale",
+                "test",
+                "--explain",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Ranked global plans" in out
+        assert "p1[" in out
+
+    def test_query_with_load(self, capsys):
+        code = main(
+            [
+                "query",
+                "SELECT COUNT(*) FROM customer",
+                "--scale",
+                "test",
+                "--load",
+                "S3=0.9",
+            ]
+        )
+        assert code == 0
+
+    def test_bad_load_spec(self):
+        with pytest.raises(Exception):
+            main(
+                [
+                    "query",
+                    "SELECT COUNT(*) FROM customer",
+                    "--scale",
+                    "test",
+                    "--load",
+                    "S3",
+                ]
+            )
+
+    def test_status(self, capsys):
+        code = main(["status", "--scale", "test", "--queries", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "server_factors" in out
+        assert "ii_factor" in out
+
+    def test_demo(self, capsys):
+        code = main(["demo", "--scale", "test"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Mean response" in out
+        assert "QCC status" in out
+
+
+class TestExperimentRunners:
+    def test_figure9_runner_structure(self, sample_databases):
+        result = run_figure9(scale=TEST_SCALE, databases=sample_databases)
+        assert set(result.measurements) == {"QT1", "QT2", "QT3", "QT4"}
+        for data in result.measurements.values():
+            assert set(data) == {"base", "loaded", "s3_loaded"}
+            for condition in data.values():
+                assert set(condition) == {"S1", "S2", "S3"}
+        rendered = result.render()
+        assert "Figure 9" in rendered
+        assert "QT2" in rendered

@@ -1,0 +1,104 @@
+"""Unit tests for federation builders."""
+
+import pytest
+
+from repro.fed import FixedRouter
+from repro.harness import (
+    DEFAULT_SERVER_SPECS,
+    build_federation,
+    build_replica_federation,
+)
+from repro.workload import TEST_SCALE
+
+
+class TestServerSpecs:
+    def test_three_servers(self):
+        assert [s.name for s in DEFAULT_SERVER_SPECS] == ["S1", "S2", "S3"]
+
+    def test_s3_most_powerful(self):
+        specs = {s.name: s for s in DEFAULT_SERVER_SPECS}
+        assert specs["S3"].cpu_speed > specs["S1"].cpu_speed
+        assert specs["S3"].io_speed > specs["S2"].io_speed
+
+    def test_s3_cpu_load_sensitive_io_insensitive(self):
+        specs = {s.name: s for s in DEFAULT_SERVER_SPECS}
+        assert specs["S3"].cpu_sensitivity > specs["S1"].cpu_sensitivity
+        assert specs["S3"].io_sensitivity < specs["S1"].io_sensitivity
+
+
+class TestBuildFederation:
+    def test_structure(self, sample_databases):
+        deployment = build_federation(
+            scale=TEST_SCALE, prebuilt_databases=sample_databases
+        )
+        assert deployment.server_names() == ["S1", "S2", "S3"]
+        assert deployment.qcc is not None
+        assert deployment.integrator.qcc is deployment.qcc
+        assert deployment.meta_wrapper.qcc is deployment.qcc
+
+    def test_without_qcc(self, sample_databases):
+        deployment = build_federation(
+            scale=TEST_SCALE, with_qcc=False,
+            prebuilt_databases=sample_databases,
+        )
+        assert deployment.qcc is None
+        assert deployment.integrator.qcc is None
+
+    def test_full_replication(self, sample_databases):
+        deployment = build_federation(
+            scale=TEST_SCALE, prebuilt_databases=sample_databases
+        )
+        for nickname in deployment.registry.nicknames():
+            assert deployment.registry.servers_for(nickname) == frozenset(
+                {"S1", "S2", "S3"}
+            )
+
+    def test_replicas_identical(self, sample_databases):
+        deployment = build_federation(
+            scale=TEST_SCALE, prebuilt_databases=sample_databases
+        )
+        rows = {
+            name: list(server.database.storage.table("customer").scan())
+            for name, server in deployment.servers.items()
+        }
+        assert rows["S1"] == rows["S2"] == rows["S3"]
+
+    def test_set_load(self, sample_databases):
+        deployment = build_federation(
+            scale=TEST_SCALE, prebuilt_databases=sample_databases
+        )
+        deployment.set_load({"S1": 0.5})
+        assert deployment.servers["S1"].current_load(0.0) == 0.5
+        assert deployment.servers["S2"].current_load(0.0) == 0.0
+
+    def test_router_wiring(self, sample_databases):
+        router = FixedRouter({"QT1": "S1"})
+        deployment = build_federation(
+            scale=TEST_SCALE,
+            with_qcc=False,
+            router=router,
+            prebuilt_databases=sample_databases,
+        )
+        assert deployment.integrator.router is router
+
+
+class TestReplicaFederation:
+    def test_structure(self):
+        deployment = build_replica_federation(scale=TEST_SCALE)
+        assert deployment.server_names() == ["R1", "R2", "S1", "S2"]
+        assert deployment.registry.servers_for("orders") == frozenset(
+            {"S1", "R1"}
+        )
+        assert deployment.registry.servers_for("lineitem") == frozenset(
+            {"S2", "R2"}
+        )
+
+    def test_replica_data_matches_origin(self):
+        deployment = build_replica_federation(scale=TEST_SCALE)
+        origin = list(
+            deployment.servers["S1"].database.storage.table("orders").scan()
+        )
+        replica = list(
+            deployment.servers["R1"].database.storage.table("orders").scan()
+        )
+        assert origin == replica

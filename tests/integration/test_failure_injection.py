@@ -1,0 +1,84 @@
+"""Property-based failure injection: the federation degrades gracefully.
+
+Random outage schedules and error rates are thrown at the deployment;
+the invariant is that every submitted query either completes with the
+correct result or fails with a clean FederationError — never a crash —
+and that the patroller's books always balance.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.fed import FederationError, QueryStatus
+from repro.harness import build_federation
+from repro.sim import OutageSchedule, ServerUnavailable
+from repro.sqlengine import rows_close_unordered
+from repro.workload import QT3, TEST_SCALE
+
+
+@st.composite
+def _fault_plans(draw):
+    """Per-server outage windows and transient error rates."""
+    plan = {}
+    for server in ("S1", "S2", "S3"):
+        has_outage = draw(st.booleans())
+        if has_outage:
+            start = draw(st.floats(0.0, 5_000.0))
+            length = draw(st.floats(100.0, 50_000.0))
+            plan[server] = ("outage", (start, start + length))
+        else:
+            rate = draw(st.sampled_from([0.0, 0.0, 0.2, 0.5]))
+            plan[server] = ("errors", rate)
+    return plan
+
+
+class TestFailureInjection:
+    @given(_fault_plans(), st.integers(0, 10_000))
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_graceful_degradation(self, sample_databases, plan, start_time):
+        availability = {}
+        error_seeds = {}
+        for server, (kind, value) in plan.items():
+            if kind == "outage":
+                availability[server] = OutageSchedule([value])
+            else:
+                error_seeds[server] = value
+        deployment = build_federation(
+            scale=TEST_SCALE,
+            prebuilt_databases=sample_databases,
+            availability=availability,
+            error_seeds=error_seeds,
+        )
+        deployment.clock.advance(float(start_time))
+        instance = QT3.instance(0)
+        reference = sample_databases["S1"].run(instance.sql).rows
+
+        completed = failed = 0
+        for _ in range(4):
+            try:
+                result = deployment.integrator.submit(
+                    instance.sql, label="QT3"
+                )
+            except (FederationError, ServerUnavailable):
+                failed += 1
+                continue
+            completed += 1
+            # Any successful answer must be the correct answer.
+            assert rows_close_unordered(result.rows, reference)
+
+        patroller = deployment.integrator.patroller
+        records = patroller.records()
+        assert len(records) == completed + failed
+        assert (
+            sum(1 for r in records if r.status is QueryStatus.COMPLETED)
+            == completed
+        )
+        assert patroller.failure_count() == failed
+        # Response times are recorded for every completed query.
+        for record in patroller.completed():
+            assert record.response_time_ms is not None
+            assert record.response_time_ms >= 0

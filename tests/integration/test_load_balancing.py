@@ -1,0 +1,98 @@
+"""Integration tests for Section 4's load distribution on live replicas."""
+
+import pytest
+
+from repro.core import LoadBalanceConfig, QCCConfig
+from repro.core.cycle import CycleConfig
+from repro.harness.deployment import build_replica_federation
+from repro.sqlengine import rows_equal_unordered
+from repro.workload import TEST_SCALE
+
+Q6 = (
+    "SELECT o.priority, COUNT(*) AS n FROM orders o "
+    "JOIN lineitem l ON o.orderkey = l.orderkey GROUP BY o.priority"
+)
+
+SINGLE = "SELECT custkey FROM customer WHERE acctbal > 100"
+
+#: Calibration frozen so that any observed routing change is the work of
+#: the *balancers* under test, not of calibration-driven adaptation.
+_FROZEN = CycleConfig(
+    base_interval_ms=600_000.0,
+    min_interval_ms=600_000.0,
+    max_interval_ms=600_000.0,
+)
+
+
+def _deployment(fragment=False, global_=False, band=0.5, threshold=0.0):
+    config = QCCConfig(
+        enable_fragment_balancing=fragment,
+        enable_global_balancing=global_,
+        load_balance=LoadBalanceConfig(
+            band=band, workload_threshold=threshold
+        ),
+        cycle=_FROZEN,
+        drift_trigger_ratio=0.0,
+    )
+    return build_replica_federation(scale=TEST_SCALE, qcc_config=config)
+
+
+class TestGlobalLevelBalancing:
+    def test_rotation_spreads_q6_across_server_sets(self):
+        deployment = _deployment(global_=True, band=1.0)
+        server_sets = set()
+        for _ in range(6):
+            result = deployment.integrator.submit(Q6)
+            server_sets.add(result.plan.servers)
+        assert len(server_sets) >= 2
+
+    def test_rotation_preserves_results(self):
+        deployment = _deployment(global_=True, band=1.0)
+        results = [deployment.integrator.submit(Q6).rows for _ in range(4)]
+        for other in results[1:]:
+            assert rows_equal_unordered(results[0], other)
+
+    def test_disabled_balancing_sticks_to_cheapest(self):
+        deployment = _deployment(global_=False)
+        server_sets = {
+            frozenset(deployment.integrator.submit(Q6).plan.servers)
+            for _ in range(4)
+        }
+        assert len(server_sets) == 1
+
+    def test_threshold_gates_rotation(self):
+        deployment = _deployment(global_=True, band=1.0, threshold=1e12)
+        server_sets = {
+            frozenset(deployment.integrator.submit(Q6).plan.servers)
+            for _ in range(4)
+        }
+        assert len(server_sets) == 1
+
+
+class TestFragmentLevelBalancing:
+    def test_identical_single_table_fragments_rotate(self):
+        deployment = _deployment(fragment=True, band=1.0)
+        servers = []
+        for _ in range(6):
+            result = deployment.integrator.submit(SINGLE)
+            outcome = next(iter(result.fragments.values()))
+            servers.append(outcome.option.server)
+        assert len(set(servers)) == 2  # S1 <-> R1
+
+    def test_rotation_results_identical(self):
+        deployment = _deployment(fragment=True, band=1.0)
+        results = [
+            deployment.integrator.submit(SINGLE).rows for _ in range(4)
+        ]
+        for other in results[1:]:
+            assert rows_equal_unordered(results[0], other)
+
+    def test_balanced_usage_distribution(self):
+        deployment = _deployment(fragment=True, band=1.0)
+        counts = {}
+        for _ in range(8):
+            result = deployment.integrator.submit(SINGLE)
+            server = next(iter(result.fragments.values())).option.server
+            counts[server] = counts.get(server, 0) + 1
+        assert set(counts) == {"S1", "R1"}
+        assert abs(counts["S1"] - counts["R1"]) <= 2

@@ -1,0 +1,71 @@
+"""Integration tests: routing reacts to network latency, not just load."""
+
+import pytest
+
+from repro.baselines import qcc_deployment, uncalibrated_deployment
+from repro.harness import run_workload_once
+from repro.sim import MutableLoad, NetworkLink
+from repro.workload import TEST_SCALE, build_workload
+
+
+def _congest_s3(deployment, slope=60.0):
+    control = MutableLoad(0.0)
+    deployment.servers["S3"].link = NetworkLink(
+        latency_ms=3.0,
+        bandwidth_mbps=150.0,
+        congestion=control,
+        latency_slope=slope,
+    )
+    return control
+
+
+class TestNetworkAwareRouting:
+    def test_qcc_evacuates_congested_link(self, sample_databases):
+        deployment = qcc_deployment(
+            scale=TEST_SCALE, prebuilt_databases=sample_databases
+        )
+        control = _congest_s3(deployment)
+        workload = build_workload(instances_per_type=3)
+
+        # Clear link: S3 is the natural destination.
+        run_workload_once(deployment, workload)
+        deployment.qcc.recalibrate(deployment.clock.now)
+        clear = run_workload_once(deployment, workload)
+        assert any("S3" in o.servers for o in clear)
+
+        # Congest the link; processing capacity is untouched.
+        control.set(0.9)
+        deployment.clock.advance(3_000.0)
+        deployment.qcc.probe_servers(deployment.clock.now)
+        for _ in range(2):
+            run_workload_once(deployment, workload)
+            deployment.qcc.recalibrate(deployment.clock.now)
+        adapted = run_workload_once(deployment, workload)
+        s3_after = sum(1 for o in adapted if "S3" in o.servers)
+        s3_before = sum(1 for o in clear if "S3" in o.servers)
+        assert s3_after < s3_before
+
+    def test_uncalibrated_is_blind_to_congestion(self, sample_databases):
+        deployment = uncalibrated_deployment(
+            scale=TEST_SCALE, prebuilt_databases=sample_databases
+        )
+        control = _congest_s3(deployment)
+        workload = build_workload(instances_per_type=2)
+        before = run_workload_once(deployment, workload)
+        control.set(0.9)
+        after = run_workload_once(deployment, workload)
+        # Identical routing, worse times: the estimates cannot see links.
+        assert [o.servers for o in before] == [o.servers for o in after]
+        assert sum(o.response_ms for o in after) > sum(
+            o.response_ms for o in before
+        )
+
+    def test_probe_rtt_reflects_congestion(self, sample_databases):
+        deployment = qcc_deployment(
+            scale=TEST_SCALE, prebuilt_databases=sample_databases
+        )
+        control = _congest_s3(deployment)
+        clear_rtt = deployment.meta_wrapper.probe("S3", 0.0)
+        control.set(0.9)
+        congested_rtt = deployment.meta_wrapper.probe("S3", 0.0)
+        assert congested_rtt > clear_rtt * 10

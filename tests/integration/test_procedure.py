@@ -1,0 +1,53 @@
+"""Integration test for the Section 5.1 procedure runner."""
+
+import pytest
+
+from repro.baselines import qcc_deployment, uncalibrated_deployment
+from repro.harness import run_procedure
+from repro.workload import TEST_SCALE, build_workload
+
+
+@pytest.fixture(scope="module")
+def report(sample_databases):
+    workload = build_workload(instances_per_type=2)
+    # Step 5's baseline is "workload execution based on estimated costs"
+    # — the uncalibrated cost-based system.
+    return run_procedure(
+        make_fixed=lambda: uncalibrated_deployment(
+            scale=TEST_SCALE, prebuilt_databases=sample_databases
+        ),
+        make_calibrated=lambda: qcc_deployment(
+            scale=TEST_SCALE, prebuilt_databases=sample_databases
+        ),
+        workload=workload,
+    )
+
+
+class TestProcedureReport:
+    def test_step1_fragments_for_every_query(self, report):
+        assert len(report.fragments) == 8
+        assert all(fragments for fragments in report.fragments.values())
+
+    def test_step2_estimates_cover_all_servers(self, report):
+        for estimates in report.estimates.values():
+            assert set(estimates) == {"S1", "S2", "S3"}
+            assert all(v > 0 for v in estimates.values())
+
+    def test_step3_4_observations_and_monotonicity(self, report):
+        verdicts = report.load_monotonic()
+        assert len(verdicts) == 8
+        # Step 4's check: costs rise monotonically with load, everywhere.
+        assert all(verdicts.values()), verdicts
+
+    def test_step4_load_dominates_base(self, report):
+        for key, base in report.baseline_observations.items():
+            loaded = report.loaded_observations[key]
+            for server, value in base.items():
+                assert loaded[server] > value, (key, server)
+
+    def test_steps_5_6_calibration_gain(self, report):
+        assert report.fixed_mean_ms > 0
+        assert report.calibrated_mean_ms > 0
+        # Under uniform heavy load, QCC at least matches the uncalibrated
+        # plan choice; the gap is small since every server is loaded.
+        assert report.gain_percent > -5.0

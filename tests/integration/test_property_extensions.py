@@ -1,0 +1,95 @@
+"""Property tests over the extension features."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import CalibratorConfig, CostCalibrator
+from repro.fed import FederatedCursor
+from repro.harness import build_federation
+from repro.workload import TEST_SCALE
+
+
+@pytest.fixture(scope="module")
+def cursor_deployment(sample_databases):
+    return build_federation(
+        scale=TEST_SCALE, with_qcc=False, prebuilt_databases=sample_databases
+    )
+
+
+class TestCursorProperties:
+    @given(
+        batch_size=st.integers(1, 400),
+        threshold=st.integers(500, 9_500),
+    )
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_reassembly_invariant(
+        self, cursor_deployment, sample_databases, batch_size, threshold
+    ):
+        sql = (
+            "SELECT o.orderkey, o.totalprice FROM orders o "
+            f"WHERE o.totalprice > {threshold}"
+        )
+        cursor = FederatedCursor(
+            cursor_deployment.integrator,
+            sql,
+            key_column="o.orderkey",
+            batch_size=batch_size,
+        )
+        streamed = list(cursor)
+        direct = sample_databases["S1"].run(
+            sql + " ORDER BY o.orderkey"
+        ).rows
+        assert streamed == direct
+        keys = [row[0] for row in streamed]
+        assert len(keys) == len(set(keys))
+
+
+class TestCalibratorConvergence:
+    @given(
+        multiplier=st.floats(0.5, 20.0),
+        estimates=st.lists(st.floats(1.0, 500.0), min_size=3, max_size=20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_factor_converges_to_true_multiplier(self, multiplier, estimates):
+        """If observations are exactly estimate x m, the learned factor
+        is exactly m (up to clamping)."""
+        calibrator = CostCalibrator(CalibratorConfig(window=32))
+        for estimate in estimates:
+            calibrator.record("S", "sig", estimate, estimate * multiplier)
+        calibrator.recalibrate()
+        assert calibrator.factor("S") == pytest.approx(multiplier, rel=1e-6)
+        assert calibrator.factor("S", "sig") == pytest.approx(
+            multiplier, rel=1e-6
+        )
+
+    @given(
+        multipliers=st.lists(st.floats(0.5, 10.0), min_size=2, max_size=6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_factor_within_observed_range(self, multipliers):
+        calibrator = CostCalibrator(CalibratorConfig(window=32))
+        for m in multipliers:
+            calibrator.record("S", "sig", 10.0, 10.0 * m)
+        calibrator.recalibrate()
+        factor = calibrator.factor("S")
+        assert min(multipliers) - 1e-9 <= factor <= max(multipliers) + 1e-9
+
+    @given(
+        regime_a=st.floats(1.0, 5.0),
+        regime_b=st.floats(1.0, 5.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_regime_change_absorbed_in_one_cycle(self, regime_a, regime_b):
+        calibrator = CostCalibrator(CalibratorConfig(window=32))
+        for _ in range(5):
+            calibrator.record("S", "sig", 10.0, 10.0 * regime_a)
+        calibrator.recalibrate()
+        for _ in range(5):
+            calibrator.record("S", "sig", 10.0, 10.0 * regime_b)
+        calibrator.recalibrate()
+        # The factor reflects only the new regime — no bleed-through.
+        assert calibrator.factor("S") == pytest.approx(regime_b, rel=1e-6)

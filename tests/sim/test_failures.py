@@ -1,0 +1,76 @@
+"""Unit tests for availability schedules and error injection."""
+
+import pytest
+
+from repro.sim import AlwaysUp, ErrorInjector, OutageSchedule, ServerUnavailable
+
+
+class TestAlwaysUp:
+    def test_always(self):
+        assert AlwaysUp().is_up(0.0)
+        assert AlwaysUp().is_up(1e12)
+
+
+class TestOutageSchedule:
+    def test_down_during_interval(self):
+        schedule = OutageSchedule([(100.0, 200.0)])
+        assert schedule.is_up(99.9)
+        assert not schedule.is_up(100.0)
+        assert not schedule.is_up(199.9)
+        assert schedule.is_up(200.0)
+
+    def test_multiple_outages(self):
+        schedule = OutageSchedule([(300.0, 400.0), (100.0, 200.0)])
+        assert not schedule.is_up(150.0)
+        assert schedule.is_up(250.0)
+        assert not schedule.is_up(350.0)
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            OutageSchedule([(100.0, 100.0)])
+
+    def test_outages_listed_sorted(self):
+        schedule = OutageSchedule([(300.0, 400.0), (100.0, 200.0)])
+        assert schedule.outages == [(100.0, 200.0), (300.0, 400.0)]
+
+
+class TestErrorInjector:
+    def test_zero_rate_never_fails(self):
+        injector = ErrorInjector(0.0)
+        assert not any(injector.should_fail() for _ in range(100))
+
+    def test_rate_approximated(self):
+        injector = ErrorInjector(0.3, seed=5, name="s")
+        failures = sum(injector.should_fail() for _ in range(2000))
+        assert 0.25 < failures / 2000 < 0.35
+
+    def test_deterministic_per_seed_and_name(self):
+        a = [ErrorInjector(0.5, seed=1, name="x").should_fail() for _ in range(1)]
+        seq_a = [f for f in _seq(1, "x")]
+        seq_b = [f for f in _seq(1, "x")]
+        seq_c = [f for f in _seq(2, "x")]
+        assert seq_a == seq_b
+        assert seq_a != seq_c
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            ErrorInjector(1.0)
+
+
+def _seq(seed, name, n=50):
+    injector = ErrorInjector(0.5, seed=seed, name=name)
+    return [injector.should_fail() for _ in range(n)]
+
+
+class TestServerUnavailable:
+    def test_message_and_fields(self):
+        exc = ServerUnavailable("S1", 123.0)
+        assert exc.server == "S1"
+        assert exc.t_ms == 123.0
+        assert not exc.transient
+        assert "S1" in str(exc)
+
+    def test_transient_flag(self):
+        exc = ServerUnavailable("S2", 1.0, transient=True)
+        assert exc.transient
+        assert "transient" in str(exc)

@@ -1,0 +1,64 @@
+"""Unit tests for the network model."""
+
+import pytest
+
+from repro.sim import ConstantLoad, NetworkLink
+
+
+class TestLatency:
+    def test_uncongested(self):
+        link = NetworkLink(latency_ms=10.0)
+        assert link.one_way_ms(0.0) == 10.0
+        assert link.round_trip_ms(0.0) == 20.0
+
+    def test_congestion_inflates_latency(self):
+        quiet = NetworkLink(latency_ms=10.0)
+        congested = NetworkLink(
+            latency_ms=10.0, congestion=ConstantLoad(0.5), latency_slope=8.0
+        )
+        assert congested.one_way_ms(0.0) == pytest.approx(50.0)
+        assert congested.one_way_ms(0.0) > quiet.one_way_ms(0.0)
+
+    def test_jitter_bounded_and_deterministic(self):
+        link_a = NetworkLink(latency_ms=10.0, jitter_fraction=0.2, seed=1)
+        link_b = NetworkLink(latency_ms=10.0, jitter_fraction=0.2, seed=1)
+        values_a = [link_a.one_way_ms(0.0) for _ in range(10)]
+        values_b = [link_b.one_way_ms(0.0) for _ in range(10)]
+        assert values_a == values_b
+        assert all(10.0 <= v <= 12.0 for v in values_a)
+
+
+class TestTransfer:
+    def test_zero_bytes(self):
+        assert NetworkLink().transfer_ms(0.0, 0.0) == 0.0
+
+    def test_transfer_time_math(self):
+        # 100 Mbps = 12.5 MB/s = 12500 bytes/ms
+        link = NetworkLink(latency_ms=0.0, bandwidth_mbps=100.0)
+        assert link.transfer_ms(12_500.0, 0.0) == pytest.approx(1.0)
+
+    def test_congestion_halves_bandwidth(self):
+        quiet = NetworkLink(bandwidth_mbps=100.0)
+        busy = NetworkLink(bandwidth_mbps=100.0, congestion=ConstantLoad(0.99))
+        assert busy.transfer_ms(10_000.0, 0.0) == pytest.approx(
+            quiet.transfer_ms(10_000.0, 0.0) * 1.99
+        )
+
+    def test_request_response_combines(self):
+        link = NetworkLink(latency_ms=5.0, bandwidth_mbps=100.0)
+        total = link.request_response_ms(1_000.0, 10_000.0, 0.0)
+        assert total == pytest.approx(
+            link.round_trip_ms(0.0)
+            + link.transfer_ms(1_000.0, 0.0)
+            + link.transfer_ms(10_000.0, 0.0)
+        )
+
+
+class TestValidation:
+    def test_negative_latency(self):
+        with pytest.raises(ValueError):
+            NetworkLink(latency_ms=-1.0)
+
+    def test_zero_bandwidth(self):
+        with pytest.raises(ValueError):
+            NetworkLink(bandwidth_mbps=0.0)

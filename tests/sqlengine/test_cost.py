@@ -1,0 +1,150 @@
+"""Unit tests for the cost model and selectivity estimation."""
+
+import math
+
+import pytest
+
+from repro.sqlengine import PlanCost, ServerProfile, StatsContext, estimate_selectivity
+from repro.sqlengine.catalog import ColumnStats, TableStats
+from repro.sqlengine.cost import (
+    DEFAULT_RANGE_SELECTIVITY,
+    INFINITE_COST,
+    equijoin_selectivity,
+    pages_for,
+)
+from repro.sqlengine.parser import parse_expression
+
+
+def _stats():
+    return StatsContext(
+        {
+            "t": TableStats(
+                row_count=100,
+                column_stats={
+                    "a": ColumnStats(n_distinct=10, min_value=0, max_value=100),
+                    "s": ColumnStats(
+                        n_distinct=4, min_value=None, max_value=None,
+                        null_fraction=0.2,
+                    ),
+                },
+            ),
+            "u": TableStats(
+                row_count=50,
+                column_stats={
+                    "b": ColumnStats(n_distinct=25, min_value=0, max_value=50),
+                },
+            ),
+        }
+    )
+
+
+def sel(text):
+    return estimate_selectivity(parse_expression(text), _stats())
+
+
+class TestSelectivity:
+    def test_none_predicate(self):
+        assert estimate_selectivity(None, _stats()) == 1.0
+
+    def test_equality_uses_ndv(self):
+        assert sel("t.a = 5") == pytest.approx(0.1)
+
+    def test_inequality_complement(self):
+        assert sel("t.a != 5") == pytest.approx(0.9)
+
+    def test_range_interpolation(self):
+        assert sel("t.a > 75") == pytest.approx(0.25)
+        assert sel("t.a < 25") == pytest.approx(0.25)
+        assert sel("t.a >= 0") == pytest.approx(1.0)
+
+    def test_range_flipped_orientation(self):
+        # 25 < t.a  is  t.a > 25
+        assert sel("25 < t.a") == pytest.approx(sel("t.a > 25"))
+
+    def test_range_clamped(self):
+        assert sel("t.a > 1000") == pytest.approx(1e-6)
+
+    def test_and_multiplies(self):
+        assert sel("t.a = 5 AND t.a = 7") == pytest.approx(0.01)
+
+    def test_or_inclusion_exclusion(self):
+        assert sel("t.a = 5 OR t.a = 7") == pytest.approx(0.19)
+
+    def test_not_complements(self):
+        assert sel("NOT t.a = 5") == pytest.approx(0.9)
+
+    def test_is_null_uses_null_fraction(self):
+        assert sel("t.s IS NULL") == pytest.approx(0.2)
+        assert sel("t.s IS NOT NULL") == pytest.approx(0.8)
+
+    def test_column_eq_column(self):
+        assert sel("t.a = u.b") == pytest.approx(1 / 25)
+
+    def test_unknown_column_defaults(self):
+        assert 0 < sel("t.zzz > 5") <= 1.0
+
+    def test_range_without_stats_defaults(self):
+        assert sel("t.s > 'x'") == pytest.approx(DEFAULT_RANGE_SELECTIVITY)
+
+    def test_result_clamped_to_unit_interval(self):
+        assert 0 < sel("t.a = 5 AND t.a = 5 AND t.a = 5") <= 1.0
+
+
+class TestEquijoinSelectivity:
+    def test_uses_max_ndv(self):
+        left = ColumnStats(n_distinct=10, min_value=0, max_value=9)
+        right = ColumnStats(n_distinct=40, min_value=0, max_value=39)
+        assert equijoin_selectivity(left, right) == pytest.approx(1 / 40)
+
+    def test_missing_stats(self):
+        assert equijoin_selectivity(None, None) == 1.0
+
+
+class TestPlanCost:
+    def test_next_tuple(self):
+        cost = PlanCost(first_tuple=2.0, total=12.0, rows=11.0)
+        assert cost.next_tuple == pytest.approx(1.0)
+
+    def test_next_tuple_single_row(self):
+        assert PlanCost(first_tuple=2.0, total=5.0, rows=1.0).next_tuple == 0.0
+
+    def test_total_identity(self):
+        # total = first_tuple + next_tuple * (rows - 1), the paper's
+        # "first tuple cost + next tuple cost x cardinality" shape.
+        cost = PlanCost(first_tuple=3.0, total=30.0, rows=10.0)
+        assert cost.first_tuple + cost.next_tuple * (cost.rows - 1) == (
+            pytest.approx(cost.total)
+        )
+
+    def test_scaled(self):
+        cost = PlanCost(first_tuple=2.0, total=10.0, rows=5.0)
+        scaled = cost.scaled(1.5)
+        assert scaled.total == pytest.approx(15.0)
+        assert scaled.first_tuple == pytest.approx(3.0)
+        assert scaled.rows == 5.0  # cardinality untouched
+
+    def test_infinite_cost(self):
+        assert math.isinf(INFINITE_COST.total)
+        assert math.isinf(INFINITE_COST.scaled(2.0).total)
+
+
+class TestPagesFor:
+    def test_zero_rows(self):
+        assert pages_for(0, 100) == 0.0
+
+    def test_minimum_one_page(self):
+        assert pages_for(1, 8) == 1.0
+
+    def test_scales_with_width(self):
+        assert pages_for(1000, 200) > pages_for(1000, 50)
+
+
+class TestServerProfile:
+    def test_speeds_divide(self):
+        fast = ServerProfile("fast", cpu_speed=2.0, io_speed=4.0)
+        assert fast.cpu_ms(10.0) == 5.0
+        assert fast.io_ms(10.0) == 2.5
+
+    def test_reference_is_identity(self):
+        ref = ServerProfile()
+        assert ref.cpu_ms(7.0) == 7.0

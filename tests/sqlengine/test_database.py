@@ -1,0 +1,51 @@
+"""Unit tests for the Database facade."""
+
+import pytest
+
+from repro.sqlengine import (
+    Column,
+    ColumnType,
+    Database,
+    Schema,
+    ServerProfile,
+)
+
+
+class TestDatabaseFacade:
+    def test_run_simple_query(self, tiny_db):
+        result = tiny_db.run("SELECT COUNT(*) FROM dept")
+        assert result.rows == [(20,)]
+        assert result.meter.total_ms > 0
+
+    def test_explain_does_not_execute(self, tiny_db):
+        before = tiny_db.row_count("dept")
+        plans = tiny_db.explain("SELECT * FROM dept")
+        assert plans
+        assert tiny_db.row_count("dept") == before
+
+    def test_create_and_load(self):
+        db = Database("fresh")
+        schema = Schema((Column("x", ColumnType.INT),))
+        db.create_table("nums", schema)
+        assert db.load_rows("nums", [(1,), (2,)]) == 2
+        assert db.run("SELECT SUM(x) FROM nums").rows == [(3,)]
+
+    def test_analyze_refreshes_stats(self):
+        db = Database("fresh")
+        db.create_table("nums", Schema((Column("x", ColumnType.INT),)))
+        db.storage.table("nums").insert_many([(i,) for i in range(10)])
+        assert db.catalog.lookup("nums").stats.row_count == 0
+        db.analyze("nums")
+        assert db.catalog.lookup("nums").stats.row_count == 10
+
+    def test_profile_attached(self):
+        profile = ServerProfile("fast", cpu_speed=3.0)
+        db = Database("p", profile=profile)
+        assert db.profile.cpu_speed == 3.0
+        assert db.optimizer.profile is profile
+
+    def test_create_index_via_facade(self, tiny_db):
+        tiny_db.create_index("emp", "empno")
+        assert tiny_db.catalog.lookup("emp").has_index_on("empno")
+        result = tiny_db.run("SELECT * FROM emp WHERE empno = 5")
+        assert result.row_count == 1

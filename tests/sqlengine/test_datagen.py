@@ -1,0 +1,122 @@
+"""Unit tests for deterministic data generation."""
+
+import pytest
+
+from repro.sqlengine import (
+    Choice,
+    ColumnType,
+    Database,
+    ForeignKey,
+    Nullable,
+    RandomString,
+    Serial,
+    TableSpec,
+    UniformFloat,
+    UniformInt,
+    ZipfInt,
+    populate,
+)
+
+
+def _spec(row_count=100):
+    return TableSpec(
+        "t",
+        (
+            ("id", ColumnType.INT, Serial()),
+            ("fk", ColumnType.INT, ForeignKey(10)),
+            ("val", ColumnType.FLOAT, UniformFloat(0.0, 1.0)),
+            ("cat", ColumnType.STR, Choice(("a", "b"))),
+            ("skew", ColumnType.INT, ZipfInt(100)),
+            ("maybe", ColumnType.INT, Nullable(UniformInt(1, 5), 0.5)),
+            ("name", ColumnType.STR, RandomString(6)),
+        ),
+        row_count=row_count,
+    )
+
+
+class TestDeterminism:
+    def test_same_seed_same_rows(self):
+        a = list(_spec().generate_rows(seed=9))
+        b = list(_spec().generate_rows(seed=9))
+        assert a == b
+
+    def test_different_seed_different_rows(self):
+        a = list(_spec().generate_rows(seed=9))
+        b = list(_spec().generate_rows(seed=10))
+        assert a != b
+
+    def test_different_tables_different_streams(self):
+        spec_a = _spec()
+        spec_b = TableSpec("other", spec_a.columns, spec_a.row_count)
+        assert list(spec_a.generate_rows(7)) != list(spec_b.generate_rows(7))
+
+
+class TestGenerators:
+    def test_serial_is_sequential(self):
+        rows = list(_spec().generate_rows(7))
+        assert [r[0] for r in rows] == list(range(1, 101))
+
+    def test_foreign_keys_in_range(self):
+        rows = list(_spec().generate_rows(7))
+        assert all(1 <= r[1] <= 10 for r in rows)
+
+    def test_uniform_float_in_range(self):
+        rows = list(_spec().generate_rows(7))
+        assert all(0.0 <= r[2] <= 1.0 for r in rows)
+
+    def test_choice_values(self):
+        rows = list(_spec().generate_rows(7))
+        assert {r[3] for r in rows} <= {"a", "b"}
+
+    def test_zipf_in_range_and_skewed(self):
+        rows = list(_spec(row_count=2000).generate_rows(7))
+        values = [r[4] for r in rows]
+        assert all(1 <= v <= 100 for v in values)
+        low_half = sum(1 for v in values if v <= 50)
+        assert low_half > len(values) * 0.55  # skewed toward small keys
+
+    def test_nullable_rate(self):
+        rows = list(_spec(row_count=2000).generate_rows(7))
+        nulls = sum(1 for r in rows if r[5] is None)
+        assert 0.4 < nulls / len(rows) < 0.6
+
+    def test_random_string_length(self):
+        rows = list(_spec().generate_rows(7))
+        assert all(len(r[6]) == 6 for r in rows)
+
+
+class TestScaled:
+    def test_row_count_scaled(self):
+        assert _spec().scaled(0.1).row_count == 10
+
+    def test_fk_range_scaled(self):
+        scaled = _spec().scaled(0.5)
+        fk_gen = dict((name, gen) for name, _, gen in scaled.columns)["fk"]
+        assert fk_gen.parent_rows == 5
+
+    def test_nullable_fk_scaled(self):
+        spec = TableSpec(
+            "t",
+            (("fk", ColumnType.INT, Nullable(ForeignKey(100), 0.1)),),
+            row_count=10,
+        )
+        scaled = spec.scaled(0.2)
+        gen = scaled.columns[0][2]
+        assert gen.inner.parent_rows == 20
+
+    def test_minimum_one_row(self):
+        assert _spec().scaled(0.0001).row_count == 1
+
+
+def test_populate_creates_loads_and_indexes():
+    db = Database("x")
+    spec = TableSpec(
+        "t",
+        (("id", ColumnType.INT, Serial()),),
+        row_count=5,
+        indexes=("id",),
+    )
+    populate(db, [spec], seed=1)
+    assert db.row_count("t") == 5
+    assert db.catalog.lookup("t").stats.row_count == 5
+    assert db.catalog.lookup("t").has_index_on("id")

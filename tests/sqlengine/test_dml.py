@@ -1,0 +1,162 @@
+"""Unit tests for INSERT / UPDATE / DELETE."""
+
+import pytest
+
+from repro.sqlengine import (
+    DeleteStatement,
+    DmlError,
+    InsertStatement,
+    ParseError,
+    SelectStatement,
+    UpdateStatement,
+    parse_statement,
+)
+
+
+class TestDmlParsing:
+    def test_insert_positional(self):
+        statement = parse_statement("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+        assert isinstance(statement, InsertStatement)
+        assert statement.table == "t"
+        assert statement.columns == ()
+        assert len(statement.rows) == 2
+
+    def test_insert_with_columns(self):
+        statement = parse_statement("INSERT INTO t (a, b) VALUES (1, 2)")
+        assert statement.columns == ("a", "b")
+
+    def test_update(self):
+        statement = parse_statement(
+            "UPDATE t SET a = a + 1, b = 'x' WHERE a > 5"
+        )
+        assert isinstance(statement, UpdateStatement)
+        assert [a.column for a in statement.assignments] == ["a", "b"]
+        assert statement.where is not None
+
+    def test_update_without_where(self):
+        statement = parse_statement("UPDATE t SET a = 0")
+        assert statement.where is None
+
+    def test_delete(self):
+        statement = parse_statement("DELETE FROM t WHERE a = 1")
+        assert isinstance(statement, DeleteStatement)
+        assert statement.where is not None
+
+    def test_select_dispatch(self):
+        statement = parse_statement("SELECT * FROM t")
+        assert isinstance(statement, SelectStatement)
+
+    def test_garbage(self):
+        with pytest.raises(ParseError):
+            parse_statement("DROP TABLE t")
+
+    def test_sql_round_trip(self):
+        for sql in (
+            "INSERT INTO t (a, b) VALUES (1, 'x')",
+            "UPDATE t SET a = (a + 1) WHERE a > 5",
+            "DELETE FROM t WHERE a = 1",
+        ):
+            once = parse_statement(sql).sql()
+            assert parse_statement(once).sql() == once
+
+
+class TestInsertExecution:
+    def test_positional_insert(self, tiny_db):
+        before = tiny_db.row_count("dept")
+        result = tiny_db.run_dml("INSERT INTO dept VALUES (100, 42)")
+        assert result.rows_affected == 1
+        assert tiny_db.row_count("dept") == before + 1
+        assert tiny_db.run("SELECT budget FROM dept WHERE deptno = 100").rows == [
+            (42,)
+        ]
+
+    def test_column_list_fills_nulls(self, tiny_db):
+        tiny_db.run_dml("INSERT INTO dept (deptno) VALUES (101)")
+        rows = tiny_db.run("SELECT * FROM dept WHERE deptno = 101").rows
+        assert rows == [(101, None)]
+
+    def test_multi_row(self, tiny_db):
+        result = tiny_db.run_dml(
+            "INSERT INTO dept VALUES (102, 1), (103, 2), (104, 3)"
+        )
+        assert result.rows_affected == 3
+
+    def test_arity_mismatch(self, tiny_db):
+        with pytest.raises(DmlError):
+            tiny_db.run_dml("INSERT INTO dept VALUES (1)")
+
+    def test_non_constant_rejected(self, tiny_db):
+        with pytest.raises(DmlError):
+            tiny_db.run_dml("INSERT INTO dept VALUES (deptno, 1)")
+
+    def test_insert_maintains_index(self, tiny_db):
+        tiny_db.run_dml("INSERT INTO dept VALUES (200, 5)")
+        rows = tiny_db.run("SELECT * FROM dept WHERE deptno = 200").rows
+        assert rows == [(200, 5)]
+
+    def test_work_metered(self, tiny_db):
+        result = tiny_db.run_dml("INSERT INTO dept VALUES (300, 5)")
+        assert result.meter.total_ms > 0
+
+
+class TestUpdateExecution:
+    def test_update_with_predicate(self, tiny_db):
+        result = tiny_db.run_dml(
+            "UPDATE dept SET budget = budget + 100 WHERE deptno <= 5"
+        )
+        assert result.rows_affected == 5
+        rows = tiny_db.run(
+            "SELECT budget FROM dept WHERE deptno <= 5"
+        ).rows
+        assert all(budget > 100 for (budget,) in rows)
+
+    def test_update_all_rows(self, tiny_db):
+        result = tiny_db.run_dml("UPDATE dept SET budget = 0")
+        assert result.rows_affected == 20
+        assert tiny_db.run("SELECT SUM(budget) FROM dept").rows == [(0,)]
+
+    def test_update_expression_uses_old_values(self, tiny_db):
+        before = tiny_db.run("SELECT budget FROM dept WHERE deptno = 3").rows
+        tiny_db.run_dml("UPDATE dept SET budget = budget * 2 WHERE deptno = 3")
+        after = tiny_db.run("SELECT budget FROM dept WHERE deptno = 3").rows
+        assert after[0][0] == before[0][0] * 2
+
+    def test_update_rebuilds_index(self, tiny_db):
+        tiny_db.run_dml("UPDATE dept SET deptno = 999 WHERE deptno = 7")
+        assert tiny_db.run("SELECT * FROM dept WHERE deptno = 7").rows == []
+        assert len(tiny_db.run("SELECT * FROM dept WHERE deptno = 999").rows) == 1
+
+    def test_update_cost_scales_with_changes(self, tiny_db):
+        small = tiny_db.run_dml(
+            "UPDATE emp SET salary = salary WHERE empno = 1"
+        )
+        large = tiny_db.run_dml("UPDATE emp SET salary = salary + 0")
+        assert large.meter.total_ms > small.meter.total_ms
+
+
+class TestDeleteExecution:
+    def test_delete_with_predicate(self, tiny_db):
+        result = tiny_db.run_dml("DELETE FROM dept WHERE deptno > 15")
+        assert result.rows_affected == 5
+        assert tiny_db.row_count("dept") == 15
+
+    def test_delete_all(self, tiny_db):
+        result = tiny_db.run_dml("DELETE FROM dept")
+        assert result.rows_affected == 20
+        assert tiny_db.row_count("dept") == 0
+
+    def test_delete_rebuilds_index(self, tiny_db):
+        tiny_db.run_dml("DELETE FROM dept WHERE deptno = 7")
+        assert tiny_db.run("SELECT * FROM dept WHERE deptno = 7").rows == []
+
+    def test_stats_stay_stale_until_analyze(self, tiny_db):
+        tiny_db.run_dml("DELETE FROM dept WHERE deptno > 10")
+        assert tiny_db.catalog.lookup("dept").stats.row_count == 20
+        tiny_db.analyze("dept")
+        assert tiny_db.catalog.lookup("dept").stats.row_count == 10
+
+
+class TestRunDmlDispatch:
+    def test_select_rejected(self, tiny_db):
+        with pytest.raises(DmlError):
+            tiny_db.run_dml("SELECT * FROM dept")

@@ -1,0 +1,72 @@
+"""Fuzzing the parser: arbitrary input must parse or raise ParseError.
+
+The parser is the outermost untrusted-input surface of the engine; it
+must never leak a raw IndexError/AttributeError/RecursionError to the
+caller, no matter the input.
+"""
+
+import pytest
+from hypothesis import example, given, settings, strategies as st
+
+from repro.sqlengine import ParseError, parse, parse_statement
+from repro.sqlengine.parser import tokenize
+
+
+class TestTokenizerFuzz:
+    @given(st.text(max_size=200))
+    @settings(max_examples=200, deadline=None)
+    def test_tokenize_total(self, text):
+        try:
+            tokens = tokenize(text)
+        except ParseError:
+            return
+        assert tokens[-1].kind == "EOF"
+
+    @given(st.text(alphabet="SELECT FROM WHERE*(),.'0123456789abc=<>", max_size=80))
+    @settings(max_examples=200, deadline=None)
+    def test_parse_never_raises_foreign_exceptions(self, text):
+        try:
+            parse(text)
+        except ParseError:
+            pass
+
+    @given(st.text(max_size=120))
+    @settings(max_examples=200, deadline=None)
+    @example("SELECT")
+    @example("SELECT * FROM")
+    @example("SELECT * FROM t WHERE")
+    @example("SELECT * FROM t GROUP BY")
+    @example("INSERT INTO")
+    @example("UPDATE t SET")
+    @example("((((((((((")
+    def test_parse_statement_total(self, text):
+        try:
+            parse_statement(text)
+        except ParseError:
+            pass
+
+
+class TestMalformedStatements:
+    CASES = [
+        "SELECT FROM t",
+        "SELECT a FROM t WHERE AND b",
+        "SELECT a FROM t ORDER",
+        "SELECT a, FROM t",
+        "SELECT a FROM t LIMIT",
+        "SELECT a FROM t JOIN u",
+        "SELECT a FROM t JOIN u ON",
+        "SELECT COUNT( FROM t",
+        "INSERT INTO t VALUES",
+        "INSERT INTO t (a VALUES (1)",
+        "UPDATE t SET a",
+        "UPDATE t a = 1",
+        "DELETE t WHERE a = 1",
+        "SELECT a FROM t WHERE a IN ()",
+        "SELECT a FROM t WHERE a LIKE b",
+        "SELECT a FROM t t2 t3",
+    ]
+
+    @pytest.mark.parametrize("sql", CASES)
+    def test_raises_parse_error(self, sql):
+        with pytest.raises(ParseError):
+            parse_statement(sql)

@@ -1,0 +1,106 @@
+"""Unit tests for heap storage and hash indexes."""
+
+import pytest
+
+from repro.sqlengine import (
+    Catalog,
+    Column,
+    ColumnType,
+    Schema,
+    SchemaError,
+    StorageError,
+    StorageManager,
+)
+
+
+def _schema():
+    return Schema((Column("id", ColumnType.INT), Column("v", ColumnType.STR)))
+
+
+@pytest.fixture()
+def storage():
+    manager = StorageManager(Catalog())
+    manager.create_table("t", _schema())
+    return manager
+
+
+class TestHeapTable:
+    def test_insert_and_scan(self, storage):
+        table = storage.table("t")
+        table.insert((1, "a"))
+        table.insert((2, "b"))
+        assert list(table.scan()) == [(1, "a"), (2, "b")]
+        assert len(table) == 2
+
+    def test_insert_validates(self, storage):
+        with pytest.raises(SchemaError):
+            storage.table("t").insert((1,))
+
+    def test_fetch_by_rid(self, storage):
+        table = storage.table("t")
+        table.insert((1, "a"))
+        assert table.fetch(0) == (1, "a")
+
+
+class TestHashIndex:
+    def test_lookup_matches_scan(self, storage):
+        table = storage.table("t")
+        table.insert_many([(i % 3, str(i)) for i in range(30)])
+        index = table.create_index("id")
+        for key in (0, 1, 2):
+            via_index = sorted(table.fetch(rid) for rid in index.lookup(key))
+            via_scan = sorted(row for row in table.scan() if row[0] == key)
+            assert via_index == via_scan
+
+    def test_lookup_missing_key(self, storage):
+        table = storage.table("t")
+        table.create_index("id")
+        assert list(table.index_on("id").lookup(99)) == []
+
+    def test_null_keys_not_indexed(self, storage):
+        table = storage.table("t")
+        table.insert((None, "x"))
+        index = table.create_index("id")
+        assert len(index) == 0
+        assert list(index.lookup(None)) == []
+
+    def test_index_maintained_on_insert(self, storage):
+        table = storage.table("t")
+        index = table.create_index("id")
+        table.insert((7, "x"))
+        assert [table.fetch(r) for r in index.lookup(7)] == [(7, "x")]
+
+    def test_duplicate_index_rejected(self, storage):
+        table = storage.table("t")
+        table.create_index("id")
+        with pytest.raises(StorageError):
+            table.create_index("id")
+
+
+class TestStorageManager:
+    def test_duplicate_table(self, storage):
+        with pytest.raises(StorageError):
+            storage.create_table("t", _schema())
+
+    def test_unknown_table(self, storage):
+        with pytest.raises(StorageError):
+            storage.table("missing")
+
+    def test_drop_table(self, storage):
+        storage.drop_table("t")
+        assert not storage.has_table("t")
+        assert not storage.catalog.has_table("t")
+
+    def test_load_rows_refreshes_stats(self, storage):
+        storage.load_rows("t", [(1, "a"), (2, "b"), (2, "c")])
+        stats = storage.catalog.lookup("t").stats
+        assert stats.row_count == 3
+        assert stats.for_column("id").n_distinct == 2
+
+    def test_create_index_updates_catalog(self, storage):
+        storage.create_index("t", "id")
+        assert storage.catalog.lookup("t").has_index_on("id")
+
+    def test_schema_qualified_by_table_name(self, storage):
+        schema = storage.table("t").schema
+        assert schema.columns[0].table == "t"

@@ -1,0 +1,117 @@
+"""Unit tests for value and schema types."""
+
+import pytest
+
+from repro.sqlengine import (
+    Column,
+    ColumnType,
+    Schema,
+    SchemaError,
+    TypeMismatchError,
+    rows_equal_unordered,
+)
+
+
+class TestColumnType:
+    def test_int_accepts_int_only(self):
+        assert ColumnType.INT.accepts(5)
+        assert not ColumnType.INT.accepts(5.0)
+        assert not ColumnType.INT.accepts(True)
+        assert not ColumnType.INT.accepts("5")
+
+    def test_float_widens_int(self):
+        assert ColumnType.FLOAT.accepts(5)
+        assert ColumnType.FLOAT.coerce(5) == 5.0
+        assert isinstance(ColumnType.FLOAT.coerce(5), float)
+
+    def test_bool_is_not_int(self):
+        assert ColumnType.BOOL.accepts(True)
+        assert not ColumnType.BOOL.accepts(1)
+        assert not ColumnType.FLOAT.accepts(True)
+
+    def test_null_is_universal(self):
+        for ctype in ColumnType:
+            assert ctype.accepts(None)
+            assert ctype.coerce(None) is None
+
+    def test_coerce_rejects_mismatch(self):
+        with pytest.raises(TypeMismatchError):
+            ColumnType.INT.coerce("x")
+        with pytest.raises(TypeMismatchError):
+            ColumnType.STR.coerce(1)
+
+
+def _schema():
+    return Schema(
+        (
+            Column("id", ColumnType.INT, "t"),
+            Column("name", ColumnType.STR, "t"),
+            Column("id", ColumnType.INT, "u"),
+        )
+    )
+
+
+class TestSchema:
+    def test_qualified_resolution(self):
+        schema = _schema()
+        assert schema.index_of("t.id") == 0
+        assert schema.index_of("u.id") == 2
+
+    def test_bare_resolution_unique(self):
+        assert _schema().index_of("name") == 1
+
+    def test_bare_resolution_ambiguous(self):
+        with pytest.raises(SchemaError, match="ambiguous"):
+            _schema().index_of("id")
+
+    def test_unknown_column(self):
+        with pytest.raises(SchemaError, match="unknown"):
+            _schema().index_of("missing")
+        with pytest.raises(SchemaError):
+            _schema().index_of("x.name")
+
+    def test_stale_qualifier_falls_back(self):
+        # A qualified name whose table prefix is gone resolves if the
+        # bare trailing component is unique.
+        schema = Schema((Column("name", ColumnType.STR),))
+        assert schema.index_of("t.name") == 0
+
+    def test_concat_and_rename(self):
+        left = Schema((Column("a", ColumnType.INT, "l"),))
+        right = Schema((Column("b", ColumnType.INT, "r"),))
+        joined = left.concat(right)
+        assert [c.qualified_name for c in joined] == ["l.a", "r.b"]
+        renamed = joined.rename_table("x")
+        assert [c.qualified_name for c in renamed] == ["x.a", "x.b"]
+
+    def test_validate_row(self):
+        schema = Schema(
+            (Column("a", ColumnType.INT), Column("b", ColumnType.FLOAT))
+        )
+        assert schema.validate_row([1, 2]) == (1, 2.0)
+        with pytest.raises(SchemaError):
+            schema.validate_row([1])
+        with pytest.raises(TypeMismatchError):
+            schema.validate_row(["x", 2.0])
+
+    def test_row_width_accounts_for_strings(self):
+        ints = Schema((Column("a", ColumnType.INT),))
+        strs = Schema((Column("a", ColumnType.STR),))
+        assert strs.row_width_bytes() > ints.row_width_bytes()
+
+    def test_has_column(self):
+        schema = _schema()
+        assert schema.has_column("name")
+        assert not schema.has_column("id")  # ambiguous -> False
+        assert schema.has_column("t.id")
+
+    def test_equality(self):
+        assert _schema() == _schema()
+        assert _schema() != Schema(())
+
+
+def test_rows_equal_unordered():
+    assert rows_equal_unordered([(1, "a"), (2, "b")], [(2, "b"), (1, "a")])
+    assert not rows_equal_unordered([(1,)], [(1,), (1,)])
+    # None values sort without TypeError
+    assert rows_equal_unordered([(None,), (1,)], [(1,), (None,)])

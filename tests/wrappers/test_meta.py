@@ -1,0 +1,162 @@
+"""Unit tests for the meta-wrapper: MW's records and QCC hooks."""
+
+import pytest
+
+from repro.fed import decompose
+from repro.harness import build_federation
+from repro.sqlengine import PlanCost
+from repro.wrappers import DEFAULT_UNKNOWN_ESTIMATE, MetaWrapper
+from repro.workload import TEST_SCALE
+
+
+class RecordingQcc:
+    """Duck-typed QCC stub that logs every MW interaction."""
+
+    def __init__(self, factor=2.0, available=None):
+        self.factor = factor
+        self.available = available or {}
+        self.calls = []
+
+    def bind_meta_wrapper(self, mw):
+        self.calls.append(("bind", mw))
+
+    def is_available(self, server, t_ms):
+        return self.available.get(server, True)
+
+    def calibrate(self, server, fragment_signature, cost):
+        self.calls.append(("calibrate", server))
+        return cost.scaled(self.factor)
+
+    def record_compile(self, server, fragment_signature, option):
+        self.calls.append(("compile", server))
+
+    def record_execution(self, **kwargs):
+        self.calls.append(("execute", kwargs["server"], kwargs["observed_ms"]))
+
+    def record_error(self, server, t_ms):
+        self.calls.append(("error", server))
+
+    def substitute(self, option, siblings, t_ms):
+        self.calls.append(("substitute", option.server, len(siblings)))
+        return option
+
+
+@pytest.fixture()
+def deployment(sample_databases):
+    return build_federation(
+        scale=TEST_SCALE, with_qcc=False, prebuilt_databases=sample_databases
+    )
+
+
+def _fragment(deployment, sql="SELECT COUNT(*) FROM customer"):
+    decomposed = decompose(sql, deployment.registry)
+    return decomposed.fragments[0]
+
+
+class TestCompileFragment:
+    def test_options_cover_candidate_servers(self, deployment):
+        fragment = _fragment(deployment)
+        options = deployment.meta_wrapper.compile_fragment(fragment, 0.0)
+        assert {o.server for o in options} == {"S1", "S2", "S3"}
+
+    def test_compile_log_populated(self, deployment):
+        fragment = _fragment(deployment)
+        deployment.meta_wrapper.compile_fragment(fragment, 5.0)
+        entries = deployment.meta_wrapper.compile_log
+        assert entries
+        entry = entries[0]
+        assert entry.t_ms == 5.0
+        assert entry.fragment_id == fragment.fragment_id
+        assert entry.estimated.total > 0
+
+    def test_without_qcc_calibrated_equals_estimated(self, deployment):
+        fragment = _fragment(deployment)
+        options = deployment.meta_wrapper.compile_fragment(fragment, 0.0)
+        for option in options:
+            assert option.calibrated.total == option.estimated.total
+
+    def test_qcc_calibration_applied(self, deployment):
+        qcc = RecordingQcc(factor=3.0)
+        deployment.meta_wrapper.attach_qcc(qcc)
+        fragment = _fragment(deployment)
+        options = deployment.meta_wrapper.compile_fragment(fragment, 0.0)
+        for option in options:
+            assert option.calibrated.total == pytest.approx(
+                option.estimated.total * 3.0
+            )
+        assert ("compile", "S1") in qcc.calls
+
+    def test_unavailable_server_skipped(self, deployment):
+        qcc = RecordingQcc(available={"S3": False})
+        deployment.meta_wrapper.attach_qcc(qcc)
+        fragment = _fragment(deployment)
+        options = deployment.meta_wrapper.compile_fragment(fragment, 0.0)
+        assert {o.server for o in options} == {"S1", "S2"}
+
+    def test_sibling_options_stored(self, deployment):
+        fragment = _fragment(deployment)
+        options = deployment.meta_wrapper.compile_fragment(fragment, 0.0)
+        siblings = deployment.meta_wrapper.sibling_options(fragment.signature)
+        assert len(siblings) == len(options)
+
+
+class TestExecuteOption:
+    def test_runtime_log_and_qcc_report(self, deployment):
+        qcc = RecordingQcc(factor=1.0)
+        deployment.meta_wrapper.attach_qcc(qcc)
+        fragment = _fragment(deployment)
+        options = deployment.meta_wrapper.compile_fragment(fragment, 0.0)
+        option, result = deployment.meta_wrapper.execute_option(options[0], 0.0)
+        assert result.observed_ms > 0
+        log = deployment.meta_wrapper.runtime_log
+        assert log and log[0].observed_ms == result.observed_ms
+        assert any(c[0] == "execute" for c in qcc.calls)
+        assert any(c[0] == "substitute" for c in qcc.calls)
+
+    def test_substitution_can_be_disabled(self, deployment):
+        qcc = RecordingQcc()
+        deployment.meta_wrapper.attach_qcc(qcc)
+        fragment = _fragment(deployment)
+        options = deployment.meta_wrapper.compile_fragment(fragment, 0.0)
+        deployment.meta_wrapper.execute_option(
+            options[0], 0.0, allow_substitution=False
+        )
+        assert not any(c[0] == "substitute" for c in qcc.calls)
+
+
+class TestUnknownCostSubstitution:
+    def test_default_estimate_for_file_wrapper(self, deployment):
+        from repro.sqlengine import Column, ColumnType, Schema
+        from repro.wrappers import FileSource, FileWrapper
+        from repro.fed import NicknameRegistry
+
+        schema = Schema((Column("id", ColumnType.INT),))
+        source = FileSource("files1", "events", schema, [(1,), (2,)])
+        registry = NicknameRegistry()
+        registry.register(
+            "events",
+            "files1",
+            table_def=source.database.catalog.lookup("events"),
+        )
+        mw = MetaWrapper({"files1": FileWrapper(source)})
+        decomposed = decompose("SELECT id FROM events", registry)
+        options = mw.compile_fragment(decomposed.fragments[0], 0.0)
+        assert len(options) == 1
+        assert options[0].estimated == DEFAULT_UNKNOWN_ESTIMATE
+
+
+class TestProbes:
+    def test_probe_unknown_server(self, deployment):
+        from repro.sim import ServerUnavailable
+
+        with pytest.raises(ServerUnavailable):
+            deployment.meta_wrapper.probe("S9", 0.0)
+
+    def test_probe_and_ratio(self, deployment):
+        rtt = deployment.meta_wrapper.probe("S1", 0.0)
+        assert rtt > 0
+        estimated, observed = deployment.meta_wrapper.probe_ratio("S1", 0.0)
+        assert observed > estimated > 0
+
+    def test_server_names(self, deployment):
+        assert deployment.meta_wrapper.server_names() == ["S1", "S2", "S3"]

@@ -1,0 +1,86 @@
+"""Unit tests for the relational wrapper and table renaming."""
+
+import pytest
+
+from repro.sim import MutableLoad, RemoteServer, ServerUnavailable, OutageSchedule
+from repro.sqlengine import Database, parse, populate
+from repro.wrappers import RelationalWrapper, rename_tables
+
+
+@pytest.fixture()
+def wrapper(tiny_specs):
+    db = Database("srv")
+    populate(db, tiny_specs, seed=42)
+    return RelationalWrapper(RemoteServer("srv", db, load=MutableLoad()))
+
+
+class TestRenameTables:
+    def test_rename_adds_alias_preserving_binding(self):
+        statement = parse("SELECT emp.salary FROM emp WHERE emp.salary > 1")
+        renamed = rename_tables(statement, {"emp": "emp_v2"})
+        assert renamed.tables[0].name == "emp_v2"
+        assert renamed.tables[0].binding == "emp"
+        assert "emp_v2 AS emp" in renamed.sql()
+
+    def test_existing_alias_kept(self):
+        statement = parse("SELECT e.salary FROM emp e")
+        renamed = rename_tables(statement, {"emp": "emp_v2"})
+        assert renamed.tables[0].binding == "e"
+
+    def test_join_tables_renamed(self):
+        statement = parse(
+            "SELECT e.empno FROM emp e JOIN dept d ON e.deptno = d.deptno"
+        )
+        renamed = rename_tables(statement, {"dept": "dept_x"})
+        assert renamed.joins[0].table.name == "dept_x"
+        assert renamed.joins[0].table.binding == "d"
+
+    def test_identity_mapping_no_change(self):
+        statement = parse("SELECT * FROM emp")
+        renamed = rename_tables(statement, {"emp": "emp"})
+        assert renamed.sql() == statement.sql()
+
+
+class TestWrapper:
+    def test_plans_return_candidates(self, wrapper):
+        plans = wrapper.plans("SELECT COUNT(*) FROM emp", 0.0)
+        assert plans
+        assert plans[0].cost.total > 0
+
+    def test_execute_returns_remote_execution(self, wrapper):
+        plan = wrapper.plans("SELECT COUNT(*) FROM emp", 0.0)[0].plan
+        execution = wrapper.execute(plan, 0.0)
+        assert execution.rows == [(300,)]
+        assert execution.observed_ms > 0
+
+    def test_translate_with_nickname_map(self, tiny_specs):
+        db = Database("srv")
+        populate(db, tiny_specs, seed=42)
+        server = RemoteServer("srv", db)
+        wrapper = RelationalWrapper(server, nickname_map={"people": "emp"})
+        sql = wrapper.translate("SELECT COUNT(*) FROM people")
+        assert "emp" in sql
+        plans = wrapper.plans("SELECT COUNT(*) FROM people", 0.0)
+        assert wrapper.execute(plans[0].plan, 0.0).rows == [(300,)]
+
+    def test_ping(self, wrapper):
+        assert wrapper.ping(0.0) > 0
+
+    def test_probe_ratio(self, wrapper):
+        estimated, observed = wrapper.probe_ratio(0.0)
+        assert estimated > 0
+        assert observed > estimated  # network on top of processing
+
+    def test_unavailable_propagates(self, tiny_specs):
+        db = Database("srv")
+        populate(db, tiny_specs, seed=42)
+        server = RemoteServer(
+            "srv", db, availability=OutageSchedule([(0.0, 100.0)])
+        )
+        wrapper = RelationalWrapper(server)
+        with pytest.raises(ServerUnavailable):
+            wrapper.plans("SELECT COUNT(*) FROM emp", 50.0)
+
+    def test_server_name(self, wrapper):
+        assert wrapper.server_name == "srv"
+        assert wrapper.source_type == "relational"
