@@ -18,7 +18,6 @@ mean response lowest.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.baselines import qcc_deployment, uncalibrated_deployment
 from repro.core import QCCConfig
@@ -43,7 +42,6 @@ def _run(deployment, workload):
 
 
 def _measure(databases, workload):
-    flaky = {"S3": ERROR_RATE}
     no_qcc = uncalibrated_deployment(
         scale=BENCH_SCALE, prebuilt_databases=databases
     )

@@ -15,7 +15,6 @@ lands near the short cycle without its fixed cost.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.baselines import qcc_deployment
 from repro.core import QCCConfig

@@ -15,7 +15,6 @@ whole server sets).
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core import LoadBalanceConfig, QCCConfig
 from repro.core.cycle import CycleConfig

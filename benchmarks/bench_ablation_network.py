@@ -16,7 +16,6 @@ uncalibrated system's; without congestion the two tie.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.baselines import qcc_deployment, uncalibrated_deployment
 from repro.harness import ascii_table, mean, run_workload_once

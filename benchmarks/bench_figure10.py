@@ -13,7 +13,6 @@ Shape assertions: positive gain in every phase; average gain in the
 
 from __future__ import annotations
 
-import pytest
 
 from conftest import get_fixed_sweep, get_qcc_sweep
 from repro.harness import ascii_table, bar_chart, gains_by_phase, mean

@@ -15,7 +15,6 @@ optimal anyway.
 
 from __future__ import annotations
 
-import pytest
 
 from conftest import get_preferred_sweep, get_qcc_sweep
 from repro.harness import ascii_table, bar_chart, gains_by_phase, mean

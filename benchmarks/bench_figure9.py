@@ -13,7 +13,6 @@ conditions.  The shape assertions encode Section 5.2's observations:
 
 from __future__ import annotations
 
-import pytest
 
 from repro.baselines import uncalibrated_deployment
 from repro.harness import grouped_series, observe_on_servers

@@ -1,0 +1,75 @@
+"""Observability overhead: the no-op sink must be free, tracing cheap.
+
+The obs layer sits on the hot path of every federated query (integrator,
+meta-wrapper, QCC, patroller all emit into it), so its disabled-by-
+default null sink must cost nothing measurable.  This bench runs the
+same workload three ways — null sink, metrics only, metrics + tracing —
+and prints the per-query cost of each level of visibility.
+"""
+
+from __future__ import annotations
+
+import time
+
+import repro.obs as obs
+from repro.harness import ascii_table, build_federation
+from repro.workload import BENCH_SCALE, build_workload
+
+QUERIES = 40
+
+
+def _run_workload(databases) -> float:
+    deployment = build_federation(
+        scale=BENCH_SCALE, prebuilt_databases=databases
+    )
+    workload = build_workload(instances_per_type=max(1, QUERIES // 4), seed=7)
+    start = time.perf_counter()
+    for instance in workload[:QUERIES]:
+        deployment.integrator.submit(instance.sql, label=instance.label)
+    return time.perf_counter() - start
+
+
+def _measure(databases):
+    results = {}
+    obs.disable()
+    results["null sink (default)"] = _run_workload(databases)
+    try:
+        obs.configure(metrics=True, tracing=False, log_level=None)
+        results["metrics only"] = _run_workload(databases)
+        obs.configure(metrics=True, tracing=True, log_level=None)
+        results["metrics + tracing"] = _run_workload(databases)
+        traced = obs.get_obs().tracer.last()
+    finally:
+        obs.disable()
+    return results, traced
+
+
+def test_obs_overhead(benchmark, bench_databases):
+    results, traced = benchmark.pedantic(
+        _measure, args=(bench_databases,), rounds=1, iterations=1
+    )
+
+    baseline = results["null sink (default)"]
+    print("\n=== Observability overhead (%d-query workload) ===" % QUERIES)
+    rows = [
+        [
+            mode,
+            f"{seconds * 1e3:.1f}",
+            f"{seconds / QUERIES * 1e6:.0f}",
+            f"{100 * (seconds - baseline) / baseline:+.1f}%",
+        ]
+        for mode, seconds in results.items()
+    ]
+    print(
+        ascii_table(
+            ["Sink", "Workload (ms)", "Per query (µs)", "vs null"], rows
+        )
+    )
+
+    # The fully-enabled run must actually have produced a trace...
+    assert traced is not None
+    assert traced.find("dispatch")
+    # ...and even full tracing must stay within 2x of the null sink (the
+    # real expectation is a few percent; 2x only guards against the
+    # instrumentation accidentally becoming the workload).
+    assert results["metrics + tracing"] < 2.0 * baseline

@@ -8,7 +8,6 @@ depends on the random tables it happened to generate would be worthless.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.baselines import fixed_assignment_deployment, qcc_deployment
 from repro.harness import (

@@ -19,7 +19,6 @@ Shape assertions:
 
 from __future__ import annotations
 
-import pytest
 
 from conftest import get_qcc_sweep
 from repro.harness import ascii_table

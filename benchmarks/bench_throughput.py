@@ -14,7 +14,6 @@ machinery, with the calibration cycle frozen so rotation is the lever.)
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core import LoadBalanceConfig, QCCConfig
 from repro.core.cycle import CycleConfig

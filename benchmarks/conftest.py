@@ -9,6 +9,8 @@ QCC sweep three times.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.baselines import (
@@ -24,8 +26,10 @@ from repro.harness import (
 )
 from repro.workload import BENCH_SCALE, PHASES, QUERY_TYPES, build_workload
 
-#: Instances per query type in benchmark workloads (paper: 10).
-INSTANCES_PER_TYPE = 5
+#: Instances per query type in benchmark workloads (paper: 10).  CI's
+#: bench-smoke job shrinks this via the environment to keep the per-PR
+#: perf signal fast.
+INSTANCES_PER_TYPE = int(os.environ.get("REPRO_BENCH_INSTANCES", "5"))
 
 
 @pytest.fixture(scope="session")

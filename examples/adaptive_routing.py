@@ -16,7 +16,6 @@ from repro.harness import (
     ascii_table,
     build_databases,
     dynamic_assignment,
-    gains_by_phase,
     percent_gain,
     run_phase,
 )

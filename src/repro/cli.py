@@ -6,6 +6,8 @@
     python -m repro experiment figure10      # regenerate a paper figure
     python -m repro query "SELECT ..."       # one federated query
     python -m repro status --queries 20      # QCC state after a workload
+    python -m repro trace "SELECT ..."       # JSON span trace of one query
+    python -m repro metrics --queries 20     # metrics snapshot of a workload
 
 Experiments accept ``--scale {test,bench,paper}`` (paper scale loads
 100k-row tables; expect minutes, not seconds).
@@ -14,9 +16,11 @@ Experiments accept ``--scale {test,bench,paper}`` (paper scale loads
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
+from . import obs
 from .harness import build_federation
 from .harness.experiments import (
     run_figure9,
@@ -111,6 +115,50 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SERVER=LEVEL",
         help="set a server's load level (repeatable)",
     )
+
+    trace = sub.add_parser(
+        "trace", help="run one query with tracing on and dump the JSON trace"
+    )
+    trace.add_argument("sql", help="federated SELECT over the sample schema")
+    trace.add_argument(
+        "--scale", choices=_SCALES, default="test", help="data scale"
+    )
+    trace.add_argument(
+        "--load",
+        action="append",
+        default=[],
+        metavar="SERVER=LEVEL",
+        help="set a server's load level (repeatable)",
+    )
+    trace.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the trace to PATH instead of stdout",
+    )
+
+    metrics = sub.add_parser(
+        "metrics", help="run a workload and dump the metrics snapshot"
+    )
+    metrics.add_argument(
+        "--scale", choices=_SCALES, default="test", help="data scale"
+    )
+    metrics.add_argument(
+        "--queries", type=int, default=16, help="workload size"
+    )
+    metrics.add_argument(
+        "--load",
+        action="append",
+        default=[],
+        metavar="SERVER=LEVEL",
+        help="set a server's load level (repeatable)",
+    )
+    metrics.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the snapshot as JSON instead of the text rendering",
+    )
     return parser
 
 
@@ -195,11 +243,49 @@ def _cmd_status(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    obs.configure(log_level=None)
+    scale = _SCALES[args.scale]
+    deployment = build_federation(scale=scale)
+    if args.load:
+        deployment.set_load(_parse_load(args.load))
+    result = deployment.integrator.submit(args.sql)
+    payload = result.trace.to_json()
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(payload + "\n")
+        print(f"Trace written to {args.json}")
+    else:
+        print(payload)
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    sink = obs.configure(log_level=None)
+    scale = _SCALES[args.scale]
+    deployment = build_federation(scale=scale)
+    if args.load:
+        deployment.set_load(_parse_load(args.load))
+    workload = build_workload(instances_per_type=max(1, args.queries // 4))
+    for instance in workload[: args.queries]:
+        deployment.integrator.submit(instance.sql, label=instance.label)
+    deployment.qcc.recalibrate(deployment.clock.now)
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(sink.metrics.snapshot(), handle, indent=2)
+        print(f"Metrics snapshot written to {args.json}")
+    else:
+        print(sink.metrics.render())
+    return 0
+
+
 _COMMANDS = {
     "demo": _cmd_demo,
     "experiment": _cmd_experiment,
     "query": _cmd_query,
     "status": _cmd_status,
+    "trace": _cmd_trace,
+    "metrics": _cmd_metrics,
 }
 
 

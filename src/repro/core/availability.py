@@ -19,6 +19,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
+from ..obs import get_obs
+
 
 @dataclass
 class ServerHealth:
@@ -77,23 +79,33 @@ class AvailabilityMonitor:
         health.up = False
         health.last_error_ms = t_ms
         health.outcomes.append((t_ms, False))
+        obs = get_obs()
+        obs.metrics.counter("server_errors_total", server=server).inc()
+        obs.metrics.gauge("server_up", server=server).set(0.0)
 
     def record_success(self, server: str, t_ms: float) -> None:
         health = self._get(server)
         health.up = True
         health.last_success_ms = t_ms
         health.outcomes.append((t_ms, True))
+        get_obs().metrics.gauge("server_up", server=server).set(1.0)
 
     def record_probe(self, server: str, t_ms: float, rtt_ms: Optional[float]) -> None:
         """Outcome of a daemon probe; ``rtt_ms`` None means unreachable."""
         health = self._get(server)
+        obs = get_obs()
         if rtt_ms is None:
             health.up = False
             health.last_error_ms = t_ms
+            obs.metrics.gauge("server_up", server=server).set(0.0)
         else:
             health.up = True
             health.last_success_ms = t_ms
             health.last_probe_rtt_ms = rtt_ms
+            obs.metrics.gauge("server_up", server=server).set(1.0)
+            obs.metrics.histogram(
+                "server_probe_rtt_ms", server=server
+            ).observe(rtt_ms)
 
     # -- queries ----------------------------------------------------------
 

@@ -9,11 +9,15 @@ so the optimizer sees a stable cost surface between cycles.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from ..obs import get_obs
 from ..sqlengine import PlanCost
 from .history import RatioHistory
+
+_LOG = logging.getLogger("repro.calibrator")
 
 
 @dataclass(frozen=True)
@@ -122,7 +126,27 @@ class CostCalibrator:
                 stale_cycles += 1
                 self._fragment_staleness[key] = (last_count, stale_cycles)
                 if stale_cycles >= self.config.fragment_stale_cycles:
-                    self._active_fragment.pop(key, None)
+                    dropped = self._active_fragment.pop(key, None)
+                    if dropped is not None:
+                        # A silent fallback here is undetectable from the
+                        # outside (the optimizer just starts seeing the
+                        # per-server factor); surface it.
+                        server, signature = key
+                        fallback = self.factor(server)
+                        get_obs().metrics.counter(
+                            "calibrator_fragment_factors_dropped_total",
+                            server=server,
+                        ).inc()
+                        _LOG.info(
+                            "dropped stale per-fragment factor %.2f for "
+                            "(%s, %s) after %d idle cycles; falling back to "
+                            "per-server factor %.2f",
+                            dropped,
+                            server,
+                            signature,
+                            stale_cycles,
+                            fallback,
+                        )
         return dict(self._active_server)
 
     # -- lookup ----------------------------------------------------------

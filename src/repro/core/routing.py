@@ -25,11 +25,13 @@ The integrator and meta-wrapper call a small, documented interface:
 
 from __future__ import annotations
 
+import logging
 import re
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, Optional, Sequence
 
+from ..obs import get_obs
 from ..sqlengine import INFINITE_COST, PlanCost
 from ..sim import PeriodicTimer, ServerUnavailable
 from ..fed.decomposer import DecomposedQuery
@@ -88,6 +90,8 @@ class Decision:
 
 
 _LITERAL_RE = re.compile(r"\b\d+(\.\d+)?\b|'(?:[^']|'')*'")
+
+_LOG = logging.getLogger("repro.qcc")
 
 
 def generalize_signature(signature: str) -> str:
@@ -184,6 +188,8 @@ class QueryCostCalibrator:
 
     def _log(self, t_ms: float, kind: str, detail: str) -> None:
         self.decision_log.append(Decision(t_ms=t_ms, kind=kind, detail=detail))
+        get_obs().metrics.counter("qcc_decisions_total", kind=kind).inc()
+        _LOG.info("[%.0fms] %s: %s", t_ms, kind, detail)
 
     def record_error(self, server: str, t_ms: float) -> None:
         was_up = self.availability.is_available(server, t_ms)
@@ -249,6 +255,7 @@ class QueryCostCalibrator:
             # The environment moved out from under the active factors:
             # close the cycle early rather than waiting out the timer.
             self.drift_recalibrations += 1
+            get_obs().metrics.counter("qcc_drift_recalibrations_total").inc()
             self._calibration_timer.fire(t_ms)
             self.recalibrate(t_ms, count_staleness=False)
 
@@ -260,6 +267,7 @@ class QueryCostCalibrator:
         self._probed_once = True
         for server in self._meta_wrapper.server_names():
             self.probes += 1
+            get_obs().metrics.counter("qcc_probes_total", server=server).inc()
             was_up = self.availability.is_available(server, t_ms)
             try:
                 rtt = self._meta_wrapper.probe(server, t_ms)
@@ -301,7 +309,9 @@ class QueryCostCalibrator:
 
     def recalibrate(self, t_ms: float, count_staleness: bool = True) -> None:
         """Fold histories into active factors and adapt the cycle."""
+        obs = get_obs()
         self.recalibrations += 1
+        obs.metrics.counter("qcc_recalibrations_total").inc()
         # Volatility must be read before folding: recalibration drains
         # the sample windows it summarises.
         volatility = max(
@@ -324,7 +334,13 @@ class QueryCostCalibrator:
                     f"{previous if previous is not None else 1.0:.2f} -> "
                     f"{factor:.2f}",
                 )
+        for server, factor in after.items():
+            obs.metrics.gauge("qcc_calibration_factor", server=server).set(
+                factor
+            )
+        obs.metrics.gauge("qcc_ii_factor").set(self.ii_calibrator.factor)
         interval = self.cycle.next_interval(volatility)
+        obs.metrics.gauge("qcc_cycle_interval_ms").set(interval)
         self._calibration_timer.reschedule(interval, t_ms)
 
     # -- introspection ----------------------------------------------------

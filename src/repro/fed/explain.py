@@ -9,8 +9,9 @@ winner only.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from ..obs import QueryTrace
 from .global_optimizer import GlobalPlan
 
 
@@ -35,6 +36,7 @@ class ExplainTable:
 
     def __init__(self) -> None:
         self._records: List[ExplainRecord] = []
+        self._traces: Dict[int, QueryTrace] = {}
 
     def record(
         self,
@@ -59,6 +61,19 @@ class ExplainTable:
         )
         self._records.append(record)
         return record
+
+    def attach_trace(self, query_id: int, trace: QueryTrace) -> None:
+        """Associate a runtime trace with the compile-time record.
+
+        The explain table stores only the winner plan; the trace is the
+        runtime counterpart (which fragments actually ran where, under
+        which calibration factors), so attaching it here gives operators
+        one lookup point per query.
+        """
+        self._traces[query_id] = trace
+
+    def trace_for(self, query_id: int) -> Optional[QueryTrace]:
+        return self._traces.get(query_id)
 
     def latest(self) -> Optional[ExplainRecord]:
         return self._records[-1] if self._records else None

@@ -16,9 +16,10 @@ with the merge inflated by II's own load.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
+from ..obs import NULL_TRACE, QueryTrace, get_obs
 from ..sqlengine import (
     Catalog,
     CostParameters,
@@ -75,6 +76,7 @@ class FederatedResult:
     merge_ms: float
     remote_ms: float
     retries: int = 0
+    trace: Optional[QueryTrace] = None
 
     @property
     def row_count(self) -> int:
@@ -140,9 +142,23 @@ class InformationIntegrator:
         compilation.
         """
         t = self.clock.now if t_ms is None else t_ms
+        trace = get_obs().tracer.current or NULL_TRACE
+        span = trace.begin("decompose", t, sql=sql)
         decomposed = decompose(sql, self.registry)
+        trace.end(
+            span,
+            t,
+            fragments=[f.fragment_id for f in decomposed.fragments],
+        )
+        span = trace.begin("plan_enumeration", t)
         plans = self._plans_for(
             decomposed, t, excluded_servers or set(), staleness_tolerance_ms
+        )
+        trace.end(
+            span,
+            t,
+            plans=len(plans),
+            best_estimate=plans[0].total_cost if plans else None,
         )
         return decomposed, plans
 
@@ -191,6 +207,9 @@ class InformationIntegrator:
         """Process one federated query end to end."""
         t0 = self.clock.now if t_ms is None else t_ms
         record = self.patroller.submit(sql, t0, label=label)
+        obs = get_obs()
+        obs.metrics.counter("ii_queries_total").inc()
+        trace = obs.tracer.start(record.query_id, sql, t0)
         if self.qcc is not None:
             self.qcc.tick(t0)
 
@@ -206,11 +225,21 @@ class InformationIntegrator:
                 )
             except FederationError as exc:
                 self.patroller.fail(record, t0 + elapsed, str(exc))
+                obs.metrics.counter("ii_query_failures_total").inc()
+                obs.tracer.finish(trace, t0 + elapsed, status="failed")
                 raise
+            span = trace.begin("route", t0)
             if self.qcc is not None:
                 chosen = self.qcc.recommend_global(decomposed, plans, t0)
             else:
                 chosen = self.router.choose(decomposed, plans, label, t0)
+            trace.end(
+                span,
+                t0,
+                servers=sorted(chosen.servers),
+                estimated_total=chosen.total_cost,
+                candidates=len(plans),
+            )
             try:
                 result = self._execute_plan(
                     decomposed, chosen, t0 + elapsed, record, retries
@@ -219,10 +248,19 @@ class InformationIntegrator:
                 last_error = exc
                 excluded.add(exc.server)
                 self.patroller.note_server_failure(record, exc.server)
+                obs.metrics.counter("ii_query_retries_total").inc()
+                trace.event(
+                    "retry", t0 + elapsed, server=exc.server, attempt=retries
+                )
                 elapsed += self.failure_penalty_ms
                 retries += 1
                 continue
             self.patroller.complete(record, t0 + result.response_ms)
+            obs.metrics.histogram("ii_response_ms").observe(result.response_ms)
+            obs.tracer.finish(trace, t0 + result.response_ms)
+            if trace is not NULL_TRACE:
+                result.trace = trace
+                self.explain_table.attach_trace(record.query_id, trace)
             if self.advance_clock and t_ms is None:
                 self.clock.advance(result.response_ms)
             return result
@@ -237,6 +275,8 @@ class InformationIntegrator:
             message,
             server=last_error.server if last_error else None,
         )
+        obs.metrics.counter("ii_query_failures_total").inc()
+        obs.tracer.finish(trace, t0 + elapsed, status="failed")
         raise FederationError(message)
 
     def _execute_plan(
@@ -248,12 +288,33 @@ class InformationIntegrator:
         retries: int,
     ) -> FederatedResult:
         self.explain_table.record(record.query_id, record.sql, t_ms, chosen)
+        obs = get_obs()
+        trace = obs.tracer.current or NULL_TRACE
 
         # Dispatch every fragment at the same instant (concurrently).
         outcomes: Dict[str, FragmentOutcome] = {}
         remote_ms = 0.0
         for choice in chosen.choices:
+            span = trace.begin(
+                "dispatch",
+                t_ms,
+                fragment=choice.fragment.fragment_id,
+                server=choice.server,
+            )
             option, execution = self.meta_wrapper.execute_option(choice, t_ms)
+            estimated = option.estimated.total
+            trace.end(
+                span,
+                t_ms + execution.observed_ms,
+                server=option.server,
+                estimated_total=estimated,
+                calibrated_total=option.calibrated.total,
+                calibration_factor=(
+                    option.calibrated.total / estimated if estimated > 0 else None
+                ),
+                observed_ms=execution.observed_ms,
+                substituted=option.server != choice.server,
+            )
             outcomes[option.fragment.fragment_id] = FragmentOutcome(
                 option=option, execution=execution
             )
@@ -270,6 +331,7 @@ class InformationIntegrator:
             )
             for fragment_id, outcome in outcomes.items()
         }
+        span = trace.begin("merge", t_ms + remote_ms)
         merge_plan = build_merge_plan(decomposed, inputs)
         merge_result = execute_plan(merge_plan, self._merge_storage, self.params)
         level = self.load.level(t_ms)
@@ -279,6 +341,16 @@ class InformationIntegrator:
             + self.profile.io_ms(merge_result.meter.io_ms)
             * self.contention.io_multiplier(level)
         )
+        trace.end(
+            span,
+            t_ms + remote_ms + merge_ms,
+            estimated_total=chosen.merge_cost.total,
+            observed_ms=merge_ms,
+            rows=len(merge_result.rows),
+            ii_load=level,
+        )
+        obs.metrics.histogram("ii_merge_ms").observe(merge_ms)
+        obs.metrics.histogram("ii_remote_ms").observe(remote_ms)
 
         response_ms = (t_ms - record.submitted_ms) + remote_ms + merge_ms
 

@@ -22,7 +22,6 @@ from ..sqlengine import (
     HashAggregate,
     HashJoin,
     Limit,
-    MaterializedInput,
     NestedLoopJoin,
     PhysicalPlan,
     PlanCost,

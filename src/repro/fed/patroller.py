@@ -9,8 +9,13 @@ of it.
 from __future__ import annotations
 
 import enum
+import logging
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional
+
+from ..obs import get_obs
+
+_LOG = logging.getLogger("repro.patroller")
 
 
 class QueryStatus(enum.Enum):
@@ -59,6 +64,13 @@ class QueryPatroller:
     def complete(self, record: PatrolRecord, t_ms: float) -> None:
         record.completed_ms = t_ms
         record.status = QueryStatus.COMPLETED
+        obs = get_obs()
+        obs.metrics.counter("queries_completed_total").inc()
+        response = record.response_time_ms
+        if response is not None:
+            obs.metrics.histogram(
+                "query_response_ms", label=record.label or "all"
+            ).observe(response)
 
     def fail(
         self,
@@ -72,6 +84,10 @@ class QueryPatroller:
         record.error = error
         if server is not None:
             record.failed_servers.append(server)
+        get_obs().metrics.counter("queries_failed_total").inc()
+        _LOG.warning(
+            "query %d failed at %.0fms: %s", record.query_id, t_ms, error
+        )
 
     def note_server_failure(self, record: PatrolRecord, server: str) -> None:
         """Record a server failure that the query survived via failover."""

@@ -17,7 +17,7 @@ The other routers model the baselines of Section 5:
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, Mapping, Optional, Sequence
 
 from .decomposer import DecomposedQuery
 from .global_optimizer import GlobalPlan

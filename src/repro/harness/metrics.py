@@ -1,10 +1,26 @@
-"""Response-time statistics and gain computations."""
+"""Response-time statistics and gain computations.
+
+The distribution summaries are computed by the observability layer's
+:class:`repro.obs.Histogram` — the harness keeps only the experiment-
+facing dataclass and the gain math, so there is a single percentile
+implementation shared by dashboards, metrics and reports.
+"""
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
 from typing import Sequence
+
+from ..obs import Histogram, percentile
+
+__all__ = [
+    "ResponseStats",
+    "geometric_mean",
+    "mean",
+    "percent_gain",
+    "percentile",
+]
 
 
 @dataclass(frozen=True)
@@ -17,37 +33,28 @@ class ResponseStats:
     p95: float
     minimum: float
     maximum: float
+    p99: float = 0.0
+
+    @staticmethod
+    def from_histogram(histogram: Histogram) -> "ResponseStats":
+        """Summarise an obs-layer histogram's retained samples."""
+        p50, p95, p99 = histogram.quantiles((0.50, 0.95, 0.99))
+        return ResponseStats(
+            count=histogram.count,
+            mean=histogram.mean,
+            median=p50,
+            p95=p95,
+            minimum=histogram.minimum,
+            maximum=histogram.maximum,
+            p99=p99,
+        )
 
     @staticmethod
     def from_samples(samples: Sequence[float]) -> "ResponseStats":
-        if not samples:
-            return ResponseStats(0, 0.0, 0.0, 0.0, 0.0, 0.0)
-        ordered = sorted(samples)
-        return ResponseStats(
-            count=len(ordered),
-            mean=sum(ordered) / len(ordered),
-            median=percentile(ordered, 0.5),
-            p95=percentile(ordered, 0.95),
-            minimum=ordered[0],
-            maximum=ordered[-1],
-        )
-
-
-def percentile(ordered: Sequence[float], q: float) -> float:
-    """Linear-interpolated percentile of an already sorted sequence."""
-    if not ordered:
-        return 0.0
-    if not 0.0 <= q <= 1.0:
-        raise ValueError("q must be in [0, 1]")
-    if len(ordered) == 1:
-        return ordered[0]
-    position = q * (len(ordered) - 1)
-    low = math.floor(position)
-    high = math.ceil(position)
-    if low == high:
-        return ordered[low]
-    fraction = position - low
-    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+        histogram = Histogram(capacity=max(1, len(samples)))
+        for sample in samples:
+            histogram.observe(sample)
+        return ResponseStats.from_histogram(histogram)
 
 
 def percent_gain(baseline: float, treatment: float) -> float:

@@ -1,0 +1,164 @@
+"""``repro.obs``: the observability layer (metrics + tracing + logging).
+
+The paper's whole contribution rests on *observing* estimated-vs-actual
+fragment costs; this package makes those observations visible to an
+operator.  It has three parts:
+
+* a :class:`~repro.obs.metrics.MetricsRegistry` of counters, gauges and
+  histograms (p50/p95/p99), keyed by server/fragment labels;
+* a per-query :class:`~repro.obs.trace.Tracer` producing structured span
+  trees (decompose → plan enumeration → calibration lookup → route →
+  dispatch → merge), exportable as JSON;
+* stdlib-``logging`` wiring under the ``repro`` logger namespace.
+
+Everything is **off by default**: the module-level state starts as a
+null sink whose instruments accept calls and record nothing, so the
+instrumented hot path costs a handful of no-op method calls per query.
+Call :func:`configure` to start recording::
+
+    import repro.obs as obs
+
+    obs.configure()                   # metrics + tracing + INFO logs
+    ...  # run federated queries
+    print(obs.get_obs().metrics.render())
+    print(obs.get_obs().tracer.last().to_json())
+
+Components obtain the active sink with :func:`get_obs` at call time, so
+``configure()`` takes effect even for integrators built beforehand.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+from .metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    percentile,
+)
+from .trace import (
+    NULL_SPAN,
+    NULL_TRACE,
+    NULL_TRACER,
+    NullTracer,
+    QueryTrace,
+    Span,
+    Tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NullTracer",
+    "NULL_REGISTRY",
+    "NULL_SPAN",
+    "NULL_TRACE",
+    "NULL_TRACER",
+    "Observability",
+    "QueryTrace",
+    "Span",
+    "Tracer",
+    "configure",
+    "disable",
+    "get_obs",
+    "logger",
+    "percentile",
+]
+
+
+class Observability:
+    """The bundle handed to instrumented components: metrics + tracer."""
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry,
+        tracer: Tracer,
+        enabled: bool,
+    ) -> None:
+        self.metrics = metrics
+        self.tracer = tracer
+        self.enabled = enabled
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        return cls(metrics=NULL_REGISTRY, tracer=NULL_TRACER, enabled=False)
+
+    # -- trace conveniences (safe with the null tracer) -------------------
+
+    def current_trace(self) -> Optional[QueryTrace]:
+        return self.tracer.current
+
+    def trace_event(self, name: str, t_ms: float, **attributes: object) -> None:
+        """Annotate the in-flight query's trace, if any.
+
+        This is the hook for components *below* the integrator (the
+        meta-wrapper, QCC): they never hold a trace handle, they just
+        decorate whichever query is currently being processed.
+        """
+        trace = self.tracer.current
+        if trace is not None:
+            trace.event(name, t_ms, **attributes)
+
+
+_OBS = Observability.disabled()
+
+
+def get_obs() -> Observability:
+    """The active observability sink (the null sink until configured)."""
+    return _OBS
+
+
+def logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` namespace (``repro.<name>``)."""
+    return logging.getLogger(f"repro.{name}" if name else "repro")
+
+
+def configure(
+    metrics: bool = True,
+    tracing: bool = True,
+    log_level: Optional[int] = logging.INFO,
+    trace_capacity: int = 64,
+    histogram_capacity: int = 1024,
+) -> Observability:
+    """Install a live observability sink and return it.
+
+    ``metrics``/``tracing`` select which halves record; a disabled half
+    keeps its null implementation.  ``log_level`` (None to leave logging
+    untouched) attaches a stream handler to the ``repro`` logger unless
+    the application already configured one.
+    """
+    global _OBS
+    _OBS = Observability(
+        metrics=(
+            MetricsRegistry(histogram_capacity=histogram_capacity)
+            if metrics
+            else NULL_REGISTRY
+        ),
+        tracer=Tracer(keep=trace_capacity) if tracing else NULL_TRACER,
+        enabled=metrics or tracing,
+    )
+    if log_level is not None:
+        root = logger()
+        root.setLevel(log_level)
+        if not root.handlers:
+            handler = logging.StreamHandler()
+            handler.setFormatter(
+                logging.Formatter("%(name)s %(levelname)s %(message)s")
+            )
+            root.addHandler(handler)
+    return _OBS
+
+
+def disable() -> Observability:
+    """Reinstall the null sink (the default state)."""
+    global _OBS
+    _OBS = Observability.disabled()
+    return _OBS

@@ -1,0 +1,230 @@
+"""Per-query tracing: structured span events over the federated pipeline.
+
+A :class:`QueryTrace` is a tree of :class:`Span` objects following one
+federated query through decompose → plan enumeration → calibration
+lookup → route decision → fragment dispatch → merge.  Spans carry
+arbitrary attributes (estimated cost, active calibration factor,
+observed ms, ...) and virtual-clock timestamps, and export to plain
+dicts / JSON.
+
+The :class:`Tracer` keeps the *current* trace so that components below
+the integrator (the meta-wrapper, QCC) can annotate the in-flight query
+without threading a handle through every call.  :data:`NULL_TRACER` and
+:data:`NULL_TRACE` implement the same surface as no-ops — the default
+until ``repro.obs.configure()`` enables tracing.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+
+class Span:
+    """One timed step of a query, with attributes and child spans."""
+
+    __slots__ = ("name", "start_ms", "end_ms", "attributes", "children")
+
+    def __init__(self, name: str, start_ms: float, **attributes: object):
+        self.name = name
+        self.start_ms = start_ms
+        self.end_ms: Optional[float] = None
+        self.attributes: Dict[str, object] = dict(attributes)
+        self.children: List[Span] = []
+
+    def annotate(self, **attributes: object) -> None:
+        self.attributes.update(attributes)
+
+    @property
+    def duration_ms(self) -> Optional[float]:
+        if self.end_ms is None:
+            return None
+        return self.end_ms - self.start_ms
+
+    def find(self, name: str) -> List["Span"]:
+        """All descendant spans (including self) named *name*."""
+        found = [self] if self.name == name else []
+        for child in self.children:
+            found.extend(child.find(name))
+        return found
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "name": self.name,
+            "start_ms": self.start_ms,
+            "end_ms": self.end_ms,
+            "duration_ms": self.duration_ms,
+        }
+        if self.attributes:
+            payload["attributes"] = dict(self.attributes)
+        if self.children:
+            payload["children"] = [c.to_dict() for c in self.children]
+        return payload
+
+
+class QueryTrace:
+    """The span tree of one federated query."""
+
+    def __init__(self, query_id: int, sql: str, started_ms: float):
+        self.query_id = query_id
+        self.sql = sql
+        self.started_ms = started_ms
+        self.finished_ms: Optional[float] = None
+        self.status = "running"
+        self.spans: List[Span] = []
+        self._open: List[Span] = []
+
+    # -- span API --------------------------------------------------------
+
+    def begin(self, name: str, t_ms: float, **attributes: object) -> Span:
+        """Open a span; it nests under the innermost still-open span."""
+        span = Span(name, t_ms, **attributes)
+        if self._open:
+            self._open[-1].children.append(span)
+        else:
+            self.spans.append(span)
+        self._open.append(span)
+        return span
+
+    def end(self, span: Span, t_ms: float, **attributes: object) -> Span:
+        """Close *span* (and anything left open beneath it)."""
+        span.end_ms = t_ms
+        if attributes:
+            span.annotate(**attributes)
+        while self._open:
+            top = self._open.pop()
+            if top is span:
+                break
+        return span
+
+    def event(self, name: str, t_ms: float, **attributes: object) -> Span:
+        """A zero-duration span at *t_ms* under the current open span."""
+        span = Span(name, t_ms, **attributes)
+        span.end_ms = t_ms
+        if self._open:
+            self._open[-1].children.append(span)
+        else:
+            self.spans.append(span)
+        return span
+
+    def finish(self, t_ms: float, status: str = "completed") -> None:
+        while self._open:
+            self._open.pop().end_ms = t_ms
+        self.finished_ms = t_ms
+        self.status = status
+
+    # -- reading ---------------------------------------------------------
+
+    def find(self, name: str) -> List[Span]:
+        found: List[Span] = []
+        for span in self.spans:
+            found.extend(span.find(name))
+        return found
+
+    @property
+    def response_ms(self) -> Optional[float]:
+        if self.finished_ms is None:
+            return None
+        return self.finished_ms - self.started_ms
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "query_id": self.query_id,
+            "sql": self.sql,
+            "status": self.status,
+            "started_ms": self.started_ms,
+            "finished_ms": self.finished_ms,
+            "response_ms": self.response_ms,
+            "spans": [span.to_dict() for span in self.spans],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, default=str)
+
+
+class Tracer:
+    """Creates traces and retains the most recent completed ones."""
+
+    def __init__(self, keep: int = 64):
+        self.current: Optional[QueryTrace] = None
+        self.finished: Deque[QueryTrace] = deque(maxlen=keep)
+
+    def start(self, query_id: int, sql: str, t_ms: float) -> QueryTrace:
+        trace = QueryTrace(query_id, sql, t_ms)
+        self.current = trace
+        return trace
+
+    def finish(
+        self, trace: QueryTrace, t_ms: float, status: str = "completed"
+    ) -> QueryTrace:
+        trace.finish(t_ms, status)
+        self.finished.append(trace)
+        if self.current is trace:
+            self.current = None
+        return trace
+
+    def last(self) -> Optional[QueryTrace]:
+        return self.finished[-1] if self.finished else None
+
+    def for_query(self, query_id: int) -> Optional[QueryTrace]:
+        for trace in reversed(self.finished):
+            if trace.query_id == query_id:
+                return trace
+        return None
+
+
+class _NullSpan(Span):
+    """Shared inert span: annotations vanish, children never attach."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__("null", 0.0)
+
+    def annotate(self, **attributes: object) -> None:
+        pass
+
+
+class _NullTrace(QueryTrace):
+    """Accepts the full trace surface, records nothing."""
+
+    def __init__(self) -> None:
+        super().__init__(query_id=0, sql="", started_ms=0.0)
+
+    def begin(self, name: str, t_ms: float, **attributes: object) -> Span:
+        return NULL_SPAN
+
+    def end(self, span: Span, t_ms: float, **attributes: object) -> Span:
+        return span
+
+    def event(self, name: str, t_ms: float, **attributes: object) -> Span:
+        return NULL_SPAN
+
+    def finish(self, t_ms: float, status: str = "completed") -> None:
+        pass
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: every start hands back the shared null trace.
+
+    ``current`` stays None so annotating components can skip work with a
+    single identity check.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(keep=1)
+        self.current = None
+
+    def start(self, query_id: int, sql: str, t_ms: float) -> QueryTrace:
+        return NULL_TRACE
+
+    def finish(
+        self, trace: QueryTrace, t_ms: float, status: str = "completed"
+    ) -> QueryTrace:
+        return trace
+
+
+NULL_SPAN = _NullSpan()
+NULL_TRACE = _NullTrace()
+NULL_TRACER = NullTracer()

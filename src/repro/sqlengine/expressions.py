@@ -66,7 +66,7 @@ def walk(expr: Expression) -> Iterator[Expression]:
 
 
 # Default children() so leaves need not override it.
-Expression.children = lambda self: ()  # type: ignore[attr-defined]
+Expression.children = lambda self: ()  # noqa: E731  # type: ignore[attr-defined]
 
 
 @dataclass(frozen=True, repr=False)

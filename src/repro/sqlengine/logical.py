@@ -14,7 +14,6 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from .catalog import Catalog, TableDef
 from .expressions import (
-    AggregateCall,
     ColumnRef,
     Comparison,
     Expression,

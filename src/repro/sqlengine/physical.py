@@ -1059,7 +1059,6 @@ def stats_context_for_plan(plan: PhysicalPlan) -> StatsContext:
     plan held by the meta-wrapper) be re-costed without access to the
     query block that produced it.
     """
-    stats: Dict[str, TableDef] = {}
     mapping = {}
     nodes: List[PhysicalPlan] = [plan]
     while nodes:

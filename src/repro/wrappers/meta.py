@@ -11,10 +11,11 @@ optimizer is influenced without being modified.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
-from ..sqlengine import PlanCandidate, PlanCost
+from ..obs import get_obs
+from ..sqlengine import PlanCost
 from ..sim import RemoteExecution, ServerUnavailable
 from ..fed.decomposer import QueryFragment
 from ..fed.global_optimizer import FragmentOption
@@ -87,12 +88,23 @@ class MetaWrapper:
     ) -> List[FragmentOption]:
         """Collect candidate plans for *fragment* from every candidate
         server, applying QCC calibration to the estimated costs."""
+        obs = get_obs()
         options: List[FragmentOption] = []
         for server in fragment.candidate_servers:
             wrapper = self.wrappers.get(server)
             if wrapper is None:
                 continue
             if self.qcc is not None and not self.qcc.is_available(server, t_ms):
+                obs.trace_event(
+                    "server_skipped",
+                    t_ms,
+                    server=server,
+                    fragment=fragment.fragment_id,
+                    reason="unavailable",
+                )
+                obs.metrics.counter(
+                    "mw_servers_skipped_total", server=server
+                ).inc()
                 continue
             try:
                 candidates = wrapper.plans(fragment.sql, t_ms)
@@ -110,6 +122,19 @@ class MetaWrapper:
                     )
                 else:
                     calibrated = estimated
+                obs.trace_event(
+                    "calibration_lookup",
+                    t_ms,
+                    server=server,
+                    fragment=fragment.fragment_id,
+                    estimated_total=estimated.total,
+                    calibrated_total=calibrated.total,
+                    calibration_factor=(
+                        calibrated.total / estimated.total
+                        if estimated.total > 0
+                        else None
+                    ),
+                )
                 option = FragmentOption(
                     fragment=fragment,
                     server=server,
@@ -152,9 +177,22 @@ class MetaWrapper:
         load balancer may swap the option for an *identical* plan on an
         equivalent server (Section 4.1) just before dispatch.
         """
+        obs = get_obs()
         if self.qcc is not None and allow_substitution:
             siblings = self.sibling_options(option.fragment.signature)
-            option = self.qcc.substitute(option, siblings, t_ms)
+            substituted = self.qcc.substitute(option, siblings, t_ms)
+            if substituted is not option:
+                obs.metrics.counter(
+                    "mw_substitutions_total", server=substituted.server
+                ).inc()
+                obs.trace_event(
+                    "substitution",
+                    t_ms,
+                    fragment=option.fragment.fragment_id,
+                    from_server=option.server,
+                    to_server=substituted.server,
+                )
+            option = substituted
         wrapper = self.wrappers.get(option.server)
         if wrapper is None:
             raise ServerUnavailable(option.server, t_ms)
@@ -163,7 +201,16 @@ class MetaWrapper:
         except ServerUnavailable:
             if self.qcc is not None:
                 self.qcc.record_error(option.server, t_ms)
+            obs.metrics.counter(
+                "mw_fragment_errors_total", server=option.server
+            ).inc()
             raise
+        obs.metrics.counter(
+            "mw_fragment_executions_total", server=option.server
+        ).inc()
+        obs.metrics.histogram(
+            "mw_fragment_response_ms", server=option.server
+        ).observe(result.observed_ms)
         self.runtime_log.append(
             RuntimeLogEntry(
                 t_ms=t_ms,

@@ -1,6 +1,5 @@
 """Unit tests for baseline deployment factories."""
 
-import pytest
 
 from repro.baselines import (
     blind_round_robin_deployment,

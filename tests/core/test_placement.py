@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import PlacementAdvisor, QCCConfig, apply_recommendation
+from repro.core import PlacementAdvisor, apply_recommendation
 from repro.core.placement import _nicknames_of
 from repro.fed import FederationError
 from repro.harness import ServerSpec, build_federation

@@ -6,8 +6,6 @@ import pytest
 
 from repro.core import QCCConfig, QueryCostCalibrator
 from repro.core.routing import generalize_signature
-from repro.core.calibrator import CalibratorConfig
-from repro.core.cycle import CycleConfig
 from repro.sqlengine import PlanCost
 
 

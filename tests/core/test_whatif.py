@@ -3,9 +3,9 @@
 import pytest
 
 from repro.core import WhatIfPlanner
-from repro.fed import NicknameRegistry, enumerate_global_plans, decompose
+from repro.fed import enumerate_global_plans, decompose
 from repro.harness.deployment import build_replica_federation
-from repro.sqlengine import DEFAULT_COST_PARAMETERS, REFERENCE_PROFILE
+from repro.sqlengine import DEFAULT_COST_PARAMETERS
 from repro.workload import TEST_SCALE
 
 

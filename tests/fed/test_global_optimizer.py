@@ -6,7 +6,6 @@ import pytest
 
 from repro.fed import (
     FederationError,
-    GlobalPlan,
     NicknameRegistry,
     cluster_near_cost,
     decompose,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.fed import FederationError, QueryStatus
-from repro.harness import build_federation, DEFAULT_SERVER_SPECS
+from repro.harness import build_federation
 from repro.sim import OutageSchedule
 from repro.sqlengine import rows_equal_unordered
 from repro.workload import TEST_SCALE

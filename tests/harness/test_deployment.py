@@ -1,6 +1,5 @@
 """Unit tests for federation builders."""
 
-import pytest
 
 from repro.fed import FixedRouter
 from repro.harness import (

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.baselines import qcc_deployment, uncalibrated_deployment
-from repro.harness import build_federation, run_workload_once
+from repro.harness import run_workload_once
 from repro.sim import OutageSchedule
 from repro.sqlengine import rows_equal_unordered
 from repro.workload import QT1, QT2, TEST_SCALE, build_workload

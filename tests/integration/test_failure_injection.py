@@ -6,7 +6,6 @@ correct result or fails with a clean FederationError — never a crash —
 and that the patroller's books always balance.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.fed import FederationError, QueryStatus

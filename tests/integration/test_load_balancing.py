@@ -1,6 +1,5 @@
 """Integration tests for Section 4's load distribution on live replicas."""
 
-import pytest
 
 from repro.core import LoadBalanceConfig, QCCConfig
 from repro.core.cycle import CycleConfig

@@ -1,6 +1,5 @@
 """Integration tests: routing reacts to network latency, not just load."""
 
-import pytest
 
 from repro.baselines import qcc_deployment, uncalibrated_deployment
 from repro.harness import run_workload_once

@@ -1,0 +1,17 @@
+"""Fixtures for observability tests: isolate the global sink."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.obs as obs
+
+
+@pytest.fixture()
+def live_obs():
+    """A configured observability sink, torn back down to the null sink."""
+    sink = obs.configure(log_level=None)
+    try:
+        yield sink
+    finally:
+        obs.disable()

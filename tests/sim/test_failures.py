@@ -45,7 +45,6 @@ class TestErrorInjector:
         assert 0.25 < failures / 2000 < 0.35
 
     def test_deterministic_per_seed_and_name(self):
-        a = [ErrorInjector(0.5, seed=1, name="x").should_fail() for _ in range(1)]
         seq_a = [f for f in _seq(1, "x")]
         seq_b = [f for f in _seq(1, "x")]
         seq_c = [f for f in _seq(2, "x")]

@@ -1,6 +1,5 @@
 """Unit tests for the Database facade."""
 
-import pytest
 
 from repro.sqlengine import (
     Column,

@@ -1,6 +1,5 @@
 """Unit tests for deterministic data generation."""
 
-import pytest
 
 from repro.sqlengine import (
     Choice,

@@ -5,7 +5,6 @@ import pytest
 from repro.sqlengine import (
     Column,
     ColumnType,
-    Database,
     InList,
     Like,
     ParseError,

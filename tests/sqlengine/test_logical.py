@@ -3,7 +3,6 @@
 import pytest
 
 from repro.sqlengine import BindError, bind, parse
-from repro.sqlengine.logical import QueryBlock
 
 
 def _bind(sql, db):

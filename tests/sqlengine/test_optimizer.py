@@ -2,11 +2,9 @@
 
 import math
 
-import pytest
 
 from repro.sqlengine import (
     OptimizerConfig,
-    plan_sql,
     rows_equal_unordered,
 )
 from repro.sqlengine.physical import HashJoin, IndexScan, NestedLoopJoin, SeqScan

@@ -5,7 +5,6 @@ import pytest
 from repro.sqlengine import (
     Column,
     ColumnType,
-    Database,
     ExecutionError,
     MaterializedInput,
     Schema,
@@ -13,17 +12,15 @@ from repro.sqlengine import (
 )
 from repro.sqlengine.executor import execute_plan
 from repro.sqlengine.physical import (
-    Distinct,
     Filter,
     HashJoin,
     IndexScan,
     Limit,
     NestedLoopJoin,
     SeqScan,
-    Sort,
     WorkMeter,
 )
-from repro.sqlengine.parser import OrderItem, parse_expression
+from repro.sqlengine.parser import parse_expression
 from repro.sqlengine.expressions import ColumnRef, Literal
 
 

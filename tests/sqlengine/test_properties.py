@@ -8,7 +8,6 @@ from repro.sqlengine import (
     ColumnType,
     Database,
     Schema,
-    parse,
     parse_expression,
     rows_equal_unordered,
 )

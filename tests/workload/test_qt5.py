@@ -1,6 +1,5 @@
 """Tests for the QT5 extension workload (outer-join report)."""
 
-import pytest
 
 from repro.harness import build_federation
 from repro.sqlengine import parse, rows_equal_unordered
@@ -39,7 +38,6 @@ class TestQt5Execution:
     def test_preserves_all_nations(self, sample_databases):
         db = sample_databases["S1"]
         result = db.run(QT5.instance(0).sql)
-        nations = {r[0] for r in db.storage.table("customer").scan()}
         # GROUP BY over the preserved side keeps every nation that has
         # at least one customer
         customer_nations = {

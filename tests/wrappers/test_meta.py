@@ -4,7 +4,6 @@ import pytest
 
 from repro.fed import decompose
 from repro.harness import build_federation
-from repro.sqlengine import PlanCost
 from repro.wrappers import DEFAULT_UNKNOWN_ESTIMATE, MetaWrapper
 from repro.workload import TEST_SCALE
 
