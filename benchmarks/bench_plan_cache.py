@@ -1,0 +1,82 @@
+"""Compile-path speedup from the epoch-invalidated plan cache.
+
+The paper's workload resubmits the same query instances phase after
+phase, so between calibration cycles the integrator recompiles
+identical (sql, exclusions, tolerance) triples against an unchanged
+cost surface.  This bench measures the compile path with the cache on
+(warm: every lookup hits) against the same deployment with the cache
+off, over the standard mixed QT1-QT4 workload.
+
+Asserts the cached compile loop is at least 2x faster — in practice a
+dict lookup vs a full decompose + per-fragment explain + global plan
+enumeration is orders of magnitude apart, so 2x leaves headroom for
+noisy CI machines.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.harness import build_federation
+from repro.workload import BENCH_SCALE
+
+#: Passes over the workload per timing sample; CI shrinks via env.
+ROUNDS = int(os.environ.get("REPRO_BENCH_ROUNDS", "20"))
+
+
+def _compile_loop(integrator, sqls, rounds: int) -> float:
+    start = time.perf_counter()
+    for _ in range(rounds):
+        for sql in sqls:
+            integrator.compile(sql)
+    return time.perf_counter() - start
+
+
+def test_plan_cache_compile_speedup(
+    benchmark, bench_databases, bench_workload
+):
+    cached = build_federation(
+        scale=BENCH_SCALE, prebuilt_databases=bench_databases
+    )
+    uncached = build_federation(
+        scale=BENCH_SCALE,
+        prebuilt_databases=bench_databases,
+        enable_plan_cache=False,
+    )
+    assert cached.integrator.plan_cache is not None
+    assert uncached.integrator.plan_cache is None
+
+    sqls = [instance.sql for instance in bench_workload]
+    # Prime: the first pass populates the cache (all misses).
+    _compile_loop(cached.integrator, sqls, 1)
+
+    cached_s = benchmark.pedantic(
+        _compile_loop,
+        args=(cached.integrator, sqls, ROUNDS),
+        rounds=1,
+        iterations=1,
+    )
+    uncached_s = _compile_loop(uncached.integrator, sqls, ROUNDS)
+    speedup = uncached_s / cached_s if cached_s > 0 else float("inf")
+
+    stats = cached.integrator.plan_cache.stats()
+    benchmark.extra_info["cached_s"] = cached_s
+    benchmark.extra_info["uncached_s"] = uncached_s
+    benchmark.extra_info["speedup"] = speedup
+    benchmark.extra_info["plan_cache"] = stats
+
+    print("\n=== Plan cache compile-path benchmark ===")
+    print(f"workload: {len(sqls)} queries x {ROUNDS} rounds")
+    print(f"cache on:  {cached_s * 1000:9.1f} ms")
+    print(f"cache off: {uncached_s * 1000:9.1f} ms")
+    print(f"speedup:   {speedup:9.1f}x")
+    print("cache stats:")
+    for key, value in stats.items():
+        formatted = f"{value:.3f}" if isinstance(value, float) else value
+        print(f"  {key}: {formatted}")
+
+    # Warm lookups only: every timed compile must have hit.
+    assert stats["misses"] == len(sqls)
+    assert stats["hits"] == len(sqls) * ROUNDS
+    assert speedup >= 2.0, (cached_s, uncached_s)

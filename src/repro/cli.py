@@ -270,12 +270,23 @@ def _cmd_metrics(args) -> int:
     for instance in workload[: args.queries]:
         deployment.integrator.submit(instance.sql, label=instance.label)
     deployment.qcc.recalibrate(deployment.clock.now)
+    cache = deployment.integrator.plan_cache
     if args.json:
+        snapshot = sink.metrics.snapshot()
+        if cache is not None:
+            snapshot["plan_cache"] = cache.stats()
         with open(args.json, "w") as handle:
-            json.dump(sink.metrics.snapshot(), handle, indent=2)
+            json.dump(snapshot, handle, indent=2)
         print(f"Metrics snapshot written to {args.json}")
     else:
         print(sink.metrics.render())
+        if cache is not None:
+            print("\nplan cache:")
+            for key, value in cache.stats().items():
+                formatted = (
+                    f"{value:.3f}" if isinstance(value, float) else value
+                )
+                print(f"  {key}: {formatted}")
     return 0
 
 

@@ -4,6 +4,7 @@ from .availability import AvailabilityMonitor, ServerHealth
 from .bidding import Auction, Bid, BidBroker, BiddingQcc
 from .calibrator import CalibratorConfig, CostCalibrator, IICalibrator
 from .cycle import CalibrationCycleController, CycleConfig
+from .epoch import CalibrationEpoch
 from .history import Ewma, RatioHistory, RunningStats
 from .load_balance import (
     FragmentLoadBalancer,
@@ -26,6 +27,7 @@ __all__ = [
     "BidBroker",
     "BiddingQcc",
     "CalibrationCycleController",
+    "CalibrationEpoch",
     "CalibratorConfig",
     "CostCalibrator",
     "CycleConfig",

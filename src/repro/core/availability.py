@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
 from ..obs import get_obs
+from .epoch import CalibrationEpoch
 
 
 @dataclass
@@ -50,6 +51,7 @@ class AvailabilityMonitor:
         servers: Iterable[str],
         reliability_weight: float = 1.0,
         outcome_window: int = 64,
+        epoch: Optional[CalibrationEpoch] = None,
     ):
         self._health: Dict[str, ServerHealth] = {
             name: ServerHealth(
@@ -58,6 +60,11 @@ class AvailabilityMonitor:
             for name in servers
         }
         self.reliability_weight = reliability_weight
+        #: Bumped on up/down transitions and on reliability-rate changes
+        #: — both alter the calibrated cost surface (infinite cost for a
+        #: down server, the reliability penalty for a flaky one), so
+        #: compiled plans from before the event must not be reused.
+        self.epoch = epoch if epoch is not None else CalibrationEpoch()
 
     def _get(self, server: str) -> ServerHealth:
         health = self._health.get(server)
@@ -76,18 +83,26 @@ class AvailabilityMonitor:
         successful daemon probe.
         """
         health = self._get(server)
+        was_up = health.up
+        rate_before = health.success_rate()
         health.up = False
         health.last_error_ms = t_ms
         health.outcomes.append((t_ms, False))
+        if was_up or health.success_rate() != rate_before:
+            self.epoch.bump()
         obs = get_obs()
         obs.metrics.counter("server_errors_total", server=server).inc()
         obs.metrics.gauge("server_up", server=server).set(0.0)
 
     def record_success(self, server: str, t_ms: float) -> None:
         health = self._get(server)
+        was_up = health.up
+        rate_before = health.success_rate()
         health.up = True
         health.last_success_ms = t_ms
         health.outcomes.append((t_ms, True))
+        if not was_up or health.success_rate() != rate_before:
+            self.epoch.bump()
         get_obs().metrics.gauge("server_up", server=server).set(1.0)
 
     def record_probe(self, server: str, t_ms: float, rtt_ms: Optional[float]) -> None:
@@ -95,10 +110,14 @@ class AvailabilityMonitor:
         health = self._get(server)
         obs = get_obs()
         if rtt_ms is None:
+            if health.up:
+                self.epoch.bump()
             health.up = False
             health.last_error_ms = t_ms
             obs.metrics.gauge("server_up", server=server).set(0.0)
         else:
+            if not health.up:
+                self.epoch.bump()
             health.up = True
             health.last_success_ms = t_ms
             health.last_probe_rtt_ms = rtt_ms

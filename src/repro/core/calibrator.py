@@ -15,6 +15,7 @@ from typing import Dict, Optional, Tuple
 
 from ..obs import get_obs
 from ..sqlengine import PlanCost
+from .epoch import CalibrationEpoch
 from .history import RatioHistory
 
 _LOG = logging.getLogger("repro.calibrator")
@@ -46,8 +47,15 @@ class CalibratorConfig:
 class CostCalibrator:
     """Learns and serves query-fragment processing cost calibration factors."""
 
-    def __init__(self, config: CalibratorConfig = CalibratorConfig()):
+    def __init__(
+        self,
+        config: CalibratorConfig = CalibratorConfig(),
+        epoch: Optional[CalibrationEpoch] = None,
+    ):
         self.config = config
+        #: Bumped whenever the active factors (the cost surface served to
+        #: the optimizer) change; plan caches validate against it.
+        self.epoch = epoch if epoch is not None else CalibrationEpoch()
         self._server_history: Dict[str, RatioHistory] = {}
         self._fragment_history: Dict[Tuple[str, str], RatioHistory] = {}
         self._active_server: Dict[str, float] = {}
@@ -94,7 +102,10 @@ class CostCalibrator:
         server_history.record(estimated_total, observed_ms)
 
     def set_initial_factor(self, server: str, factor: float) -> None:
-        self._initial[server] = self._clamp(factor)
+        clamped = self._clamp(factor)
+        if self._initial.get(server) != clamped:
+            self._initial[server] = clamped
+            self.epoch.bump()
 
     # -- calibration cycle ----------------------------------------------------
 
@@ -109,7 +120,12 @@ class CostCalibrator:
         toward staleness unless ``count_staleness`` is False — drift-
         triggered early recalibrations must not age factors, or a burst
         of them would expire per-fragment knowledge mid-workload).
+
+        Every recalibration opens a new calibration epoch, even when no
+        factor moves: the cycle boundary is the contract under which
+        compiled plans may be reused, so the boundary itself invalidates.
         """
+        self.epoch.bump()
         for server, history in self._server_history.items():
             if history.count >= self.config.min_server_samples:
                 self._active_server[server] = self._clamp(history.ratio())
@@ -189,7 +205,13 @@ class CostCalibrator:
         for server, history in self._server_history.items():
             if history.count < self.config.min_server_samples:
                 continue
-            live = history.ratio()
+            # Clamp the live ratio exactly as recalibration would before
+            # comparing: an observation outside [min_factor, max_factor]
+            # can never move the active factor past the clamp bounds, so
+            # comparing the raw ratio would report permanent drift (and
+            # force an early recalibration on every check) for a
+            # divergence no recalibration can close.
+            live = self._clamp(history.ratio())
             active = self.factor(server)
             if live <= 0 or active <= 0:
                 continue
@@ -225,9 +247,19 @@ class IICalibrator:
     the integrator's own machine.
     """
 
-    def __init__(self, window: int = 32, min_samples: int = 2):
+    def __init__(
+        self,
+        window: int = 32,
+        min_samples: int = 2,
+        min_factor: float = 0.05,
+        max_factor: float = 100.0,
+    ):
+        if not 0 < min_factor <= max_factor:
+            raise ValueError("factor bounds must satisfy 0 < min <= max")
         self._history = RatioHistory(window)
         self._min_samples = min_samples
+        self.min_factor = min_factor
+        self.max_factor = max_factor
         self._active = 1.0
 
     def record(self, estimated_total: float, observed_ms: float) -> None:
@@ -235,7 +267,9 @@ class IICalibrator:
 
     def recalibrate(self) -> float:
         if self._history.count >= self._min_samples:
-            self._active = max(0.05, min(100.0, self._history.ratio()))
+            self._active = max(
+                self.min_factor, min(self.max_factor, self._history.ratio())
+            )
             self._history.clear()
         return self._active
 

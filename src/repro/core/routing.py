@@ -39,6 +39,7 @@ from ..fed.global_optimizer import FragmentOption, GlobalPlan
 from .availability import AvailabilityMonitor
 from .calibrator import CalibratorConfig, CostCalibrator, IICalibrator
 from .cycle import CalibrationCycleController, CycleConfig
+from .epoch import CalibrationEpoch
 from .load_balance import (
     FragmentLoadBalancer,
     GlobalLoadBalancer,
@@ -109,10 +110,19 @@ class QueryCostCalibrator:
         start_ms: float = 0.0,
     ):
         self.config = config
-        self.calibrator = CostCalibrator(config.calibrator)
-        self.ii_calibrator = IICalibrator(window=config.calibrator.window)
+        #: One epoch shared by every cost-surface input, so a single
+        #: counter tells plan caches whether any of them moved.
+        self.epoch = CalibrationEpoch()
+        self.calibrator = CostCalibrator(config.calibrator, epoch=self.epoch)
+        self.ii_calibrator = IICalibrator(
+            window=config.calibrator.window,
+            min_factor=config.calibrator.min_factor,
+            max_factor=config.calibrator.max_factor,
+        )
         self.availability = AvailabilityMonitor(
-            servers, reliability_weight=config.reliability_weight
+            servers,
+            reliability_weight=config.reliability_weight,
+            epoch=self.epoch,
         )
         self.cycle = CalibrationCycleController(config.cycle)
         self.fragment_balancer = FragmentLoadBalancer(config.load_balance)
@@ -353,6 +363,7 @@ class QueryCostCalibrator:
     def status(self) -> Dict[str, object]:
         """A snapshot for dashboards/tests."""
         return {
+            "calibration_epoch": self.epoch.value,
             "server_factors": self.calibrator.server_factors(),
             "ii_factor": self.ii_calibrator.factor,
             "down_servers": self.availability.down_servers(),

@@ -18,6 +18,7 @@ from .integrator import (
 from .merge import EstimatedInput, build_merge_plan, estimate_merge_cost
 from .nicknames import FederationError, NicknameRegistry, Placement
 from .patroller import PatrolRecord, QueryPatroller, QueryStatus
+from .plan_cache import PlanCache, PlanCacheEntry, plan_key
 from .replication import ReplicaManager, ReplicaState, ReplicaSyncDaemon
 from .routers import (
     CostBasedRouter,
@@ -45,6 +46,8 @@ __all__ = [
     "NicknameRegistry",
     "PatrolRecord",
     "Placement",
+    "PlanCache",
+    "PlanCacheEntry",
     "PreferredServerRouter",
     "QueryFragment",
     "QueryPatroller",
@@ -60,4 +63,5 @@ __all__ = [
     "eliminate_dominated",
     "enumerate_global_plans",
     "estimate_merge_cost",
+    "plan_key",
 ]

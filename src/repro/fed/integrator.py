@@ -52,6 +52,7 @@ from .global_optimizer import (
 from .merge import build_merge_plan
 from .nicknames import FederationError, NicknameRegistry
 from .patroller import PatrolRecord, QueryPatroller
+from .plan_cache import CalibrationEpoch, PlanCache, plan_key
 from .routers import CostBasedRouter, Router
 
 
@@ -102,6 +103,8 @@ class InformationIntegrator:
         failure_penalty_ms: float = 250.0,
         max_retries: int = 3,
         advance_clock: bool = True,
+        enable_plan_cache: bool = True,
+        plan_cache_size: int = 128,
     ):
         self.registry = registry
         self.meta_wrapper = meta_wrapper
@@ -112,7 +115,6 @@ class InformationIntegrator:
         self.contention = contention
         self.router = router if router is not None else CostBasedRouter()
         self.qcc = qcc
-        self.replica_manager = replica_manager
         if qcc is not None:
             self.meta_wrapper.attach_qcc(qcc)
         self.compile_overhead_ms = compile_overhead_ms
@@ -121,9 +123,71 @@ class InformationIntegrator:
         self.advance_clock = advance_clock
         self.patroller = QueryPatroller()
         self.explain_table = ExplainTable()
+        # The plan cache shares QCC's calibration epoch so recalibrations
+        # and availability transitions invalidate cached compilations.  A
+        # custom QCC that does not publish an epoch offers no way to tell
+        # when its cost surface moves, so caching is refused outright
+        # rather than risking stale plans.
+        epoch = getattr(qcc, "epoch", None) if qcc is not None else None
+        if qcc is not None and epoch is None:
+            enable_plan_cache = False
+        self.calibration_epoch = (
+            epoch if epoch is not None else CalibrationEpoch()
+        )
+        self.plan_cache = (
+            PlanCache(self.calibration_epoch, maxsize=plan_cache_size)
+            if enable_plan_cache
+            else None
+        )
+        if hasattr(registry, "bind_epoch"):
+            registry.bind_epoch(self.calibration_epoch)
+        self._replica_manager = None
+        self.replica_manager = replica_manager
         # Merge plans touch no stored tables; a bare storage manager is
         # enough for the execution context.
         self._merge_storage = StorageManager(Catalog())
+
+    # -- wiring ----------------------------------------------------------
+
+    @property
+    def registry(self):
+        return self._registry
+
+    @registry.setter
+    def registry(self, registry) -> None:
+        """Swap the nickname registry (also valid after construction).
+
+        The registry is bound to the calibration epoch so later topology
+        changes invalidate cached plans, and plans compiled against the
+        old topology are dropped immediately.
+        """
+        self._registry = registry
+        # During __init__ the epoch does not exist yet; the constructor
+        # binds explicitly once it does.
+        epoch = getattr(self, "calibration_epoch", None)
+        if epoch is not None and hasattr(registry, "bind_epoch"):
+            registry.bind_epoch(epoch)
+        cache = getattr(self, "plan_cache", None)
+        if cache is not None:
+            cache.clear()
+
+    @property
+    def replica_manager(self):
+        return self._replica_manager
+
+    @replica_manager.setter
+    def replica_manager(self, manager) -> None:
+        """Attach a replica manager (also valid after construction).
+
+        The manager is bound to the calibration epoch so replica writes
+        and syncs invalidate cached plans, and any plans compiled before
+        the manager existed (without its freshness filters) are dropped.
+        """
+        self._replica_manager = manager
+        if manager is not None and hasattr(manager, "bind_epoch"):
+            manager.bind_epoch(self.calibration_epoch)
+        if self.plan_cache is not None:
+            self.plan_cache.clear()
 
     # -- compile time ----------------------------------------------------
 
@@ -140,9 +204,27 @@ class InformationIntegrator:
         candidate servers whose copies are older than the tolerance are
         excluded — runtime-aware replica currency, re-evaluated at every
         compilation.
+
+        Repeated compilations are served from the plan cache while the
+        calibration epoch (and any replica-freshness horizon) says the
+        cost surface has not moved, so a hit returns exactly the plans a
+        fresh compilation would produce.
         """
         t = self.clock.now if t_ms is None else t_ms
         trace = get_obs().tracer.current or NULL_TRACE
+        cache = self.plan_cache
+        key = plan_key(sql, excluded_servers, staleness_tolerance_ms)
+        if cache is not None:
+            entry = cache.get(key, t)
+            if entry is not None:
+                trace.event(
+                    "plan_cache",
+                    t,
+                    hit=True,
+                    epoch=entry.epoch,
+                    plans=len(entry.plans),
+                )
+                return entry.decomposed, list(entry.plans)
         span = trace.begin("decompose", t, sql=sql)
         decomposed = decompose(sql, self.registry)
         trace.end(
@@ -152,7 +234,7 @@ class InformationIntegrator:
         )
         span = trace.begin("plan_enumeration", t)
         plans = self._plans_for(
-            decomposed, t, excluded_servers or set(), staleness_tolerance_ms
+            decomposed, t, set(excluded_servers or ()), staleness_tolerance_ms
         )
         trace.end(
             span,
@@ -160,7 +242,55 @@ class InformationIntegrator:
             plans=len(plans),
             best_estimate=plans[0].total_cost if plans else None,
         )
+        if cache is not None:
+            cache.put(
+                key,
+                decomposed,
+                plans,
+                t,
+                valid_until_ms=self._freshness_horizon(
+                    decomposed, t, staleness_tolerance_ms
+                ),
+            )
+            trace.event("plan_cache", t, hit=False, epoch=cache.epoch.value)
         return decomposed, plans
+
+    def _freshness_horizon(
+        self,
+        decomposed: DecomposedQuery,
+        t_ms: float,
+        staleness_tolerance_ms: Optional[float],
+    ) -> Optional[float]:
+        """Earliest instant replica currency could change the candidate
+        set of *decomposed* — cache entries expire there.
+
+        Between epoch bumps a placement's staleness only grows, so the
+        fresh set can only shrink, and it shrinks exactly when a behind-
+        but-fresh placement crosses the tolerance.  Placements already
+        past the tolerance re-enter only via a sync, which bumps the
+        epoch.
+        """
+        manager = self._replica_manager
+        if manager is None or staleness_tolerance_ms is None:
+            return None
+        deadline_of = getattr(manager, "freshness_deadline", None)
+        if deadline_of is None:
+            # Unknown manager implementation: never serve from cache.
+            return t_ms
+        horizon: Optional[float] = None
+        for fragment in decomposed.fragments:
+            for nickname in fragment.nicknames:
+                for server in fragment.candidate_servers:
+                    deadline = deadline_of(
+                        nickname, server, staleness_tolerance_ms
+                    )
+                    if deadline is not None and deadline > t_ms:
+                        horizon = (
+                            deadline
+                            if horizon is None
+                            else min(horizon, deadline)
+                        )
+        return horizon
 
     def _plans_for(
         self,
@@ -216,26 +346,31 @@ class InformationIntegrator:
         elapsed = self.compile_overhead_ms
         excluded: set = set()
         retries = 0
+        # Retry attempts recompile at the *advanced* clock — the failed
+        # attempt and its penalty have consumed virtual time, and a
+        # compilation stamped with the stale t0 would consult load,
+        # availability and replica freshness as of before the failure.
+        t_attempt = t0
         last_error: Optional[ServerUnavailable] = None
 
         while retries <= self.max_retries:
             try:
                 decomposed, plans = self.compile(
-                    sql, t0, excluded, staleness_tolerance_ms
+                    sql, t_attempt, excluded, staleness_tolerance_ms
                 )
             except FederationError as exc:
                 self.patroller.fail(record, t0 + elapsed, str(exc))
                 obs.metrics.counter("ii_query_failures_total").inc()
                 obs.tracer.finish(trace, t0 + elapsed, status="failed")
                 raise
-            span = trace.begin("route", t0)
+            span = trace.begin("route", t_attempt)
             if self.qcc is not None:
-                chosen = self.qcc.recommend_global(decomposed, plans, t0)
+                chosen = self.qcc.recommend_global(decomposed, plans, t_attempt)
             else:
-                chosen = self.router.choose(decomposed, plans, label, t0)
+                chosen = self.router.choose(decomposed, plans, label, t_attempt)
             trace.end(
                 span,
-                t0,
+                t_attempt,
                 servers=sorted(chosen.servers),
                 estimated_total=chosen.total_cost,
                 candidates=len(plans),
@@ -254,6 +389,7 @@ class InformationIntegrator:
                 )
                 elapsed += self.failure_penalty_ms
                 retries += 1
+                t_attempt = t0 + elapsed
                 continue
             self.patroller.complete(record, t0 + result.response_ms)
             obs.metrics.histogram("ii_response_ms").observe(result.response_ms)
@@ -265,8 +401,11 @@ class InformationIntegrator:
                 self.clock.advance(result.response_ms)
             return result
 
+        # ``retries`` has overshot by one on exit: it counts *attempts*
+        # (initial try included), not retries.
         message = (
-            f"query failed after {retries} retries"
+            f"query failed after {self.max_retries} retries"
+            f" ({retries} attempts)"
             + (f": {last_error}" if last_error else "")
         )
         self.patroller.fail(

@@ -34,6 +34,17 @@ class NicknameRegistry:
     def __init__(self) -> None:
         self._placements: Dict[str, List[Placement]] = {}
         self._global_catalog = Catalog()
+        self._epochs: List = []
+
+    def bind_epoch(self, epoch) -> None:
+        """Bump *epoch* whenever the placement topology changes.
+
+        A new placement widens the candidate-server set of every query
+        touching that nickname, so plans compiled against the old
+        topology must not be reused (see ``fed.plan_cache``).
+        """
+        if epoch not in self._epochs:
+            self._epochs.append(epoch)
 
     def register(
         self,
@@ -69,12 +80,18 @@ class NicknameRegistry:
                     indexes=table_def.indexes,
                 )
             )
+            self._notify_topology_change()
             return
         if any(p.server == server for p in existing):
             raise FederationError(
                 f"nickname {nickname!r} already placed on server {server!r}"
             )
         existing.append(placement)
+        self._notify_topology_change()
+
+    def _notify_topology_change(self) -> None:
+        for epoch in self._epochs:
+            epoch.bump()
 
     def placements(self, nickname: str) -> List[Placement]:
         found = self._placements.get(nickname.lower())

@@ -48,6 +48,24 @@ class ReplicaManager:
         self._first_unsynced_write: Dict[Tuple[str, str], Optional[float]] = {}
         self._synced_at: Dict[Tuple[str, str], Optional[float]] = {}
         self._last_write: Dict[str, Optional[float]] = {}
+        self._epochs: List = []
+
+    # -- epoch wiring -------------------------------------------------------
+
+    def bind_epoch(self, epoch) -> None:
+        """Bump *epoch* whenever replica currency changes.
+
+        Writes and syncs move placements between the fresh and stale
+        sets, which changes the candidate servers a staleness-tolerant
+        compilation may consider — so compiled plans from before the
+        event must be invalidated.
+        """
+        if epoch not in self._epochs:
+            self._epochs.append(epoch)
+
+    def _bump(self) -> None:
+        for epoch in self._epochs:
+            epoch.bump()
 
     # -- topology ----------------------------------------------------------
 
@@ -72,12 +90,18 @@ class ReplicaManager:
         key = nickname.lower()
         self._last_write[key] = t_ms
         origin = self.origin_of(nickname)
+        fell_behind = False
         for placement in self.registry.placements(nickname):
             if placement.server == origin:
                 continue
             pk = (key, placement.server)
             if self._first_unsynced_write.get(pk) is None:
                 self._first_unsynced_write[pk] = t_ms
+                fell_behind = True
+        if fell_behind:
+            # A caught-up replica just started aging; its tolerance
+            # deadline is new information cached plans do not carry.
+            self._bump()
 
     def sync(self, nickname: str, server: str, servers, t_ms: float) -> int:
         """Copy the nickname's current origin data onto *server*.
@@ -99,6 +123,7 @@ class ReplicaManager:
         replica_db.analyze(remote_replica)
         self._first_unsynced_write[(key, server)] = None
         self._synced_at[(key, server)] = t_ms
+        self._bump()
         return len(rows)
 
     # -- queries ----------------------------------------------------------
@@ -112,6 +137,24 @@ class ReplicaManager:
         if first_unsynced is None:
             return 0.0
         return max(0.0, t_ms - first_unsynced)
+
+    def freshness_deadline(
+        self, nickname: str, server: str, tolerance_ms: float
+    ) -> Optional[float]:
+        """Instant at which *server*'s copy of *nickname* crosses
+        *tolerance_ms*, or None if it never will without a new write.
+
+        Origins and fully-synced replicas have no deadline; a replica
+        with an unsynced write at ``w`` stays fresh until exactly
+        ``w + tolerance_ms``.
+        """
+        key = nickname.lower()
+        if server == self.origin_of(nickname):
+            return None
+        first_unsynced = self._first_unsynced_write.get((key, server))
+        if first_unsynced is None:
+            return None
+        return first_unsynced + tolerance_ms
 
     def state(self, nickname: str, server: str, t_ms: float) -> ReplicaState:
         key = nickname.lower()

@@ -169,6 +169,8 @@ def build_federation(
     induced_load: bool = False,
     induced_gain: float = 0.002,
     induced_decay_ms: float = 2_000.0,
+    enable_plan_cache: bool = True,
+    plan_cache_size: int = 128,
 ) -> Deployment:
     """Assemble servers, wrappers, MW, (optionally) QCC and the II.
 
@@ -244,6 +246,8 @@ def build_federation(
         params=params,
         router=router,
         qcc=qcc,
+        enable_plan_cache=enable_plan_cache,
+        plan_cache_size=plan_cache_size,
     )
     return Deployment(
         integrator=integrator,
@@ -266,6 +270,8 @@ def build_replica_federation(
     induced_load: bool = False,
     induced_gain: float = 0.002,
     induced_decay_ms: float = 2_000.0,
+    enable_plan_cache: bool = True,
+    plan_cache_size: int = 128,
 ) -> Deployment:
     """The Section 4 load-distribution scenario: S1, S2, R1, R2.
 
@@ -370,6 +376,8 @@ def build_replica_federation(
         clock=clock,
         params=params,
         qcc=qcc,
+        enable_plan_cache=enable_plan_cache,
+        plan_cache_size=plan_cache_size,
     )
     return Deployment(
         integrator=integrator,

@@ -165,3 +165,40 @@ class TestIICalibrator:
         ii.record(1.0, 1.0)
         ii.record(1.0, 3.0)
         assert ii.volatility() > 0
+
+
+class TestClampBounds:
+    """Regression tests for configurable clamp bounds."""
+
+    def test_ii_calibrator_honors_custom_bounds(self):
+        ii = IICalibrator(min_samples=1, min_factor=0.5, max_factor=2.0)
+        ii.record(10.0, 1000.0)  # raw ratio 100
+        ii.recalibrate()
+        assert ii.factor == pytest.approx(2.0)
+        ii.record(1000.0, 10.0)  # raw ratio 0.01
+        ii.recalibrate()
+        assert ii.factor == pytest.approx(0.5)
+
+    def test_ii_calibrator_rejects_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            IICalibrator(min_factor=0.0)
+        with pytest.raises(ValueError):
+            IICalibrator(min_factor=2.0, max_factor=1.0)
+
+    def test_max_drift_clamps_live_ratio(self):
+        # A wild observation outside the clamp range must not report
+        # drift a recalibration could never close: both the active
+        # factor and the live ratio saturate at max_factor.
+        calibrator = _calibrator(min_factor=0.5, max_factor=2.0)
+        calibrator.record("S1", SIG, 10.0, 1000.0)  # raw ratio 100
+        calibrator.recalibrate()  # active clamps to 2.0
+        assert calibrator.factor("S1") == pytest.approx(2.0)
+        calibrator.record("S1", SIG, 10.0, 1000.0)
+        assert calibrator.max_drift() == pytest.approx(1.0)
+
+    def test_max_drift_still_sees_real_divergence(self):
+        calibrator = _calibrator(min_factor=0.5, max_factor=10.0)
+        calibrator.record("S1", SIG, 10.0, 10.0)
+        calibrator.recalibrate()  # active 1.0
+        calibrator.record("S1", SIG, 10.0, 40.0)  # live 4.0, inside range
+        assert calibrator.max_drift() == pytest.approx(4.0)

@@ -137,3 +137,55 @@ class TestMergePath:
         assert result.merge_ms > 0
         direct = sample_databases["S1"].run(SQL)
         assert rows_equal_unordered(result.rows, direct.rows)
+
+
+class TestRetryAccounting:
+    """Regression tests for retry bookkeeping in ``submit()``."""
+
+    @staticmethod
+    def _always_fail(deployment):
+        from repro.sim import ServerUnavailable
+
+        def boom(choice, t_ms):
+            raise ServerUnavailable(choice.server, t_ms, transient=True)
+
+        deployment.meta_wrapper.execute_option = boom
+
+    def test_exhaustion_message_reports_exact_counts(self, deployment):
+        # Historically the message reported the attempt counter as
+        # "retries", overstating the retry count by one.
+        deployment.integrator.max_retries = 2
+        self._always_fail(deployment)
+        with pytest.raises(
+            FederationError, match=r"after 2 retries \(3 attempts\)"
+        ):
+            deployment.integrator.submit(SQL)
+        assert deployment.integrator.patroller.failure_count() == 1
+
+    def test_retry_recompiles_at_advanced_time(self, deployment):
+        # Each retry must compile (and route) at the advanced virtual
+        # time — the failed attempt and its penalty have passed — not at
+        # the original submission instant.
+        integrator = deployment.integrator
+        integrator.max_retries = 2
+        self._always_fail(deployment)
+        seen = []
+        original = integrator.compile
+
+        def spy(sql, t_ms=None, excluded_servers=None,
+                staleness_tolerance_ms=None):
+            seen.append(t_ms)
+            return original(
+                sql, t_ms, excluded_servers, staleness_tolerance_ms
+            )
+
+        integrator.compile = spy
+        with pytest.raises(FederationError):
+            integrator.submit(SQL, t_ms=0.0)
+        overhead = integrator.compile_overhead_ms
+        penalty = integrator.failure_penalty_ms
+        assert seen == [
+            0.0,
+            overhead + penalty,
+            overhead + 2 * penalty,
+        ]
