@@ -1,0 +1,152 @@
+"""Row vs vector engine: wall-clock speedup and differential check.
+
+The vectorized engine exists purely for throughput: every operator
+processes ``RowBatch`` slices through compiled batch kernels instead of
+pulling one tuple at a time through Python generators.  Correctness is
+non-negotiable — the response-time simulation and QCC calibration are
+driven by ``WorkMeter`` totals, so both engines must produce identical
+rows *and* bit-identical metered work (docs/execution.md).
+
+This bench runs the canonical scan / filter / join / aggregate shapes
+at BENCH_SCALE through both engines, asserts the differential
+invariant on every shape, and requires a composite wall-clock speedup
+of at least ``REPRO_BENCH_ENGINE_MIN`` (default 3x; CI's smoke job
+relaxes to 1.5x for noisy shared runners).  Per-shape rows/sec land in
+the JSON artifact for trend tracking (see BENCH_engine.json for the
+committed baseline).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.sqlengine import Database, execute_plan, populate
+from repro.workload import BENCH_SCALE
+from repro.workload.schema import table_specs
+
+#: Composite row/vector speedup the bench must demonstrate.
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_ENGINE_MIN", "3.0"))
+#: Timing repetitions per (shape, engine); best-of is reported.
+REPS = int(os.environ.get("REPRO_BENCH_ENGINE_REPS", "7"))
+#: Optional path for the standalone JSON artifact.
+ARTIFACT = os.environ.get("REPRO_BENCH_ENGINE_JSON", "")
+
+#: The scan-filter-join-aggregate shapes of the acceptance criterion.
+SHAPES = (
+    (
+        "scan-filter",
+        "SELECT l.linekey, l.extprice FROM lineitem l "
+        "WHERE l.extprice > 300.0 AND l.quantity < 40",
+    ),
+    (
+        "scan-project",
+        "SELECT l.linekey, l.extprice * l.quantity, l.orderkey "
+        "FROM lineitem l",
+    ),
+    (
+        "join",
+        "SELECT o.orderkey, c.nation, o.totalprice "
+        "FROM orders o, customer c "
+        "WHERE o.custkey = c.custkey AND o.totalprice > 100.0",
+    ),
+    (
+        "join-agg",
+        "SELECT c.nation, COUNT(*), SUM(o.totalprice) "
+        "FROM orders o, customer c "
+        "WHERE o.custkey = c.custkey GROUP BY c.nation",
+    ),
+    (
+        "aggregate",
+        "SELECT l.quantity, COUNT(*), SUM(l.extprice), AVG(l.extprice), "
+        "MIN(l.extprice), MAX(l.extprice) FROM lineitem l "
+        "GROUP BY l.quantity",
+    ),
+)
+
+
+@pytest.fixture(scope="module")
+def engine_db():
+    database = Database(name="bench-engine")
+    populate(database, table_specs(BENCH_SCALE), seed=7)
+    return database
+
+
+def _best_time(database, plan, engine):
+    best = float("inf")
+    result = None
+    for _ in range(REPS):
+        start = time.perf_counter()
+        result = execute_plan(
+            plan, database.storage, database.params, engine=engine
+        )
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _measure(database):
+    shapes = {}
+    total_row = total_vec = 0.0
+    for name, sql in SHAPES:
+        plan = database.explain(sql)[0].plan
+        row_s, row_result = _best_time(database, plan, "row")
+        vec_s, vec_result = _best_time(database, plan, "vector")
+
+        # Differential invariant: identical rows, bit-identical meters.
+        assert row_result.rows == vec_result.rows, name
+        rm, vm = row_result.meter, vec_result.meter
+        assert (rm.cpu_ms, rm.io_ms, rm.tuples_out) == (
+            vm.cpu_ms,
+            vm.io_ms,
+            vm.tuples_out,
+        ), name
+
+        total_row += row_s
+        total_vec += vec_s
+        n = len(row_result.rows)
+        shapes[name] = {
+            "rows": n,
+            "row_s": row_s,
+            "vector_s": vec_s,
+            "row_rows_per_sec": n / row_s if row_s > 0 else None,
+            "vector_rows_per_sec": n / vec_s if vec_s > 0 else None,
+            "speedup": row_s / vec_s if vec_s > 0 else None,
+        }
+    composite = total_row / total_vec if total_vec > 0 else float("inf")
+    return {
+        "scale": {
+            "large_rows": BENCH_SCALE.large_rows,
+            "small_rows": BENCH_SCALE.small_rows,
+        },
+        "reps": REPS,
+        "shapes": shapes,
+        "composite_speedup": composite,
+    }
+
+
+def test_engine_vector_speedup(benchmark, engine_db):
+    results = benchmark.pedantic(
+        _measure, args=(engine_db,), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(results)
+
+    print("\n=== Engine benchmark: row vs vector (BENCH_SCALE) ===")
+    for name, shape in results["shapes"].items():
+        print(
+            f"{name:13s} rows={shape['rows']:6d} "
+            f"row={shape['row_s'] * 1e3:7.1f}ms "
+            f"vec={shape['vector_s'] * 1e3:7.1f}ms "
+            f"speedup={shape['speedup']:.2f}x"
+        )
+    print(f"composite speedup: {results['composite_speedup']:.2f}x "
+          f"(required: {MIN_SPEEDUP:.1f}x)")
+
+    if ARTIFACT:
+        with open(ARTIFACT, "w") as handle:
+            json.dump(results, handle, indent=2)
+        print(f"artifact written to {ARTIFACT}")
+
+    assert results["composite_speedup"] >= MIN_SPEEDUP, results

@@ -22,6 +22,7 @@ from typing import List, Optional
 
 from . import obs
 from .harness import build_federation
+from .sqlengine import DEFAULT_ENGINE, ENGINES
 from .harness.experiments import (
     run_figure9,
     run_figure10,
@@ -159,13 +160,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the snapshot as JSON instead of the text rendering",
     )
+    # Experiments build their own federations internally; for them the
+    # engine is selected process-wide via REPRO_ENGINE instead.
+    for command in (demo, query, status, trace, metrics):
+        command.add_argument(
+            "--engine",
+            choices=ENGINES,
+            default=None,
+            help=(
+                "SQL execution engine for every server and the merge "
+                f"(default: {DEFAULT_ENGINE}, or REPRO_ENGINE)"
+            ),
+        )
     return parser
 
 
 def _cmd_demo(args) -> int:
     scale = _SCALES[args.scale]
     print(f"Building federation at {args.scale} scale...")
-    deployment = build_federation(scale=scale)
+    deployment = build_federation(scale=scale, engine=args.engine)
     workload = build_workload(instances_per_type=3)
     print(f"Running a {len(workload)}-query mixed workload (QT1-QT4)...")
     for instance in workload:
@@ -204,7 +217,7 @@ def _cmd_experiment(args) -> int:
 
 def _cmd_query(args) -> int:
     scale = _SCALES[args.scale]
-    deployment = build_federation(scale=scale)
+    deployment = build_federation(scale=scale, engine=args.engine)
     if args.load:
         deployment.set_load(_parse_load(args.load))
     if args.explain:
@@ -229,7 +242,7 @@ def _cmd_query(args) -> int:
 
 def _cmd_status(args) -> int:
     scale = _SCALES[args.scale]
-    deployment = build_federation(scale=scale)
+    deployment = build_federation(scale=scale, engine=args.engine)
     if args.load:
         deployment.set_load(_parse_load(args.load))
     workload = build_workload(
@@ -246,7 +259,7 @@ def _cmd_status(args) -> int:
 def _cmd_trace(args) -> int:
     obs.configure(log_level=None)
     scale = _SCALES[args.scale]
-    deployment = build_federation(scale=scale)
+    deployment = build_federation(scale=scale, engine=args.engine)
     if args.load:
         deployment.set_load(_parse_load(args.load))
     result = deployment.integrator.submit(args.sql)
@@ -263,7 +276,7 @@ def _cmd_trace(args) -> int:
 def _cmd_metrics(args) -> int:
     sink = obs.configure(log_level=None)
     scale = _SCALES[args.scale]
-    deployment = build_federation(scale=scale)
+    deployment = build_federation(scale=scale, engine=args.engine)
     if args.load:
         deployment.set_load(_parse_load(args.load))
     workload = build_workload(instances_per_type=max(1, args.queries // 4))

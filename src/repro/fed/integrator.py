@@ -31,6 +31,7 @@ from ..sqlengine import (
     Schema,
     ServerProfile,
     execute_plan,
+    resolve_engine,
 )
 from ..sqlengine.storage import StorageManager
 from ..sim import (
@@ -105,6 +106,7 @@ class InformationIntegrator:
         advance_clock: bool = True,
         enable_plan_cache: bool = True,
         plan_cache_size: int = 128,
+        engine: Optional[str] = None,
     ):
         self.registry = registry
         self.meta_wrapper = meta_wrapper
@@ -143,6 +145,9 @@ class InformationIntegrator:
             registry.bind_epoch(self.calibration_epoch)
         self._replica_manager = None
         self.replica_manager = replica_manager
+        #: Execution engine for the II-side merge (fragment engines are
+        #: chosen by each remote server's database).
+        self.engine = resolve_engine(engine)
         # Merge plans touch no stored tables; a bare storage manager is
         # enough for the execution context.
         self._merge_storage = StorageManager(Catalog())
@@ -453,6 +458,7 @@ class InformationIntegrator:
                 ),
                 observed_ms=execution.observed_ms,
                 substituted=option.server != choice.server,
+                engine=execution.engine,
             )
             outcomes[option.fragment.fragment_id] = FragmentOutcome(
                 option=option, execution=execution
@@ -472,7 +478,9 @@ class InformationIntegrator:
         }
         span = trace.begin("merge", t_ms + remote_ms)
         merge_plan = build_merge_plan(decomposed, inputs)
-        merge_result = execute_plan(merge_plan, self._merge_storage, self.params)
+        merge_result = execute_plan(
+            merge_plan, self._merge_storage, self.params, engine=self.engine
+        )
         level = self.load.level(t_ms)
         merge_ms = (
             self.profile.cpu_ms(merge_result.meter.cpu_ms)
@@ -487,6 +495,7 @@ class InformationIntegrator:
             observed_ms=merge_ms,
             rows=len(merge_result.rows),
             ii_load=level,
+            engine=merge_result.engine,
         )
         obs.metrics.histogram("ii_merge_ms").observe(merge_ms)
         obs.metrics.histogram("ii_remote_ms").observe(remote_ms)

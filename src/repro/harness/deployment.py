@@ -136,6 +136,7 @@ def build_databases(
     scale: WorkloadScale = BENCH_SCALE,
     seed: int = 7,
     params: CostParameters = DEFAULT_COST_PARAMETERS,
+    engine: Optional[str] = None,
 ) -> Dict[str, Database]:
     """One fully loaded sample database per server spec.
 
@@ -148,7 +149,8 @@ def build_databases(
     specs_for_scale = table_specs(scale)
     for spec in specs:
         database = Database(
-            name=spec.name, profile=spec.profile(), params=params
+            name=spec.name, profile=spec.profile(), params=params,
+            engine=engine,
         )
         populate(database, specs_for_scale, seed=seed)
         databases[spec.name] = database
@@ -171,6 +173,7 @@ def build_federation(
     induced_decay_ms: float = 2_000.0,
     enable_plan_cache: bool = True,
     plan_cache_size: int = 128,
+    engine: Optional[str] = None,
 ) -> Deployment:
     """Assemble servers, wrappers, MW, (optionally) QCC and the II.
 
@@ -183,7 +186,7 @@ def build_federation(
     """
     clock = VirtualClock()
     if prebuilt_databases is None:
-        databases = build_databases(specs, scale, seed, params)
+        databases = build_databases(specs, scale, seed, params, engine=engine)
     else:
         databases = dict(prebuilt_databases)
 
@@ -248,6 +251,7 @@ def build_federation(
         qcc=qcc,
         enable_plan_cache=enable_plan_cache,
         plan_cache_size=plan_cache_size,
+        engine=engine,
     )
     return Deployment(
         integrator=integrator,
@@ -272,6 +276,7 @@ def build_replica_federation(
     induced_decay_ms: float = 2_000.0,
     enable_plan_cache: bool = True,
     plan_cache_size: int = 128,
+    engine: Optional[str] = None,
 ) -> Deployment:
     """The Section 4 load-distribution scenario: S1, S2, R1, R2.
 
@@ -321,7 +326,8 @@ def build_replica_federation(
     databases: Dict[str, Database] = {}
     for spec in specs:
         database = Database(
-            name=spec.name, profile=spec.profile(), params=params
+            name=spec.name, profile=spec.profile(), params=params,
+            engine=engine,
         )
         populate(
             database,
@@ -378,6 +384,7 @@ def build_replica_federation(
         qcc=qcc,
         enable_plan_cache=enable_plan_cache,
         plan_cache_size=plan_cache_size,
+        engine=engine,
     )
     return Deployment(
         integrator=integrator,

@@ -38,6 +38,8 @@ class RemoteExecution:
     processing_ms: float
     network_ms: float
     started_ms: float
+    #: Which execution engine produced the rows (None for DML).
+    engine: Optional[str] = None
 
     @property
     def finished_ms(self) -> float:
@@ -186,6 +188,7 @@ class RemoteServer:
             processing_ms=processing_ms,
             network_ms=network_ms,
             started_ms=t_ms,
+            engine=result.engine,
         )
 
     def execute_sql(self, sql: str, t_ms: float) -> RemoteExecution:

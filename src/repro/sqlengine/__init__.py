@@ -32,7 +32,13 @@ from .datagen import (
     populate,
 )
 from .dml import DmlError, DmlResult, execute_dml
-from .executor import ExecutionResult, execute_plan
+from .executor import (
+    DEFAULT_ENGINE,
+    ENGINES,
+    ExecutionResult,
+    execute_plan,
+    resolve_engine,
+)
 from .expressions import (
     AggregateCall,
     And,
@@ -70,6 +76,7 @@ from .parser import (
     parse_statement,
 )
 from .physical import (
+    DEFAULT_BATCH_SIZE,
     Distinct,
     ExecutionError,
     Filter,
@@ -81,6 +88,7 @@ from .physical import (
     NestedLoopJoin,
     PhysicalPlan,
     Project,
+    RowBatch,
     SeqScan,
     Sort,
     SortMergeJoin,
@@ -103,7 +111,8 @@ __all__ = [
     "AggregateCall", "And", "Arithmetic", "BindError", "Catalog",
     "CatalogError", "Choice", "Column", "ColumnGen", "ColumnRef",
     "ColumnStats", "ColumnType", "Comparison", "CostParameters",
-    "Database", "DEFAULT_CONFIG", "DEFAULT_COST_PARAMETERS",
+    "Database", "DEFAULT_BATCH_SIZE", "DEFAULT_CONFIG",
+    "DEFAULT_COST_PARAMETERS", "DEFAULT_ENGINE", "ENGINES",
     "DeleteStatement", "Distinct", "DmlError", "DmlResult",
     "ExecutionError", "ExecutionResult", "Expression", "ExpressionError",
     "Filter", "FixedJoinStep", "ForeignKey", "FuncCall", "HashAggregate", "HashJoin",
@@ -112,7 +121,8 @@ __all__ = [
     "Limit", "Literal", "MaterializedInput", "NestedLoopJoin", "Not",
     "Nullable", "Optimizer", "OptimizerConfig", "OptimizerError", "Or",
     "ParseError", "PhysicalPlan", "PlanCandidate", "PlanCost", "Project",
-    "QueryBlock", "RandomString", "REFERENCE_PROFILE", "Row", "Schema",
+    "QueryBlock", "RandomString", "REFERENCE_PROFILE", "Row", "RowBatch",
+    "Schema",
     "SchemaError", "SelectStatement", "SeqScan", "Serial", "ServerProfile",
     "Sort", "SortMergeJoin", "SqlError", "StatsContext", "StorageError", "StorageManager",
     "TableDef", "TableSpec", "TableStats", "TypeMismatchError",
@@ -120,6 +130,7 @@ __all__ = [
     "ZipfInt", "bind", "collect_stats", "estimate_selectivity",
     "execute_dml", "execute_plan", "parse", "parse_expression",
     "parse_statement", "plan_sql", "plan_statement", "populate",
+    "resolve_engine",
     "rows_close_unordered",
     "rows_equal_unordered",
 ]

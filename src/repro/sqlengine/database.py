@@ -13,7 +13,7 @@ from typing import Any, Iterable, List, Optional, Sequence
 
 from .catalog import Catalog
 from .cost import CostParameters, DEFAULT_COST_PARAMETERS, ServerProfile, REFERENCE_PROFILE
-from .executor import ExecutionResult, execute_plan
+from .executor import ExecutionResult, execute_plan, resolve_engine
 from .logical import bind
 from .optimizer import Optimizer, OptimizerConfig, DEFAULT_CONFIG, PlanCandidate
 from .parser import parse
@@ -31,10 +31,12 @@ class Database:
         profile: ServerProfile = REFERENCE_PROFILE,
         params: CostParameters = DEFAULT_COST_PARAMETERS,
         optimizer_config: Optional[OptimizerConfig] = None,
+        engine: Optional[str] = None,
     ):
         self.name = name
         self.profile = profile
         self.params = params
+        self.engine = resolve_engine(engine)
         self.catalog = Catalog()
         self.storage = StorageManager(self.catalog)
         config = optimizer_config or DEFAULT_CONFIG
@@ -88,8 +90,12 @@ class Database:
 
     # -- run time ------------------------------------------------------------
 
-    def run_plan(self, plan: PhysicalPlan) -> ExecutionResult:
-        return execute_plan(plan, self.storage, self.params)
+    def run_plan(
+        self, plan: PhysicalPlan, engine: Optional[str] = None
+    ) -> ExecutionResult:
+        return execute_plan(
+            plan, self.storage, self.params, engine=engine or self.engine
+        )
 
     def run(self, sql: str) -> ExecutionResult:
         """Optimize and execute *sql*, returning rows and metered work."""
@@ -122,6 +128,7 @@ class Database:
             name=f"{source.name}:simulated",
             profile=source.profile,
             params=source.params,
+            engine=source.engine,
         )
         clone.catalog = source.catalog.stats_only_clone()
         clone.storage = StorageManager(clone.catalog)

@@ -1,14 +1,49 @@
-"""Plan execution entry points."""
+"""Plan execution entry points.
+
+Two engines run the same physical plan:
+
+* ``"vector"`` (default) — batch-at-a-time via ``rows_batched()`` and
+  compiled batch kernels;
+* ``"row"`` — the legacy tuple-at-a-time iterators.
+
+Both produce identical rows *and* identical ``WorkMeter`` totals (see
+docs/execution.md), so the choice is purely a wall-clock/throughput
+knob.  The process-wide default can be overridden with the
+``REPRO_ENGINE`` environment variable.
+"""
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
+from ..obs import get_obs
 from .cost import CostParameters, DEFAULT_COST_PARAMETERS
-from .physical import ExecutionContext, PhysicalPlan, WorkMeter
+from .physical import (
+    DEFAULT_BATCH_SIZE,
+    ExecutionContext,
+    PhysicalPlan,
+    WorkMeter,
+)
 from .storage import StorageManager
-from .types import Row, Schema
+from .types import Row, Schema, SqlError
+
+ENGINES = ("vector", "row")
+
+#: Process-wide default engine; "vector" unless overridden via env.
+DEFAULT_ENGINE = os.environ.get("REPRO_ENGINE", "vector")
+
+
+def resolve_engine(engine: Optional[str]) -> str:
+    """Map None to the process default and validate the name."""
+    chosen = engine if engine is not None else DEFAULT_ENGINE
+    if chosen not in ENGINES:
+        raise SqlError(
+            f"unknown execution engine {chosen!r} (expected one of {ENGINES})"
+        )
+    return chosen
 
 
 @dataclass
@@ -17,12 +52,14 @@ class ExecutionResult:
 
     ``meter`` holds the real CPU/IO work in reference-machine ms; the
     simulation layer turns it into an observed response time under the
-    server's current load and link conditions.
+    server's current load and link conditions.  ``engine`` records which
+    execution path produced the rows.
     """
 
     rows: List[Row]
     schema: Schema
     meter: WorkMeter
+    engine: str = "row"
 
     @property
     def row_count(self) -> int:
@@ -33,9 +70,40 @@ def execute_plan(
     plan: PhysicalPlan,
     storage: StorageManager,
     params: CostParameters = DEFAULT_COST_PARAMETERS,
+    engine: Optional[str] = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
 ) -> ExecutionResult:
     """Run *plan* to completion against *storage*."""
-    ctx = ExecutionContext(storage=storage, params=params)
-    rows = list(plan.rows(ctx))
+    chosen = resolve_engine(engine)
+    ctx = ExecutionContext(
+        storage=storage,
+        params=params,
+        engine=chosen,
+        batch_size=batch_size,
+    )
+    start = time.perf_counter()
+    if chosen == "vector":
+        rows: List[Row] = []
+        extend = rows.extend
+        batches = 0
+        for batch in plan.rows_batched(ctx):
+            batches += 1
+            extend(batch)
+    else:
+        rows = list(plan.rows(ctx))
+        batches = 0
+    elapsed = time.perf_counter() - start
     ctx.meter.tuples_out = len(rows)
-    return ExecutionResult(rows=rows, schema=plan.output_schema, meter=ctx.meter)
+
+    obs = get_obs()
+    if chosen == "vector":
+        obs.metrics.counter("engine_batches_total", engine=chosen).inc(
+            batches
+        )
+    if elapsed > 0.0:
+        obs.metrics.histogram("engine_rows_per_sec", engine=chosen).observe(
+            len(rows) / elapsed
+        )
+    return ExecutionResult(
+        rows=rows, schema=plan.output_schema, meter=ctx.meter, engine=chosen
+    )

@@ -5,12 +5,24 @@ estimation, predicate pushdown) and compiled against a concrete
 :class:`~repro.sqlengine.types.Schema` into plain Python closures for
 execution.  Compilation happens once per operator, so the per-row path is a
 closure call with positional tuple indexing only.
+
+Each node additionally supports :meth:`Expression.compile_batch`, which
+returns a *batch kernel*: a callable taking a list of rows and returning
+the list of per-row results.  Kernels evaluate whole columns per call
+(list comprehensions over pre-extracted operand columns, C-level
+``operator`` functions for comparisons/arithmetic, surviving-index
+selection for AND/OR short-circuit), which is what the vectorized
+execution engine runs on.  A kernel must return exactly the values the
+per-row evaluator would — same Python objects semantics, same SQL
+three-valued logic, same error classes — so the two engines are
+interchangeable.
 """
 
 from __future__ import annotations
 
+import operator as _operator
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, FrozenSet, Iterator, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
 
 from .types import ColumnType, Row, Schema, SqlError, TypeMismatchError
 
@@ -20,6 +32,8 @@ class ExpressionError(SqlError):
 
 
 Evaluator = Callable[[Row], Any]
+
+BatchEvaluator = Callable[[List[Row]], List[Any]]
 
 #: Comparison operators in SQL surface syntax.
 COMPARISON_OPS = ("=", "!=", "<>", "<", "<=", ">", ">=")
@@ -37,6 +51,15 @@ class Expression:
 
     def compile(self, schema: Schema) -> Evaluator:
         raise NotImplementedError
+
+    def compile_batch(self, schema: Schema) -> BatchEvaluator:
+        """Compile into a batch kernel (rows -> list of values).
+
+        The default adapter evaluates the per-row closure per element;
+        nodes with a genuinely vectorizable shape override this.
+        """
+        evaluate = self.compile(schema)
+        return lambda rows: [evaluate(row) for row in rows]
 
     def columns(self) -> Iterator[str]:
         """Yield every column name referenced by this expression."""
@@ -79,6 +102,10 @@ class Literal(Expression):
         value = self.value
         return lambda row: value
 
+    def compile_batch(self, schema: Schema) -> BatchEvaluator:
+        value = self.value
+        return lambda rows: [value] * len(rows)
+
     def result_type(self, schema: Schema) -> ColumnType:
         if isinstance(self.value, bool):
             return ColumnType.BOOL
@@ -108,6 +135,10 @@ class ColumnRef(Expression):
     def compile(self, schema: Schema) -> Evaluator:
         idx = schema.index_of(self.name)
         return lambda row: row[idx]
+
+    def compile_batch(self, schema: Schema) -> BatchEvaluator:
+        idx = schema.index_of(self.name)
+        return lambda rows: [row[idx] for row in rows]
 
     def columns(self) -> Iterator[str]:
         yield self.name
@@ -163,6 +194,93 @@ class Comparison(Expression):
 
         return evaluate
 
+    def compile_batch(self, schema: Schema) -> BatchEvaluator:
+        op = "!=" if self.op == "<>" else self.op
+        cmp = _COMPARATORS[op]
+
+        # Literal fast paths: comparing a column against a constant is
+        # the dominant predicate shape; skip materialising the constant
+        # column and the zip.
+        if isinstance(self.right, Literal):
+            rv = self.right.value
+            if rv is None:
+                return lambda rows: [None] * len(rows)
+            lf = self.left.compile_batch(schema)
+
+            def evaluate_right_literal(rows: List[Row]) -> List[Any]:
+                lvs = lf(rows)
+                try:
+                    return [
+                        None if a is None else cmp(a, rv) for a in lvs
+                    ]
+                except TypeError:
+                    pass
+                for a in lvs:
+                    if a is None:
+                        continue
+                    try:
+                        cmp(a, rv)
+                    except TypeError as exc:
+                        raise TypeMismatchError(
+                            f"cannot compare {a!r} {op} {rv!r}"
+                        ) from exc
+                raise AssertionError("unreachable")  # pragma: no cover
+
+            return evaluate_right_literal
+        if isinstance(self.left, Literal):
+            lv = self.left.value
+            if lv is None:
+                return lambda rows: [None] * len(rows)
+            rf = self.right.compile_batch(schema)
+
+            def evaluate_left_literal(rows: List[Row]) -> List[Any]:
+                rvs = rf(rows)
+                try:
+                    return [
+                        None if b is None else cmp(lv, b) for b in rvs
+                    ]
+                except TypeError:
+                    pass
+                for b in rvs:
+                    if b is None:
+                        continue
+                    try:
+                        cmp(lv, b)
+                    except TypeError as exc:
+                        raise TypeMismatchError(
+                            f"cannot compare {lv!r} {op} {b!r}"
+                        ) from exc
+                raise AssertionError("unreachable")  # pragma: no cover
+
+            return evaluate_left_literal
+
+        lf = self.left.compile_batch(schema)
+        rf = self.right.compile_batch(schema)
+
+        def evaluate_batch(rows: List[Row]) -> List[Any]:
+            lvs = lf(rows)
+            rvs = rf(rows)
+            try:
+                return [
+                    None if a is None or b is None else cmp(a, b)
+                    for a, b in zip(lvs, rvs)
+                ]
+            except TypeError:
+                pass
+            # Slow path only to raise the same error as the row engine.
+            for a, b in zip(lvs, rvs):
+                if a is None or b is None:
+                    continue
+                try:
+                    cmp(a, b)
+                except TypeError as exc:
+                    raise TypeMismatchError(
+                        f"cannot compare {a!r} {op} {b!r}"
+                    ) from exc
+            raise AssertionError("unreachable")  # pragma: no cover
+
+        return evaluate_batch
+
     def columns(self) -> Iterator[str]:
         yield from self.left.columns()
         yield from self.right.columns()
@@ -175,12 +293,12 @@ class Comparison(Expression):
 
 
 _COMPARATORS: Dict[str, Callable[[Any, Any], bool]] = {
-    "=": lambda a, b: a == b,
-    "!=": lambda a, b: a != b,
-    "<": lambda a, b: a < b,
-    "<=": lambda a, b: a <= b,
-    ">": lambda a, b: a > b,
-    ">=": lambda a, b: a >= b,
+    "=": _operator.eq,
+    "!=": _operator.ne,
+    "<": _operator.lt,
+    "<=": _operator.le,
+    ">": _operator.gt,
+    ">=": _operator.ge,
 }
 
 
@@ -208,6 +326,28 @@ class And(Expression):
             return True
 
         return evaluate
+
+    def compile_batch(self, schema: Schema) -> BatchEvaluator:
+        lf = self.left.compile_batch(schema)
+        rf = self.right.compile_batch(schema)
+
+        def evaluate_batch(rows: List[Row]) -> List[Any]:
+            lvs = lf(rows)
+            # Short-circuit via a selection vector: the right side only
+            # sees rows the left side did not already decide (is False),
+            # mirroring the row evaluator's early return.
+            need = [i for i, lv in enumerate(lvs) if lv is not False]
+            out: List[Any] = [False] * len(rows)
+            if not need:
+                return out
+            rvs = rf([rows[i] for i in need])
+            for i, rv in zip(need, rvs):
+                if rv is False:
+                    continue
+                out[i] = None if (lvs[i] is None or rv is None) else True
+            return out
+
+        return evaluate_batch
 
     def columns(self) -> Iterator[str]:
         yield from self.left.columns()
@@ -245,6 +385,25 @@ class Or(Expression):
 
         return evaluate
 
+    def compile_batch(self, schema: Schema) -> BatchEvaluator:
+        lf = self.left.compile_batch(schema)
+        rf = self.right.compile_batch(schema)
+
+        def evaluate_batch(rows: List[Row]) -> List[Any]:
+            lvs = lf(rows)
+            need = [i for i, lv in enumerate(lvs) if lv is not True]
+            out: List[Any] = [True] * len(rows)
+            if not need:
+                return out
+            rvs = rf([rows[i] for i in need])
+            for i, rv in zip(need, rvs):
+                if rv is True:
+                    continue
+                out[i] = None if (lvs[i] is None or rv is None) else False
+            return out
+
+        return evaluate_batch
+
     def columns(self) -> Iterator[str]:
         yield from self.left.columns()
         yield from self.right.columns()
@@ -274,6 +433,10 @@ class Not(Expression):
 
         return evaluate
 
+    def compile_batch(self, schema: Schema) -> BatchEvaluator:
+        f = self.operand.compile_batch(schema)
+        return lambda rows: [None if v is None else not v for v in f(rows)]
+
     def columns(self) -> Iterator[str]:
         yield from self.operand.columns()
 
@@ -297,6 +460,12 @@ class IsNull(Expression):
         if self.negated:
             return lambda row: f(row) is not None
         return lambda row: f(row) is None
+
+    def compile_batch(self, schema: Schema) -> BatchEvaluator:
+        f = self.operand.compile_batch(schema)
+        if self.negated:
+            return lambda rows: [v is not None for v in f(rows)]
+        return lambda rows: [v is None for v in f(rows)]
 
     def columns(self) -> Iterator[str]:
         yield from self.operand.columns()
@@ -351,6 +520,28 @@ class Like(Expression):
 
         return evaluate
 
+    def compile_batch(self, schema: Schema) -> BatchEvaluator:
+        f = self.operand.compile_batch(schema)
+        match = self._regex().match
+        negated = self.negated
+
+        def evaluate_batch(rows: List[Row]) -> List[Any]:
+            out: List[Any] = []
+            append = out.append
+            for value in f(rows):
+                if value is None:
+                    append(None)
+                elif not isinstance(value, str):
+                    raise TypeMismatchError(
+                        f"LIKE requires a string, got {value!r}"
+                    )
+                else:
+                    matched = match(value) is not None
+                    append((not matched) if negated else matched)
+            return out
+
+        return evaluate_batch
+
     def columns(self) -> Iterator[str]:
         yield from self.operand.columns()
 
@@ -390,6 +581,27 @@ class InList(Expression):
             return (not matched) if negated else matched
 
         return evaluate
+
+    def compile_batch(self, schema: Schema) -> BatchEvaluator:
+        f = self.operand.compile_batch(schema)
+        members = set(self.values)
+        negated = self.negated
+
+        def evaluate_batch(rows: List[Row]) -> List[Any]:
+            out: List[Any] = []
+            append = out.append
+            for value in f(rows):
+                if value is None:
+                    append(None)
+                    continue
+                try:
+                    matched = value in members
+                except TypeError as exc:
+                    raise TypeMismatchError(str(exc)) from exc
+                append((not matched) if negated else matched)
+            return out
+
+        return evaluate_batch
 
     def columns(self) -> Iterator[str]:
         yield from self.operand.columns()
@@ -437,6 +649,71 @@ class Arithmetic(Expression):
 
         return evaluate
 
+    def compile_batch(self, schema: Schema) -> BatchEvaluator:
+        fn = _ARITHMETIC_FUNCS[self.op]
+        op_sql = self.op
+
+        if isinstance(self.right, Literal):
+            rv = self.right.value
+            if rv is None:
+                return lambda rows: [None] * len(rows)
+            lf = self.left.compile_batch(schema)
+
+            def evaluate_right_literal(rows: List[Row]) -> List[Any]:
+                lvs = lf(rows)
+                try:
+                    return [None if a is None else fn(a, rv) for a in lvs]
+                except (ZeroDivisionError, TypeError):
+                    pass
+                out: List[Any] = []
+                for a in lvs:
+                    if a is None:
+                        out.append(None)
+                        continue
+                    try:
+                        out.append(fn(a, rv))
+                    except ZeroDivisionError:
+                        out.append(None)
+                    except TypeError as exc:
+                        raise TypeMismatchError(
+                            f"cannot compute {a!r} {op_sql} {rv!r}"
+                        ) from exc
+                return out
+
+            return evaluate_right_literal
+
+        lf = self.left.compile_batch(schema)
+        rf = self.right.compile_batch(schema)
+
+        def evaluate_batch(rows: List[Row]) -> List[Any]:
+            lvs = lf(rows)
+            rvs = rf(rows)
+            try:
+                return [
+                    None if a is None or b is None else fn(a, b)
+                    for a, b in zip(lvs, rvs)
+                ]
+            except (ZeroDivisionError, TypeError):
+                pass
+            # Slow path: element-wise, with the row engine's error and
+            # NULL-on-division-by-zero semantics.
+            out: List[Any] = []
+            for a, b in zip(lvs, rvs):
+                if a is None or b is None:
+                    out.append(None)
+                    continue
+                try:
+                    out.append(fn(a, b))
+                except ZeroDivisionError:
+                    out.append(None)
+                except TypeError as exc:
+                    raise TypeMismatchError(
+                        f"cannot compute {a!r} {op_sql} {b!r}"
+                    ) from exc
+            return out
+
+        return evaluate_batch
+
     def columns(self) -> Iterator[str]:
         yield from self.left.columns()
         yield from self.right.columns()
@@ -455,11 +732,11 @@ class Arithmetic(Expression):
 
 
 _ARITHMETIC_FUNCS: Dict[str, Callable[[Any, Any], Any]] = {
-    "+": lambda a, b: a + b,
-    "-": lambda a, b: a - b,
-    "*": lambda a, b: a * b,
-    "/": lambda a, b: a / b,
-    "%": lambda a, b: a % b,
+    "+": _operator.add,
+    "-": _operator.sub,
+    "*": _operator.mul,
+    "/": _operator.truediv,
+    "%": _operator.mod,
 }
 
 
@@ -488,6 +765,11 @@ class FuncCall(Expression):
             return func(v)
 
         return evaluate
+
+    def compile_batch(self, schema: Schema) -> BatchEvaluator:
+        f = self.arg.compile_batch(schema)
+        func = _SCALAR_FUNCS[self.name.upper()]
+        return lambda rows: [None if v is None else func(v) for v in f(rows)]
 
     def columns(self) -> Iterator[str]:
         yield from self.arg.columns()

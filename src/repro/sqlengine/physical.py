@@ -9,6 +9,18 @@ Every operator supports two independent uses:
   meters the actual work performed (CPU/IO in reference-machine ms) into
   ``ctx.meter``; the simulation layer converts metered work into observed
   response time under the server's current load.
+* ``rows_batched(ctx)`` — batch-vectorized execution yielding lists of
+  row tuples.  The base class provides an adapter over ``rows()``; the
+  hot operators override it with genuine batch implementations driven by
+  :meth:`~repro.sqlengine.expressions.Expression.compile_batch` kernels.
+
+Metering is charged per *lifecycle event* (stream start, build/
+materialize phase end, stream end) as ``count * unit_cost`` with integer
+counts accumulated locally, in both engines, in the same order — so the
+row and vector engines produce bit-for-bit identical ``WorkMeter``
+totals for any plan that runs to completion (see docs/execution.md; a
+``Limit`` that abandons its input early is the one documented
+exception, since the vector engine scans in batch granularity).
 
 Operators are immutable; a plan tree is shared freely between the
 optimizer, the explain table, QCC's records and the executor.
@@ -30,10 +42,25 @@ from .cost import (
     estimate_selectivity,
     pages_for,
 )
-from .expressions import AggregateCall, ColumnRef, Expression, Literal, walk
+from .expressions import (
+    AggregateCall,
+    BatchEvaluator,
+    ColumnRef,
+    Expression,
+    Literal,
+    conjuncts,
+    walk,
+)
 from .parser import OrderItem, SelectItem
 from .storage import StorageManager
 from .types import Column, ColumnType, Row, Schema, SqlError
+
+#: A batch is a plain list of row tuples.
+RowBatch = List[Row]
+
+#: Rows per batch in the vectorized engine.  Large enough to amortise
+#: per-batch Python overhead, small enough to keep batches cache-warm.
+DEFAULT_BATCH_SIZE = 1024
 
 
 class ExecutionError(SqlError):
@@ -66,11 +93,18 @@ class WorkMeter:
 
 @dataclass
 class ExecutionContext:
-    """Everything an operator needs at run time."""
+    """Everything an operator needs at run time.
+
+    ``engine`` records which execution path drives this context ("row"
+    or "vector"); ``batch_size`` is the row count per batch on the
+    vectorized path.
+    """
 
     storage: StorageManager
     params: CostParameters
     meter: WorkMeter = field(default_factory=WorkMeter)
+    engine: str = "row"
+    batch_size: int = DEFAULT_BATCH_SIZE
 
 
 class CostEstimator:
@@ -101,6 +135,26 @@ class PhysicalPlan:
 
     def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
         raise NotImplementedError
+
+    def rows_batched(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+        """Batched execution; yields non-empty lists of row tuples.
+
+        The default adapter chunks the legacy ``rows()`` stream, so any
+        operator without a native batch implementation (and any future
+        operator) is automatically correct on the vector path — it runs
+        the very same row code, metering included.
+        """
+        size = ctx.batch_size
+        batch: RowBatch = []
+        append = batch.append
+        for row in self.rows(ctx):
+            append(row)
+            if len(batch) >= size:
+                yield batch
+                batch = []
+                append = batch.append
+        if batch:
+            yield batch
 
     def describe(self) -> str:
         """One-line operator description (also the plan signature leaf)."""
@@ -202,11 +256,53 @@ class SeqScan(PhysicalPlan):
         )
         ops = _count_operators(self.predicate)
         per_row = params.cpu_tuple_cost + ops * params.cpu_operator_cost
-        for row in heap.scan():
-            meter.cpu_ms += per_row
-            if predicate is None or predicate(row) is True:
-                meter.tuples_out += 1
-                yield row
+        scanned = 0
+        emitted = 0
+        try:
+            for row in heap.scan():
+                scanned += 1
+                if predicate is None or predicate(row) is True:
+                    emitted += 1
+                    yield row
+        finally:
+            meter.cpu_ms += scanned * per_row
+            meter.tuples_out += emitted
+
+    def rows_batched(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+        heap = ctx.storage.table(self.table.name)
+        params = ctx.params
+        meter = ctx.meter
+        width = self.output_schema.row_width_bytes()
+        meter.io_ms += pages_for(len(heap), width) * params.seq_page_cost
+        kernels = (
+            [
+                c.compile_batch(self.output_schema)
+                for c in conjuncts(self.predicate)
+            ]
+            if self.predicate is not None
+            else []
+        )
+        ops = _count_operators(self.predicate)
+        per_row = params.cpu_tuple_cost + ops * params.cpu_operator_cost
+        data = heap.rows
+        size = ctx.batch_size
+        scanned = 0
+        emitted = 0
+        try:
+            for start in range(0, len(data), size):
+                batch = data[start : start + size]
+                scanned += len(batch)
+                for kernel in kernels:
+                    keep = kernel(batch)
+                    batch = [row for row, k in zip(batch, keep) if k is True]
+                    if not batch:
+                        break
+                if batch:
+                    emitted += len(batch)
+                    yield batch
+        finally:
+            meter.cpu_ms += scanned * per_row
+            meter.tuples_out += emitted
 
     def describe(self) -> str:
         pred = _predicate_sql(self.predicate)
@@ -274,12 +370,59 @@ class IndexScan(PhysicalPlan):
         )
         ops = _count_operators(self.residual)
         per_row = params.cpu_tuple_cost + ops * params.cpu_operator_cost
-        for rid in index.lookup(self.value.value):
-            row = heap.fetch(rid)
-            meter.cpu_ms += per_row
-            if residual is None or residual(row) is True:
-                meter.tuples_out += 1
-                yield row
+        matched = 0
+        emitted = 0
+        try:
+            for rid in index.lookup(self.value.value):
+                row = heap.fetch(rid)
+                matched += 1
+                if residual is None or residual(row) is True:
+                    emitted += 1
+                    yield row
+        finally:
+            meter.cpu_ms += matched * per_row
+            meter.tuples_out += emitted
+
+    def rows_batched(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+        heap = ctx.storage.table(self.table.name)
+        index = heap.index_on(self.column)
+        if index is None:
+            raise ExecutionError(
+                f"no index on {self.table.name}.{self.column}"
+            )
+        params = ctx.params
+        meter = ctx.meter
+        meter.io_ms += params.index_probe_cost
+        kernels = (
+            [
+                c.compile_batch(self.output_schema)
+                for c in conjuncts(self.residual)
+            ]
+            if self.residual is not None
+            else []
+        )
+        ops = _count_operators(self.residual)
+        per_row = params.cpu_tuple_cost + ops * params.cpu_operator_cost
+        rids = index.lookup(self.value.value)
+        fetch = heap.fetch
+        size = ctx.batch_size
+        matched = 0
+        emitted = 0
+        try:
+            for start in range(0, len(rids), size):
+                batch = [fetch(rid) for rid in rids[start : start + size]]
+                matched += len(batch)
+                for kernel in kernels:
+                    keep = kernel(batch)
+                    batch = [row for row, k in zip(batch, keep) if k is True]
+                    if not batch:
+                        break
+                if batch:
+                    emitted += len(batch)
+                    yield batch
+        finally:
+            meter.cpu_ms += matched * per_row
+            meter.tuples_out += emitted
 
     def describe(self) -> str:
         parts = [f"{self.table.name} AS {self.binding}", f"{self.column}={self.value.sql()}"]
@@ -325,10 +468,39 @@ class Filter(PhysicalPlan):
         ops = _count_operators(self.predicate)
         per_row = ops * ctx.params.cpu_operator_cost
         meter = ctx.meter
-        for row in self.child.rows(ctx):
-            meter.cpu_ms += per_row
-            if predicate(row) is True:
-                yield row
+        seen = 0
+        try:
+            for row in self.child.rows(ctx):
+                seen += 1
+                if predicate(row) is True:
+                    yield row
+        finally:
+            meter.cpu_ms += seen * per_row
+
+    def rows_batched(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+        # Conjunct-at-a-time selection vectors: each AND-ed conjunct is
+        # applied to the survivors of the previous one, so later (often
+        # costlier) conjuncts see progressively smaller batches.
+        kernels = [
+            c.compile_batch(self.output_schema)
+            for c in conjuncts(self.predicate)
+        ]
+        ops = _count_operators(self.predicate)
+        per_row = ops * ctx.params.cpu_operator_cost
+        meter = ctx.meter
+        seen = 0
+        try:
+            for batch in self.child.rows_batched(ctx):
+                seen += len(batch)
+                for kernel in kernels:
+                    keep = kernel(batch)
+                    batch = [row for row, k in zip(batch, keep) if k is True]
+                    if not batch:
+                        break
+                if batch:
+                    yield batch
+        finally:
+            meter.cpu_ms += seen * per_row
 
     def describe(self) -> str:
         return f"Filter({self.predicate.sql()})"
@@ -372,9 +544,34 @@ class Project(PhysicalPlan):
         ]
         per_row = len(evaluators) * ctx.params.cpu_operator_cost
         meter = ctx.meter
-        for row in self.child.rows(ctx):
-            meter.cpu_ms += per_row
-            yield tuple(f(row) for f in evaluators)
+        seen = 0
+        try:
+            for row in self.child.rows(ctx):
+                seen += 1
+                yield tuple(f(row) for f in evaluators)
+        finally:
+            meter.cpu_ms += seen * per_row
+
+    def rows_batched(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+        kernels = [
+            item.expr.compile_batch(self.child.output_schema)
+            for item in self.items
+            if item.expr is not None
+        ]
+        per_row = len(kernels) * ctx.params.cpu_operator_cost
+        meter = ctx.meter
+        seen = 0
+        try:
+            for batch in self.child.rows_batched(ctx):
+                seen += len(batch)
+                if kernels:
+                    # Column-at-a-time: each kernel produces one output
+                    # column; zip transposes back to row tuples at C speed.
+                    yield list(zip(*(k(batch) for k in kernels)))
+                else:
+                    yield [()] * len(batch)
+        finally:
+            meter.cpu_ms += seen * per_row
 
     def describe(self) -> str:
         return f"Project({', '.join(item.sql() for item in self.items)})"
@@ -446,16 +643,67 @@ class NestedLoopJoin(PhysicalPlan):
         ops = max(_count_operators(self.condition), 1)
         per_pair = ops * params.cpu_operator_cost
         null_pad = (None,) * len(self.right.output_schema)
-        for left_row in self.left.rows(ctx):
-            matched = False
-            for right_row in inner:
-                meter.cpu_ms += per_pair
-                combined = left_row + right_row
-                if condition is None or condition(combined) is True:
-                    matched = True
-                    yield combined
-            if self.outer and not matched:
-                yield left_row + null_pad
+        pairs = 0
+        try:
+            for left_row in self.left.rows(ctx):
+                matched = False
+                for right_row in inner:
+                    pairs += 1
+                    combined = left_row + right_row
+                    if condition is None or condition(combined) is True:
+                        matched = True
+                        yield combined
+                if self.outer and not matched:
+                    yield left_row + null_pad
+        finally:
+            meter.cpu_ms += pairs * per_pair
+
+    def rows_batched(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+        params = ctx.params
+        meter = ctx.meter
+        inner: List[Row] = []
+        for right_batch in self.right.rows_batched(ctx):
+            inner.extend(right_batch)
+        meter.cpu_ms += len(inner) * params.materialize_tuple_cost
+        kernel = (
+            self.condition.compile_batch(self.output_schema)
+            if self.condition is not None
+            else None
+        )
+        ops = max(_count_operators(self.condition), 1)
+        per_pair = ops * params.cpu_operator_cost
+        null_pad = (None,) * len(self.right.output_schema)
+        outer = self.outer
+        pairs = 0
+        try:
+            for batch in self.left.rows_batched(ctx):
+                pairs += len(batch) * len(inner)
+                out: RowBatch = []
+                if kernel is None:
+                    if inner:
+                        for left_row in batch:
+                            out.extend(
+                                left_row + right_row for right_row in inner
+                            )
+                    elif outer:
+                        out = [left_row + null_pad for left_row in batch]
+                else:
+                    for left_row in batch:
+                        candidates = [
+                            left_row + right_row for right_row in inner
+                        ]
+                        keep = kernel(candidates) if candidates else []
+                        matched = False
+                        for combined, k in zip(candidates, keep):
+                            if k is True:
+                                matched = True
+                                out.append(combined)
+                        if outer and not matched:
+                            out.append(left_row + null_pad)
+                if out:
+                    yield out
+        finally:
+            meter.cpu_ms += pairs * per_pair
 
     def describe(self) -> str:
         cond = _predicate_sql(self.condition) or "TRUE"
@@ -532,12 +780,14 @@ class HashJoin(PhysicalPlan):
         left_idx = [left_schema.index_of(k) for k in self.left_keys]
 
         buckets: Dict[Tuple[Any, ...], List[Row]] = {}
+        built = 0
         for row in self.right.rows(ctx):
-            meter.cpu_ms += params.hash_build_cost
+            built += 1
             key = tuple(row[i] for i in right_idx)
             if any(v is None for v in key):
                 continue
             buckets.setdefault(key, []).append(row)
+        meter.cpu_ms += built * params.hash_build_cost
 
         residual = (
             self.residual.compile(self.output_schema)
@@ -545,19 +795,124 @@ class HashJoin(PhysicalPlan):
             else None
         )
         null_pad = (None,) * len(self.right.output_schema)
-        for left_row in self.left.rows(ctx):
-            meter.cpu_ms += params.hash_probe_cost
-            key = tuple(left_row[i] for i in left_idx)
-            matched = False
-            if not any(v is None for v in key):
-                for right_row in buckets.get(key, ()):
-                    meter.cpu_ms += params.cpu_tuple_cost
-                    combined = left_row + right_row
-                    if residual is None or residual(combined) is True:
-                        matched = True
-                        yield combined
-            if self.outer and not matched:
-                yield left_row + null_pad
+        probed = 0
+        examined = 0
+        try:
+            for left_row in self.left.rows(ctx):
+                probed += 1
+                key = tuple(left_row[i] for i in left_idx)
+                matched = False
+                if not any(v is None for v in key):
+                    for right_row in buckets.get(key, ()):
+                        examined += 1
+                        combined = left_row + right_row
+                        if residual is None or residual(combined) is True:
+                            matched = True
+                            yield combined
+                if self.outer and not matched:
+                    yield left_row + null_pad
+        finally:
+            meter.cpu_ms += probed * params.hash_probe_cost
+            meter.cpu_ms += examined * params.cpu_tuple_cost
+
+    def rows_batched(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+        params = ctx.params
+        meter = ctx.meter
+        right_schema = self.right.output_schema
+        left_schema = self.left.output_schema
+        right_idx = [right_schema.index_of(k) for k in self.right_keys]
+        left_idx = [left_schema.index_of(k) for k in self.left_keys]
+        single = len(right_idx) == 1
+
+        # Build.  NULL keys never enter the buckets; a single-key join
+        # uses the bare value as the dict key (same grouping, no tuple
+        # allocation per row).
+        buckets: Dict[Any, List[Row]] = {}
+        setdefault = buckets.setdefault
+        built = 0
+        if single:
+            ri = right_idx[0]
+            for right_batch in self.right.rows_batched(ctx):
+                built += len(right_batch)
+                for row in right_batch:
+                    key = row[ri]
+                    if key is not None:
+                        setdefault(key, []).append(row)
+        else:
+            for right_batch in self.right.rows_batched(ctx):
+                built += len(right_batch)
+                for row in right_batch:
+                    key = tuple(row[i] for i in right_idx)
+                    if not any(v is None for v in key):
+                        setdefault(key, []).append(row)
+        meter.cpu_ms += built * params.hash_build_cost
+
+        kernel = (
+            self.residual.compile_batch(self.output_schema)
+            if self.residual is not None
+            else None
+        )
+        null_pad = (None,) * len(self.right.output_schema)
+        outer = self.outer
+        get = buckets.get
+        li = left_idx[0] if single else -1
+        probed = 0
+        examined = 0
+        try:
+            for batch in self.left.rows_batched(ctx):
+                probed += len(batch)
+                out: RowBatch = []
+                if kernel is None:
+                    # A NULL probe key (bare or inside the tuple) misses
+                    # the dict — NULLs never joined on the build side.
+                    for left_row in batch:
+                        rights = get(
+                            left_row[li]
+                            if single
+                            else tuple(left_row[i] for i in left_idx)
+                        )
+                        if rights:
+                            examined += len(rights)
+                            if len(rights) == 1:
+                                out.append(left_row + rights[0])
+                            else:
+                                out.extend(left_row + r for r in rights)
+                        elif outer:
+                            out.append(left_row + null_pad)
+                else:
+                    # Residual filter: gather candidates for the whole
+                    # batch, evaluate the residual kernel once, then
+                    # reassemble in left-row order (with outer padding).
+                    candidates: RowBatch = []
+                    counts: List[int] = []
+                    for left_row in batch:
+                        rights = get(
+                            left_row[li]
+                            if single
+                            else tuple(left_row[i] for i in left_idx)
+                        )
+                        if rights:
+                            examined += len(rights)
+                            candidates.extend(left_row + r for r in rights)
+                            counts.append(len(rights))
+                        else:
+                            counts.append(0)
+                    keep = kernel(candidates) if candidates else []
+                    pos = 0
+                    for left_row, n in zip(batch, counts):
+                        matched = False
+                        for k in range(pos, pos + n):
+                            if keep[k] is True:
+                                matched = True
+                                out.append(candidates[k])
+                        pos += n
+                        if outer and not matched:
+                            out.append(left_row + null_pad)
+                if out:
+                    yield out
+        finally:
+            meter.cpu_ms += probed * params.hash_probe_cost
+            meter.cpu_ms += examined * params.cpu_tuple_cost
 
     def describe(self) -> str:
         keys = ", ".join(
@@ -743,6 +1098,57 @@ class _AggState:
 _STAR = object()
 
 
+def _fold_agg(state: _AggState, values: Sequence[Any]) -> None:
+    """Fold a column slice into *state* exactly as repeated
+    ``state.update(v)`` calls would — same accumulation order, same
+    tie-breaking (``min``/``max`` keep the earlier value on ties) — but
+    without per-value method dispatch."""
+    if state.seen is not None:
+        update = state.update
+        for v in values:
+            update(v)
+        return
+    name = state.name
+    if name == "COUNT":
+        state.count += sum(1 for v in values if v is not None)
+        return
+    if name in ("SUM", "AVG"):
+        count = state.count
+        total = state.total
+        for v in values:
+            if v is not None:
+                count += 1
+                total = v if total is None else total + v
+        state.count = count
+        state.total = total
+        return
+    if name == "MIN":
+        count = state.count
+        cur = state.min
+        for v in values:
+            if v is not None:
+                count += 1
+                if cur is None or v < cur:
+                    cur = v
+        state.count = count
+        state.min = cur
+        return
+    if name == "MAX":
+        count = state.count
+        cur = state.max
+        for v in values:
+            if v is not None:
+                count += 1
+                if cur is None or v > cur:
+                    cur = v
+        state.count = count
+        state.max = cur
+        return
+    update = state.update
+    for v in values:
+        update(v)
+
+
 def _rewrite_over_internal(
     expr: Expression,
     group_map: Dict[str, int],
@@ -860,10 +1266,10 @@ class HashAggregate(PhysicalPlan):
         ]
 
         groups: Dict[Tuple[Any, ...], List[_AggState]] = {}
-        group_keys: Dict[Tuple[Any, ...], Tuple[Any, ...]] = {}
         per_row = max(len(self._agg_calls), 1) * params.agg_update_cost
+        consumed = 0
         for row in self.child.rows(ctx):
-            meter.cpu_ms += per_row
+            consumed += 1
             key = tuple(f(row) for f in key_fns)
             states = groups.get(key)
             if states is None:
@@ -872,10 +1278,10 @@ class HashAggregate(PhysicalPlan):
                     for call in self._agg_calls
                 ]
                 groups[key] = states
-                group_keys[key] = key
             for state, arg_fn in zip(states, arg_fns):
                 value = _STAR if arg_fn is None else arg_fn(row)
                 state.update(value)
+        meter.cpu_ms += consumed * per_row
 
         if not groups and not self.group_by:
             # Aggregate over an empty input still yields one row.
@@ -883,7 +1289,6 @@ class HashAggregate(PhysicalPlan):
                 _AggState(call.name.upper(), call.distinct)
                 for call in self._agg_calls
             ]
-            group_keys[()] = ()
 
         internal_schema = self._internal_schema()
         group_map = {e.sql(): i for i, e in enumerate(self.group_by)}
@@ -901,12 +1306,135 @@ class HashAggregate(PhysicalPlan):
             ).compile(internal_schema)
 
         per_group = len(self.items) * params.cpu_operator_cost
+        meter.cpu_ms += len(groups) * per_group
         for key, states in groups.items():
-            meter.cpu_ms += per_group
-            internal_row = group_keys[key] + tuple(s.result() for s in states)
+            internal_row = key + tuple(s.result() for s in states)
             if having_fn is not None and having_fn(internal_row) is not True:
                 continue
             yield tuple(f(internal_row) for f in item_fns)
+
+    def rows_batched(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+        params = ctx.params
+        meter = ctx.meter
+        child_schema = self.child.output_schema
+        key_kernels = [e.compile_batch(child_schema) for e in self.group_by]
+        agg_specs = [
+            (call.name.upper(), call.distinct) for call in self._agg_calls
+        ]
+        # Several aggregates often share one argument expression
+        # (SUM(x), AVG(x), MIN(x)...): evaluate each distinct argument
+        # column once per batch.  ``arg_keys[i]`` indexes the shared
+        # column for call *i*, or is None for COUNT(*).
+        arg_keys: List[Optional[int]] = []
+        unique_kernels: List[BatchEvaluator] = []
+        seen_args: Dict[str, int] = {}
+        for call in self._agg_calls:
+            if call.arg is None:
+                arg_keys.append(None)
+                continue
+            sql = call.arg.sql()
+            pos = seen_args.get(sql)
+            if pos is None:
+                pos = len(unique_kernels)
+                seen_args[sql] = pos
+                unique_kernels.append(call.arg.compile_batch(child_schema))
+            arg_keys.append(pos)
+
+        # Group state is the same _AggState the row engine folds with, so
+        # float accumulation order — hence every result bit — matches.
+        # Rows are first bucketed into per-batch index lists (preserving
+        # first-occurrence group order and row order within each group),
+        # then each aggregate folds its column slice in one tight loop.
+        groups: Dict[Tuple[Any, ...], List[_AggState]] = {}
+        get_group = groups.get
+        single = len(key_kernels) == 1
+        per_row = max(len(self._agg_calls), 1) * params.agg_update_cost
+        consumed = 0
+        for batch in self.child.rows_batched(ctx):
+            n = len(batch)
+            consumed += n
+            cols = [k(batch) for k in unique_kernels]
+            if not key_kernels:
+                states = get_group(())
+                if states is None:
+                    states = groups[()] = [
+                        _AggState(name, distinct)
+                        for name, distinct in agg_specs
+                    ]
+                for state, ak in zip(states, arg_keys):
+                    if ak is None:
+                        state.count += n
+                    else:
+                        _fold_agg(state, cols[ak])
+                continue
+            if single:
+                key_col = key_kernels[0](batch)
+            else:
+                key_col = list(zip(*[k(batch) for k in key_kernels]))
+            index_lists: Dict[Any, List[int]] = {}
+            get_list = index_lists.get
+            for ri, kv in enumerate(key_col):
+                lst = get_list(kv)
+                if lst is None:
+                    index_lists[kv] = [ri]
+                else:
+                    lst.append(ri)
+            for kv, idxs in index_lists.items():
+                key = (kv,) if single else kv
+                states = get_group(key)
+                if states is None:
+                    states = groups[key] = [
+                        _AggState(name, distinct)
+                        for name, distinct in agg_specs
+                    ]
+                for state, ak in zip(states, arg_keys):
+                    if ak is None:
+                        state.count += len(idxs)
+                    else:
+                        col = cols[ak]
+                        _fold_agg(state, [col[i] for i in idxs])
+        meter.cpu_ms += consumed * per_row
+
+        if not groups and not self.group_by:
+            groups[()] = [
+                _AggState(name, distinct) for name, distinct in agg_specs
+            ]
+
+        internal_schema = self._internal_schema()
+        group_map = {e.sql(): i for i, e in enumerate(self.group_by)}
+        item_kernels = [
+            _rewrite_over_internal(
+                item.expr, group_map, self._agg_positions, self._agg_calls
+            ).compile_batch(internal_schema)
+            for item in self.items
+            if item.expr is not None
+        ]
+        having_kernel = None
+        if self.having is not None:
+            having_kernel = _rewrite_over_internal(
+                self.having, group_map, self._agg_positions, self._agg_calls
+            ).compile_batch(internal_schema)
+
+        per_group = len(self.items) * params.cpu_operator_cost
+        meter.cpu_ms += len(groups) * per_group
+        internal_rows: RowBatch = [
+            key + tuple(s.result() for s in states)
+            for key, states in groups.items()
+        ]
+        if having_kernel is not None:
+            keep = having_kernel(internal_rows)
+            internal_rows = [
+                r for r, k in zip(internal_rows, keep) if k is True
+            ]
+        if not internal_rows:
+            return
+        if item_kernels:
+            out = list(zip(*(k(internal_rows) for k in item_kernels)))
+        else:
+            out = [()] * len(internal_rows)
+        size = ctx.batch_size
+        for start in range(0, len(out), size):
+            yield out[start : start + size]
 
     def describe(self) -> str:
         keys = ", ".join(e.sql() for e in self.group_by) or "<global>"
@@ -965,6 +1493,31 @@ class Sort(PhysicalPlan):
             data.sort(key=lambda row: _sort_key((fn(row),)), reverse=not ascending)
         yield from data
 
+    def rows_batched(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+        params = ctx.params
+        meter = ctx.meter
+        schema = self.child.output_schema
+        data: RowBatch = []
+        for batch in self.child.rows_batched(ctx):
+            data.extend(batch)
+        n = max(len(data), 1)
+        meter.cpu_ms += n * math.log2(n + 1.0) * params.sort_compare_cost
+        # Same stable right-to-left multi-pass as the row engine, but
+        # each pass sorts an index permutation keyed by a pre-computed
+        # decorated column ((is None, value) = NULLs last).
+        for o in reversed(self.order_by):
+            col = o.expr.compile_batch(schema)(data)
+            decorated = [(v is None, v) for v in col]
+            order = sorted(
+                range(len(data)),
+                key=decorated.__getitem__,
+                reverse=not o.ascending,
+            )
+            data = [data[i] for i in order]
+        size = ctx.batch_size
+        for start in range(0, len(data), size):
+            yield data[start : start + size]
+
     def describe(self) -> str:
         keys = ", ".join(o.sql() for o in self.order_by)
         return f"Sort({keys})"
@@ -1010,6 +1563,17 @@ class Limit(PhysicalPlan):
             if remaining == 0:
                 return
 
+    def rows_batched(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+        remaining = self.count
+        if remaining == 0:
+            return
+        for batch in self.child.rows_batched(ctx):
+            if len(batch) >= remaining:
+                yield batch[:remaining]
+                return
+            remaining -= len(batch)
+            yield batch
+
     def describe(self) -> str:
         return f"Limit({self.count})"
 
@@ -1040,13 +1604,37 @@ class Distinct(PhysicalPlan):
         params = ctx.params
         meter = ctx.meter
         seen = set()
-        for row in self.child.rows(ctx):
-            meter.cpu_ms += params.hash_build_cost
-            key = _sort_key(row)
-            if key in seen:
-                continue
-            seen.add(key)
-            yield row
+        consumed = 0
+        try:
+            for row in self.child.rows(ctx):
+                consumed += 1
+                key = _sort_key(row)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield row
+        finally:
+            meter.cpu_ms += consumed * params.hash_build_cost
+
+    def rows_batched(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+        params = ctx.params
+        meter = ctx.meter
+        seen = set()
+        add = seen.add
+        consumed = 0
+        try:
+            for batch in self.child.rows_batched(ctx):
+                consumed += len(batch)
+                out: RowBatch = []
+                for row in batch:
+                    key = tuple((v is None, v) for v in row)
+                    if key not in seen:
+                        add(key)
+                        out.append(row)
+                if out:
+                    yield out
+        finally:
+            meter.cpu_ms += consumed * params.hash_build_cost
 
     def describe(self) -> str:
         return "Distinct()"
@@ -1095,9 +1683,27 @@ class MaterializedInput(PhysicalPlan):
     def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
         per_row = ctx.params.cpu_tuple_cost
         meter = ctx.meter
-        for row in self.data:
-            meter.cpu_ms += per_row
-            yield row
+        emitted = 0
+        try:
+            for row in self.data:
+                emitted += 1
+                yield row
+        finally:
+            meter.cpu_ms += emitted * per_row
+
+    def rows_batched(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+        per_row = ctx.params.cpu_tuple_cost
+        meter = ctx.meter
+        data = self.data
+        size = ctx.batch_size
+        emitted = 0
+        try:
+            for start in range(0, len(data), size):
+                batch = data[start : start + size]
+                emitted += len(batch)
+                yield batch
+        finally:
+            meter.cpu_ms += emitted * per_row
 
     def describe(self) -> str:
         return f"MaterializedInput({self.name} rows={len(self.data)})"

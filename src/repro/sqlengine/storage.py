@@ -19,6 +19,7 @@ class HashIndex:
         self.column = column
         self._position = table.schema.index_of(column)
         self._buckets: Dict[Any, List[int]] = {}
+        self._count = 0
         for rid, row in enumerate(table.rows):
             self._insert(rid, row)
 
@@ -27,6 +28,7 @@ class HashIndex:
         if key is None:
             return
         self._buckets.setdefault(key, []).append(rid)
+        self._count += 1
 
     def lookup(self, value: Any) -> Sequence[int]:
         """Row ids whose indexed column equals *value* (empty if none)."""
@@ -35,7 +37,8 @@ class HashIndex:
         return self._buckets.get(value, ())
 
     def __len__(self) -> int:
-        return sum(len(b) for b in self._buckets.values())
+        # Maintained on insert; updates/deletes rebuild the whole index.
+        return self._count
 
 
 class HeapTable:

@@ -1,0 +1,278 @@
+"""Unit tests for the vectorized engine's batch kernels and operators.
+
+Covers the kernel contract (``Expression.compile_batch``): SQL NULL
+semantics, three-valued AND/OR with short-circuit selection vectors,
+the default row-engine adapter, outer-join NULL padding, and aggregate
+edge cases — each checked against the row engine's semantics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sqlengine import (
+    And,
+    Arithmetic,
+    Column,
+    ColumnRef,
+    ColumnType,
+    Comparison,
+    Database,
+    DEFAULT_BATCH_SIZE,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Not,
+    Or,
+    Schema,
+    SqlError,
+    TypeMismatchError,
+    execute_plan,
+    resolve_engine,
+)
+from repro.sqlengine.physical import ExecutionContext, MaterializedInput
+
+SCHEMA = Schema(
+    (
+        Column("a", ColumnType.INT, "t"),
+        Column("b", ColumnType.FLOAT, "t"),
+        Column("s", ColumnType.STR, "t"),
+    )
+)
+
+ROWS = [
+    (4, 2.5, "Hi"),
+    (None, 1.0, "Hello"),
+    (7, None, None),
+    (0, -1.5, "World"),
+]
+
+
+def kernel(expr, rows=ROWS):
+    return expr.compile_batch(SCHEMA)(rows)
+
+
+def agrees_with_row_engine(expr, rows=ROWS):
+    evaluate = expr.compile(SCHEMA)
+    expected = [evaluate(row) for row in rows]
+    assert kernel(expr, rows) == expected
+    return expected
+
+
+class TestScalarKernels:
+    def test_literal_broadcast(self):
+        assert kernel(Literal(42)) == [42, 42, 42, 42]
+        assert kernel(Literal(None)) == [None] * 4
+
+    def test_column_extraction(self):
+        assert kernel(ColumnRef("a")) == [4, None, 7, 0]
+        assert kernel(ColumnRef("t.s")) == ["Hi", "Hello", None, "World"]
+
+    def test_empty_batch(self):
+        assert kernel(Comparison(">", ColumnRef("a"), Literal(1)), []) == []
+
+    def test_comparison_null_propagation(self):
+        out = kernel(Comparison(">", ColumnRef("a"), Literal(1)))
+        assert out == [True, None, True, False]
+
+    def test_comparison_null_literal(self):
+        assert kernel(Comparison("=", ColumnRef("a"), Literal(None))) == (
+            [None] * 4
+        )
+
+    def test_comparison_column_vs_column(self):
+        agrees_with_row_engine(Comparison("<", ColumnRef("b"), ColumnRef("a")))
+
+    def test_comparison_type_mismatch_message_matches_row_engine(self):
+        expr = Comparison(">", ColumnRef("a"), Literal("zzz"))
+        with pytest.raises(TypeMismatchError) as batch_err:
+            kernel(expr)
+        with pytest.raises(TypeMismatchError) as row_err:
+            expr.compile(SCHEMA)(ROWS[0])
+        assert str(batch_err.value) == str(row_err.value)
+
+    def test_arithmetic_null_and_division_by_zero(self):
+        expr = Arithmetic("/", Literal(10), ColumnRef("a"))
+        assert agrees_with_row_engine(expr) == [2.5, None, 10 / 7, None]
+
+    def test_arithmetic_literal_fast_path(self):
+        expr = Arithmetic("*", ColumnRef("b"), Literal(2.0))
+        assert agrees_with_row_engine(expr) == [5.0, 2.0, None, -3.0]
+
+    def test_is_null(self):
+        assert kernel(IsNull(ColumnRef("a"))) == [False, True, False, False]
+        assert kernel(IsNull(ColumnRef("a"), negated=True)) == [
+            True,
+            False,
+            True,
+            True,
+        ]
+
+    def test_like_and_in_list(self):
+        agrees_with_row_engine(Like(ColumnRef("s"), "H%"))
+        agrees_with_row_engine(InList(ColumnRef("a"), (0, 4)))
+
+
+class TestThreeValuedLogicKernels:
+    def truth(self, value):
+        return Literal(value)
+
+    @pytest.mark.parametrize("left", [True, False, None])
+    @pytest.mark.parametrize("right", [True, False, None])
+    def test_and_or_truth_tables(self, left, right):
+        row = (1, 1.0, "x")
+        for connective in (And, Or):
+            expr = connective(self.truth(left), self.truth(right))
+            assert expr.compile_batch(SCHEMA)([row]) == [
+                expr.compile(SCHEMA)(row)
+            ]
+
+    def test_not_kernel(self):
+        expr = Not(Comparison(">", ColumnRef("a"), Literal(1)))
+        assert kernel(expr) == [False, None, False, True]
+
+    def test_and_short_circuit_selection_vector(self):
+        # The right side must only be evaluated on surviving rows: a
+        # type error lurking behind a False left conjunct never fires.
+        safe = Comparison("=", ColumnRef("s"), Literal("Hi"))
+        explosive = Comparison(">", ColumnRef("a"), Literal("boom"))
+        rows = [(4, 2.5, "nope")]
+        assert And(safe, explosive).compile_batch(SCHEMA)(rows) == [False]
+        with pytest.raises(TypeMismatchError):
+            And(explosive, safe).compile_batch(SCHEMA)(rows)
+
+    def test_or_short_circuit_selection_vector(self):
+        safe = Comparison("=", ColumnRef("s"), Literal("Hi"))
+        explosive = Comparison(">", ColumnRef("a"), Literal("boom"))
+        rows = [(4, 2.5, "Hi")]
+        assert Or(safe, explosive).compile_batch(SCHEMA)(rows) == [True]
+
+
+@pytest.fixture()
+def joined_db():
+    database = Database("vec")
+    database.create_table(
+        "dept",
+        Schema(
+            (Column("deptno", ColumnType.INT), Column("name", ColumnType.STR))
+        ),
+    )
+    database.load_rows(
+        "dept", [(1, "eng"), (2, "ops"), (3, "sales"), (4, "empty")]
+    )
+    database.create_table(
+        "emp",
+        Schema(
+            (
+                Column("empno", ColumnType.INT),
+                Column("deptno", ColumnType.INT),
+                Column("salary", ColumnType.INT),
+            )
+        ),
+    )
+    database.load_rows(
+        "emp",
+        [(10, 1, 100), (11, 1, 200), (12, 2, 150), (13, None, 50)],
+    )
+    return database
+
+
+def both_engines(database, sql):
+    plan = database.explain(sql)[0].plan
+    row = execute_plan(plan, database.storage, database.params, engine="row")
+    vec = execute_plan(
+        plan, database.storage, database.params, engine="vector"
+    )
+    return row, vec
+
+
+class TestOperators:
+    def test_outer_join_null_padding(self, joined_db):
+        row, vec = both_engines(
+            joined_db,
+            "SELECT d.name, e.empno FROM dept d "
+            "LEFT JOIN emp e ON d.deptno = e.deptno",
+        )
+        assert row.rows == vec.rows
+        assert ("empty", None) in vec.rows
+        assert ("sales", None) in vec.rows
+        assert row.meter.cpu_ms == vec.meter.cpu_ms
+
+    def test_outer_join_with_residual(self, joined_db):
+        row, vec = both_engines(
+            joined_db,
+            "SELECT d.name, e.empno FROM dept d "
+            "LEFT JOIN emp e ON d.deptno = e.deptno AND e.salary > 120",
+        )
+        assert row.rows == vec.rows
+        assert ("eng", 11) in vec.rows
+        assert ("eng", 10) not in vec.rows
+
+    def test_null_join_keys_never_match(self, joined_db):
+        row, vec = both_engines(
+            joined_db,
+            "SELECT e.empno, d.name FROM emp e "
+            "JOIN dept d ON e.deptno = d.deptno",
+        )
+        assert row.rows == vec.rows
+        assert all(empno != 13 for empno, _ in vec.rows)
+
+    def test_empty_input_global_aggregate(self, joined_db):
+        row, vec = both_engines(
+            joined_db,
+            "SELECT COUNT(*), SUM(e.salary), MIN(e.salary) FROM emp e "
+            "WHERE e.salary > 99999",
+        )
+        assert row.rows == vec.rows == [(0, None, None)]
+        assert row.meter.cpu_ms == vec.meter.cpu_ms
+
+    def test_distinct_aggregate(self, joined_db):
+        row, vec = both_engines(
+            joined_db,
+            "SELECT COUNT(DISTINCT e.deptno) FROM emp e",
+        )
+        assert row.rows == vec.rows == [(2,)]
+
+
+class TestEngineMachinery:
+    def test_default_adapter_chunks_row_stream(self, joined_db):
+        # MaterializedInput has a native vector path; go through the
+        # base-class adapter explicitly to test the legacy bridge.
+        data = [(i,) for i in range(DEFAULT_BATCH_SIZE + 5)]
+        plan = MaterializedInput(
+            "m", Schema((Column("x", ColumnType.INT),)), data
+        )
+        ctx = ExecutionContext(
+            storage=joined_db.storage,
+            params=joined_db.params,
+            engine="vector",
+        )
+        batches = list(super(MaterializedInput, plan).rows_batched(ctx))
+        assert [len(b) for b in batches] == [DEFAULT_BATCH_SIZE, 5]
+        assert [r for b in batches for r in b] == data
+
+    def test_resolve_engine_validates(self):
+        assert resolve_engine("row") == "row"
+        assert resolve_engine("vector") == "vector"
+        assert resolve_engine(None) in ("row", "vector")
+        with pytest.raises(SqlError):
+            resolve_engine("turbo")
+
+    def test_small_batch_size_equivalent(self, joined_db):
+        plan = joined_db.explain(
+            "SELECT d.name, COUNT(*) FROM dept d "
+            "JOIN emp e ON d.deptno = e.deptno GROUP BY d.name"
+        )[0].plan
+        baseline = execute_plan(
+            plan, joined_db.storage, joined_db.params, engine="row"
+        )
+        tiny = execute_plan(
+            plan,
+            joined_db.storage,
+            joined_db.params,
+            engine="vector",
+            batch_size=2,
+        )
+        assert tiny.rows == baseline.rows
+        assert tiny.meter.cpu_ms == baseline.meter.cpu_ms
