@@ -5,9 +5,11 @@
     python -m repro demo                     # guided quickstart
     python -m repro experiment figure10      # regenerate a paper figure
     python -m repro query "SELECT ..."       # one federated query
+    python -m repro explain "SELECT ..." --analyze   # EXPLAIN ANALYZE
     python -m repro status --queries 20      # QCC state after a workload
-    python -m repro trace "SELECT ..."       # JSON span trace of one query
-    python -m repro metrics --queries 20     # metrics snapshot of a workload
+    python -m repro trace "SELECT ..." --format chrome   # Perfetto trace
+    python -m repro metrics --format prom    # Prometheus exposition text
+    python -m repro timeline --csv out       # availability/calibration sweep
 
 Experiments accept ``--scale {test,bench,paper}`` (paper scale loads
 100k-row tables; expect minutes, not seconds).
@@ -22,12 +24,21 @@ from typing import List, Optional
 
 from . import obs
 from .harness import build_federation
-from .sqlengine import DEFAULT_ENGINE, ENGINES
+from .obs.export import chrome_trace_json, render_prometheus
+from .obs.profile import (
+    disable_profiling,
+    enable_profiling,
+    render_analyzed_plan,
+)
+from .sqlengine import DEFAULT_ENGINE, ENGINES, REFERENCE_PROFILE
+from .sqlengine.cost import StatsContext
+from .sqlengine.physical import CostEstimator, stats_context_for_plan
 from .harness.experiments import (
     run_figure9,
     run_figure10,
     run_figure11,
     run_table2,
+    run_timeline,
 )
 from .workload import BENCH_SCALE, PAPER_SCALE, TEST_SCALE, build_workload
 
@@ -100,6 +111,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="show ranked global plans without executing",
     )
 
+    explain = sub.add_parser(
+        "explain",
+        help=(
+            "show the chosen global plan; --analyze executes it with "
+            "per-operator profiling (EXPLAIN ANALYZE)"
+        ),
+    )
+    explain.add_argument(
+        "sql", help="federated SELECT over the sample schema"
+    )
+    explain.add_argument(
+        "--scale", choices=_SCALES, default="test", help="data scale"
+    )
+    explain.add_argument(
+        "--load",
+        action="append",
+        default=[],
+        metavar="SERVER=LEVEL",
+        help="set a server's load level (repeatable)",
+    )
+    explain.add_argument(
+        "--analyze",
+        action="store_true",
+        help="execute the query and annotate each operator with actuals",
+    )
+
     status = sub.add_parser(
         "status", help="run a workload and dump QCC's learned state"
     )
@@ -132,10 +169,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="set a server's load level (repeatable)",
     )
     trace.add_argument(
-        "--json",
+        "--format",
+        choices=("json", "chrome"),
+        default="json",
+        help=(
+            "output format: span-tree JSON or Chrome trace-event JSON "
+            "(loadable in Perfetto / chrome://tracing)"
+        ),
+    )
+    trace.add_argument(
+        "--out",
         metavar="PATH",
         default=None,
         help="write the trace to PATH instead of stdout",
+    )
+    trace.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="legacy alias for --format json --out PATH",
     )
 
     metrics = sub.add_parser(
@@ -155,14 +207,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="set a server's load level (repeatable)",
     )
     metrics.add_argument(
+        "--format",
+        choices=("text", "prom", "json"),
+        default="text",
+        help=(
+            "output format: human-readable text, Prometheus exposition "
+            "text, or a JSON snapshot"
+        ),
+    )
+    metrics.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="write the output to PATH instead of stdout",
+    )
+    metrics.add_argument(
         "--json",
         metavar="PATH",
         default=None,
-        help="write the snapshot as JSON instead of the text rendering",
+        help="legacy alias for --format json --out PATH",
+    )
+
+    timeline = sub.add_parser(
+        "timeline",
+        help=(
+            "run a Figure-9-style load/outage sweep and dump the "
+            "per-server calibration & availability timeline"
+        ),
+    )
+    timeline.add_argument(
+        "--scale", choices=_SCALES, default="test", help="data scale"
+    )
+    timeline.add_argument(
+        "--csv",
+        metavar="PREFIX",
+        default=None,
+        help="also write PREFIX_samples.csv and PREFIX_events.csv",
+    )
+    timeline.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the structured result as JSON",
     )
     # Experiments build their own federations internally; for them the
     # engine is selected process-wide via REPRO_ENGINE instead.
-    for command in (demo, query, status, trace, metrics):
+    for command in (demo, query, explain, status, trace, metrics):
         command.add_argument(
             "--engine",
             choices=ENGINES,
@@ -240,6 +330,62 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _cmd_explain(args) -> int:
+    scale = _SCALES[args.scale]
+    deployment = build_federation(scale=scale, engine=args.engine)
+    if args.load:
+        deployment.set_load(_parse_load(args.load))
+    if not args.analyze:
+        _, plans = deployment.integrator.compile(args.sql)
+        print("Ranked global plans (calibrated cost):")
+        for plan in plans:
+            print(f"  {plan.describe()}")
+        return 0
+    profiler = enable_profiling()
+    try:
+        result = deployment.integrator.submit(args.sql)
+    finally:
+        disable_profiling()
+    profile = result.profile
+    if profile is None:  # pragma: no cover - submit always attaches it
+        profile = profiler.capture()
+    params = deployment.integrator.params
+    specs = {spec.name: spec for spec in deployment.specs}
+    print(f"Global plan: {result.plan.describe()}")
+    for choice in result.plan.choices:
+        estimator = CostEstimator(
+            params=params,
+            profile=specs[choice.server].profile(),
+            stats=stats_context_for_plan(choice.plan),
+        )
+        print(f"\nFragment {choice.fragment.fragment_id} @ {choice.server}:")
+        print(
+            render_analyzed_plan(
+                choice.plan,
+                profile,
+                estimate=lambda n, e=estimator: n.estimate_cost(e),
+            )
+        )
+    if result.merge_plan is not None:
+        merge_estimator = CostEstimator(
+            params=params, profile=REFERENCE_PROFILE, stats=StatsContext({})
+        )
+        print("\nII merge plan:")
+        print(
+            render_analyzed_plan(
+                result.merge_plan,
+                profile,
+                estimate=lambda n: n.estimate_cost(merge_estimator),
+            )
+        )
+    print(
+        f"\nresponse: {result.response_ms:.1f} ms "
+        f"(remote {result.remote_ms:.1f} + merge {result.merge_ms:.1f}), "
+        f"rows={result.row_count}"
+    )
+    return 0
+
+
 def _cmd_status(args) -> int:
     scale = _SCALES[args.scale]
     deployment = build_federation(scale=scale, engine=args.engine)
@@ -263,11 +409,15 @@ def _cmd_trace(args) -> int:
     if args.load:
         deployment.set_load(_parse_load(args.load))
     result = deployment.integrator.submit(args.sql)
-    payload = result.trace.to_json()
-    if args.json:
-        with open(args.json, "w") as handle:
+    if args.format == "chrome":
+        payload = chrome_trace_json([result.trace])
+    else:
+        payload = result.trace.to_json()
+    out_path = args.out or args.json
+    if out_path:
+        with open(out_path, "w") as handle:
             handle.write(payload + "\n")
-        print(f"Trace written to {args.json}")
+        print(f"Trace written to {out_path}")
     else:
         print(payload)
     return 0
@@ -284,22 +434,53 @@ def _cmd_metrics(args) -> int:
         deployment.integrator.submit(instance.sql, label=instance.label)
     deployment.qcc.recalibrate(deployment.clock.now)
     cache = deployment.integrator.plan_cache
-    if args.json:
+    fmt = args.format
+    out_path = args.out
+    if args.json:  # legacy alias
+        fmt, out_path = "json", args.json
+    if fmt == "json":
         snapshot = sink.metrics.snapshot()
         if cache is not None:
             snapshot["plan_cache"] = cache.stats()
-        with open(args.json, "w") as handle:
-            json.dump(snapshot, handle, indent=2)
-        print(f"Metrics snapshot written to {args.json}")
+        payload = json.dumps(snapshot, indent=2)
+    elif fmt == "prom":
+        payload = render_prometheus(sink.metrics)
     else:
-        print(sink.metrics.render())
+        lines = [sink.metrics.render()]
         if cache is not None:
-            print("\nplan cache:")
+            lines.append("\nplan cache:")
             for key, value in cache.stats().items():
                 formatted = (
                     f"{value:.3f}" if isinstance(value, float) else value
                 )
-                print(f"  {key}: {formatted}")
+                lines.append(f"  {key}: {formatted}")
+        payload = "\n".join(lines)
+    if out_path:
+        with open(out_path, "w") as handle:
+            handle.write(payload + "\n")
+        print(f"Metrics written to {out_path}")
+    else:
+        print(payload)
+    return 0
+
+
+def _cmd_timeline(args) -> int:
+    scale = _SCALES[args.scale]
+    print(f"Running the timeline sweep at {args.scale} scale...\n")
+    result = run_timeline(scale=scale)
+    print(result.render())
+    if args.csv:
+        samples_path = f"{args.csv}_samples.csv"
+        events_path = f"{args.csv}_events.csv"
+        with open(samples_path, "w") as handle:
+            handle.write(result.samples_csv())
+        with open(events_path, "w") as handle:
+            handle.write(result.events_csv())
+        print(f"\nCSV written to {samples_path} and {events_path}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(result.to_dict(), handle, indent=2)
+        print(f"Structured result written to {args.json}")
     return 0
 
 
@@ -307,9 +488,11 @@ _COMMANDS = {
     "demo": _cmd_demo,
     "experiment": _cmd_experiment,
     "query": _cmd_query,
+    "explain": _cmd_explain,
     "status": _cmd_status,
     "trace": _cmd_trace,
     "metrics": _cmd_metrics,
+    "timeline": _cmd_timeline,
 }
 
 

@@ -93,6 +93,10 @@ class AvailabilityMonitor:
         obs = get_obs()
         obs.metrics.counter("server_errors_total", server=server).inc()
         obs.metrics.gauge("server_up", server=server).set(0.0)
+        if was_up:
+            obs.timeline.event(
+                t_ms, "server-down", server=server, detail="query error"
+            )
 
     def record_success(self, server: str, t_ms: float) -> None:
         health = self._get(server)
@@ -103,7 +107,12 @@ class AvailabilityMonitor:
         health.outcomes.append((t_ms, True))
         if not was_up or health.success_rate() != rate_before:
             self.epoch.bump()
-        get_obs().metrics.gauge("server_up", server=server).set(1.0)
+        obs = get_obs()
+        obs.metrics.gauge("server_up", server=server).set(1.0)
+        if not was_up:
+            obs.timeline.event(
+                t_ms, "server-up", server=server, detail="query success"
+            )
 
     def record_probe(self, server: str, t_ms: float, rtt_ms: Optional[float]) -> None:
         """Outcome of a daemon probe; ``rtt_ms`` None means unreachable."""
@@ -112,12 +121,22 @@ class AvailabilityMonitor:
         if rtt_ms is None:
             if health.up:
                 self.epoch.bump()
+                obs.timeline.event(
+                    t_ms, "server-down", server=server, detail="probe failed"
+                )
             health.up = False
             health.last_error_ms = t_ms
             obs.metrics.gauge("server_up", server=server).set(0.0)
         else:
             if not health.up:
                 self.epoch.bump()
+                obs.timeline.event(
+                    t_ms,
+                    "server-up",
+                    server=server,
+                    detail="probe answered",
+                    value=rtt_ms,
+                )
             health.up = True
             health.last_success_ms = t_ms
             health.last_probe_rtt_ms = rtt_ms

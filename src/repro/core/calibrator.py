@@ -231,6 +231,27 @@ class CostCalibrator:
     def server_factors(self) -> Dict[str, float]:
         return dict(self._active_server)
 
+    def live_ratios(self) -> Dict[str, float]:
+        """Un-folded observed/estimated ratio per server with samples.
+
+        Read this *before* :meth:`recalibrate` — folding drains the
+        windows.  The federation timeline records it next to the active
+        factor so estimate-vs-reality drift is visible per cycle.
+        """
+        return {
+            server: history.ratio()
+            for server, history in self._server_history.items()
+            if history.count > 0
+        }
+
+    def pending_samples(self) -> Dict[str, int]:
+        """Count of un-folded history samples per server (the QCC's
+        per-server ingest queue depth entering a cycle)."""
+        return {
+            server: history.count
+            for server, history in self._server_history.items()
+        }
+
     def sample_count(self, server: str) -> int:
         history = self._server_history.get(server)
         return history.count if history else 0

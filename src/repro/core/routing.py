@@ -137,6 +137,9 @@ class QueryCostCalibrator:
         )
         self._meta_wrapper = None
         self._probed_once = False
+        #: Optional ReplicaManager; when attached, timeline samples carry
+        #: per-server replica staleness next to the calibration series.
+        self.replica_manager = None
         self.decision_log: Deque[Decision] = deque(maxlen=256)
         self.compile_records = 0
         self.execution_records = 0
@@ -322,11 +325,13 @@ class QueryCostCalibrator:
         obs = get_obs()
         self.recalibrations += 1
         obs.metrics.counter("qcc_recalibrations_total").inc()
-        # Volatility must be read before folding: recalibration drains
-        # the sample windows it summarises.
+        # Volatility and the live window state must be read before
+        # folding: recalibration drains the sample windows it summarises.
         volatility = max(
             self.calibrator.max_volatility(), self.ii_calibrator.volatility()
         )
+        live_ratios = self.calibrator.live_ratios()
+        pending = self.calibrator.pending_samples()
         before = self.calibrator.server_factors()
         self.calibrator.recalibrate(count_staleness=count_staleness)
         self.ii_calibrator.recalibrate()
@@ -351,6 +356,33 @@ class QueryCostCalibrator:
         obs.metrics.gauge("qcc_ii_factor").set(self.ii_calibrator.factor)
         interval = self.cycle.next_interval(volatility)
         obs.metrics.gauge("qcc_cycle_interval_ms").set(interval)
+        # One timeline sample per known server at every cycle boundary:
+        # the per-server mechanism trace behind Figure-9-style plots.
+        timeline = obs.timeline
+        for server, up in sorted(self.availability.snapshot().items()):
+            staleness = (
+                self.replica_manager.worst_staleness(server, t_ms)
+                if self.replica_manager is not None
+                else None
+            )
+            timeline.sample(
+                t_ms,
+                server,
+                calibration_factor=self.calibrator.factor(server),
+                live_ratio=live_ratios.get(server),
+                available=up,
+                reliability_factor=self.availability.reliability_factor(
+                    server
+                ),
+                pending_samples=pending.get(server, 0),
+                replica_staleness_ms=staleness,
+            )
+        timeline.event(
+            t_ms,
+            "recalibration",
+            detail=f"cycle {self.recalibrations}",
+            value=interval,
+        )
         self._calibration_timer.reschedule(interval, t_ms)
 
     # -- introspection ----------------------------------------------------

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..obs import QueryTrace
+from ..obs.profile import PlanProfile
 from .global_optimizer import GlobalPlan
 
 
@@ -37,6 +38,7 @@ class ExplainTable:
     def __init__(self) -> None:
         self._records: List[ExplainRecord] = []
         self._traces: Dict[int, QueryTrace] = {}
+        self._profiles: Dict[int, PlanProfile] = {}
 
     def record(
         self,
@@ -74,6 +76,18 @@ class ExplainTable:
 
     def trace_for(self, query_id: int) -> Optional[QueryTrace]:
         return self._traces.get(query_id)
+
+    def attach_profile(self, query_id: int, profile: PlanProfile) -> None:
+        """Associate an operator-level profile with the record.
+
+        The EXPLAIN ANALYZE counterpart of :meth:`attach_trace`: per-node
+        actual rows/batches/time for the fragment and merge plans that
+        executed this query (recorded only while profiling is enabled).
+        """
+        self._profiles[query_id] = profile
+
+    def profile_for(self, query_id: int) -> Optional[PlanProfile]:
+        return self._profiles.get(query_id)
 
     def latest(self) -> Optional[ExplainRecord]:
         return self._records[-1] if self._records else None

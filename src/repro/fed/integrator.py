@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..obs import NULL_TRACE, QueryTrace, get_obs
+from ..obs.profile import NULL_PROFILER, PlanProfile, get_profiler
 from ..sqlengine import (
     Catalog,
     CostParameters,
@@ -79,6 +80,10 @@ class FederatedResult:
     remote_ms: float
     retries: int = 0
     trace: Optional[QueryTrace] = None
+    #: the II-side merge plan that produced ``rows``
+    merge_plan: Optional[PhysicalPlan] = None
+    #: operator-level profile (only while profiling is enabled)
+    profile: Optional[PlanProfile] = None
 
     @property
     def row_count(self) -> int:
@@ -191,6 +196,10 @@ class InformationIntegrator:
         self._replica_manager = manager
         if manager is not None and hasattr(manager, "bind_epoch"):
             manager.bind_epoch(self.calibration_epoch)
+        if self.qcc is not None and hasattr(self.qcc, "replica_manager"):
+            # QCC's timeline samples include per-server replica staleness
+            # once it can see the manager.
+            self.qcc.replica_manager = manager
         if self.plan_cache is not None:
             self.plan_cache.clear()
 
@@ -402,6 +411,12 @@ class InformationIntegrator:
             if trace is not NULL_TRACE:
                 result.trace = trace
                 self.explain_table.attach_trace(record.query_id, trace)
+            profiler = get_profiler()
+            if profiler is not NULL_PROFILER:
+                result.profile = profiler.capture()
+                self.explain_table.attach_profile(
+                    record.query_id, result.profile
+                )
             if self.advance_clock and t_ms is None:
                 self.clock.advance(result.response_ms)
             return result
@@ -523,6 +538,7 @@ class InformationIntegrator:
             merge_ms=merge_ms,
             remote_ms=remote_ms,
             retries=retries,
+            merge_plan=merge_plan,
         )
 
     # -- convenience -----------------------------------------------------

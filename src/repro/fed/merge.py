@@ -57,10 +57,15 @@ class EstimatedInput(PhysicalPlan):
             width_bytes=self.output_schema.row_width_bytes(),
         )
 
-    def rows(self, ctx):  # pragma: no cover - never executed
+    def rows(self, ctx):
+        # Overrides the base dispatch outright: this leaf never executes,
+        # so neither engine nor profiler should ever touch it.
         raise FederationError(
             f"EstimatedInput {self.name} is compile-time only"
         )
+
+    _rows = rows
+    _rows_batched = rows
 
     def describe(self) -> str:
         return f"EstimatedInput({self.name} rows~{self.estimated_rows:.0f})"

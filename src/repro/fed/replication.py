@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
+from ..obs import get_obs
 from ..sim.clock import PeriodicTimer
 from .nicknames import FederationError, NicknameRegistry
 
@@ -102,6 +103,9 @@ class ReplicaManager:
             # A caught-up replica just started aging; its tolerance
             # deadline is new information cached plans do not carry.
             self._bump()
+            get_obs().timeline.event(
+                t_ms, "replica-write", server=origin, detail=nickname
+            )
 
     def sync(self, nickname: str, server: str, servers, t_ms: float) -> int:
         """Copy the nickname's current origin data onto *server*.
@@ -124,6 +128,13 @@ class ReplicaManager:
         self._first_unsynced_write[(key, server)] = None
         self._synced_at[(key, server)] = t_ms
         self._bump()
+        get_obs().timeline.event(
+            t_ms,
+            "replica-sync",
+            server=server,
+            detail=nickname,
+            value=float(len(rows)),
+        )
         return len(rows)
 
     # -- queries ----------------------------------------------------------
@@ -155,6 +166,22 @@ class ReplicaManager:
         if first_unsynced is None:
             return None
         return first_unsynced + tolerance_ms
+
+    def worst_staleness(self, server: str, t_ms: float) -> float:
+        """Worst replica staleness across *server*'s placements (ms).
+
+        The federation timeline samples this per server at calibration
+        boundaries, so staleness growth and sync catch-ups line up with
+        calibration-factor and availability series.
+        """
+        worst = 0.0
+        for nickname in self.registry.nicknames():
+            for placement in self.registry.placements(nickname):
+                if placement.server == server:
+                    worst = max(
+                        worst, self.staleness_ms(nickname, server, t_ms)
+                    )
+        return worst
 
     def state(self, nickname: str, server: str, t_ms: float) -> ReplicaState:
         key = nickname.lower()

@@ -22,6 +22,7 @@ from .experiment import (
     run_query,
     run_workload_once,
 )
+from .experiments import TimelineResult, run_timeline
 from .metrics import ResponseStats, geometric_mean, mean, percent_gain, percentile
 from .report import ascii_table, bar_chart, grouped_series
 
@@ -33,6 +34,7 @@ __all__ = [
     "QueryOutcome",
     "ResponseStats",
     "ServerSpec",
+    "TimelineResult",
     "ascii_table",
     "bar_chart",
     "build_databases",
@@ -51,5 +53,6 @@ __all__ = [
     "run_phase_sweep",
     "run_procedure",
     "run_query",
+    "run_timeline",
     "run_workload_once",
 ]

@@ -9,14 +9,18 @@ without pytest.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Tuple
 
+from .. import obs
 from ..baselines import (
     fixed_assignment_deployment,
     preferred_server_deployment,
     qcc_deployment,
     uncalibrated_deployment,
 )
+from ..fed import FederationError
+from ..obs.timeline import NULL_TIMELINE, Timeline
+from ..sim import AvailabilitySchedule
 from ..sqlengine import Database
 from ..workload import (
     BENCH_SCALE,
@@ -26,7 +30,7 @@ from ..workload import (
     WorkloadScale,
     build_workload,
 )
-from .deployment import DEFAULT_SERVER_SPECS, build_databases
+from .deployment import DEFAULT_SERVER_SPECS, build_databases, build_federation
 from .experiment import (
     PhaseOutcome,
     dynamic_assignment,
@@ -231,6 +235,152 @@ def run_figure10(
         databases,
         instances_per_type,
     )
+
+
+class _ManualOutage(AvailabilitySchedule):
+    """A schedule flipped by the experiment loop, not by the clock.
+
+    Virtual-time outage windows would have to guess how long each phase
+    runs; a manual switch makes the down interval exactly one phase long
+    regardless of scale, while still exercising the *real* detection
+    path (failed requests and probes through the meta-wrapper).
+    """
+
+    def __init__(self) -> None:
+        self.down = False
+
+    def is_up(self, t_ms: float) -> bool:
+        return not self.down
+
+
+@dataclass
+class TimelineResult:
+    """The federation timeline of a Figure-9-style load/outage sweep."""
+
+    timeline: Timeline
+    #: (phase name, start t_ms, end t_ms), in run order
+    phases: List[Tuple[str, float, float]]
+
+    def to_dict(self) -> Dict:
+        return {
+            "experiment": "timeline",
+            "phases": [
+                {"name": name, "start_ms": start, "end_ms": end}
+                for name, start, end in self.phases
+            ],
+            **self.timeline.to_dict(),
+        }
+
+    def samples_csv(self) -> str:
+        return self.timeline.samples_csv()
+
+    def events_csv(self) -> str:
+        return self.timeline.events_csv()
+
+    def render(self) -> str:
+        parts = ["=== Federation timeline (Figure-9-style sweep) ==="]
+        rows = [
+            [name, f"{start:.0f}", f"{end:.0f}"]
+            for name, start, end in self.phases
+        ]
+        parts.append(ascii_table(["Phase", "Start (ms)", "End (ms)"], rows))
+        parts.append("")
+        parts.append("Per-server calibration-factor series:")
+        server_rows = []
+        for server in self.timeline.servers():
+            series = self.timeline.server_series(server, "calibration_factor")
+            availability = self.timeline.server_series(server, "available")
+            downs = sum(1 for _, up in availability if not up)
+            server_rows.append(
+                [
+                    server,
+                    len(series),
+                    f"{series[0][1]:.2f}" if series else "-",
+                    f"{series[-1][1]:.2f}" if series else "-",
+                    downs,
+                ]
+            )
+        parts.append(
+            ascii_table(
+                ["Server", "Samples", "First factor", "Last factor",
+                 "Down samples"],
+                server_rows,
+            )
+        )
+        kinds: Dict[str, int] = {}
+        for event in self.timeline.events:
+            kinds[event.kind] = kinds.get(event.kind, 0) + 1
+        summary = ", ".join(
+            f"{kind}: {count}" for kind, count in sorted(kinds.items())
+        )
+        parts.append(f"\nEvents ({len(self.timeline.events)}): {summary}")
+        for event in self.timeline.events:
+            if event.kind in ("server-down", "server-up"):
+                parts.append(
+                    f"  [{event.t_ms:.0f}ms] {event.kind} {event.server}"
+                    f" ({event.detail})"
+                )
+        return "\n".join(parts)
+
+
+def run_timeline(
+    scale: WorkloadScale = BENCH_SCALE,
+    databases: Optional[Mapping[str, Database]] = None,
+    instances_per_type: int = 2,
+    load_level: float = LOAD_LEVEL,
+) -> TimelineResult:
+    """A Figure-9-style sweep recorded on the federation timeline.
+
+    Four phases — all idle, all loaded, S3 down, S3 recovered — with a
+    recalibration at every phase boundary, so the timeline captures both
+    the calibration factors absorbing the load shift and the
+    availability transitions around the outage.
+    """
+    sink = obs.get_obs()
+    if sink.timeline is NULL_TIMELINE:
+        sink = obs.configure(
+            metrics=False, tracing=False, timeline=True, log_level=None
+        )
+    timeline = sink.timeline
+    if databases is None:
+        databases = build_databases(DEFAULT_SERVER_SPECS, scale)
+    outage = _ManualOutage()
+    deployment = build_federation(
+        scale=scale,
+        prebuilt_databases=databases,
+        availability={"S3": outage},
+    )
+    workload = build_workload(instances_per_type=instances_per_type)
+    phases: List[Tuple[str, float, float]] = []
+
+    def run_phase_named(name: str) -> None:
+        start = deployment.clock.now
+        for instance in workload:
+            try:
+                deployment.integrator.submit(
+                    instance.sql, label=instance.label
+                )
+            except FederationError:
+                # An unroutable query during the outage phase is itself
+                # a data point; the availability events already recorded
+                # why.
+                pass
+        deployment.qcc.recalibrate(deployment.clock.now)
+        phases.append((name, start, deployment.clock.now))
+
+    run_phase_named("base")
+    deployment.set_load(
+        {name: load_level for name in deployment.server_names()}
+    )
+    run_phase_named("loaded")
+    deployment.set_load({name: 0.0 for name in deployment.server_names()})
+    outage.down = True
+    run_phase_named("s3-outage")
+    outage.down = False
+    # Recovery is probe-driven, exactly as in the paper's daemon design.
+    deployment.qcc.probe_servers(deployment.clock.now)
+    run_phase_named("recovered")
+    return TimelineResult(timeline=timeline, phases=phases)
 
 
 def run_figure11(

@@ -9,7 +9,14 @@ operator.  It has three parts:
 * a per-query :class:`~repro.obs.trace.Tracer` producing structured span
   trees (decompose → plan enumeration → calibration lookup → route →
   dispatch → merge), exportable as JSON;
+* a bounded federation :class:`~repro.obs.timeline.Timeline` of
+  per-server calibration/availability samples and transition events;
 * stdlib-``logging`` wiring under the ``repro`` logger namespace.
+
+Two siblings build on this package: :mod:`repro.obs.profile` (the
+per-operator EXPLAIN ANALYZE profiler, enabled separately through
+``enable_profiling()``/``profiling()``) and :mod:`repro.obs.export`
+(Prometheus text exposition, Chrome trace-event JSON, JSONL sink).
 
 Everything is **off by default**: the module-level state starts as a
 null sink whose instruments accept calls and record nothing, so the
@@ -32,6 +39,13 @@ from __future__ import annotations
 import logging
 from typing import Optional
 
+from .export import (
+    JsonlSink,
+    chrome_trace_events,
+    chrome_trace_json,
+    escape_label_value,
+    render_prometheus,
+)
 from .metrics import (
     NULL_REGISTRY,
     Counter,
@@ -40,6 +54,25 @@ from .metrics import (
     MetricsRegistry,
     NullRegistry,
     percentile,
+)
+from .profile import (
+    NULL_PROFILER,
+    NullProfiler,
+    OperatorProfiler,
+    OperatorStats,
+    PlanProfile,
+    disable_profiling,
+    enable_profiling,
+    get_profiler,
+    profiling,
+    render_analyzed_plan,
+)
+from .timeline import (
+    NULL_TIMELINE,
+    NullTimeline,
+    Timeline,
+    TimelineEvent,
+    TimelineSample,
 )
 from .trace import (
     NULL_SPAN,
@@ -55,22 +88,42 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "JsonlSink",
     "MetricsRegistry",
+    "NullProfiler",
     "NullRegistry",
+    "NullTimeline",
     "NullTracer",
+    "NULL_PROFILER",
     "NULL_REGISTRY",
     "NULL_SPAN",
+    "NULL_TIMELINE",
     "NULL_TRACE",
     "NULL_TRACER",
     "Observability",
+    "OperatorProfiler",
+    "OperatorStats",
+    "PlanProfile",
     "QueryTrace",
     "Span",
+    "Timeline",
+    "TimelineEvent",
+    "TimelineSample",
     "Tracer",
+    "chrome_trace_events",
+    "chrome_trace_json",
     "configure",
     "disable",
+    "disable_profiling",
+    "enable_profiling",
+    "escape_label_value",
     "get_obs",
+    "get_profiler",
     "logger",
     "percentile",
+    "profiling",
+    "render_analyzed_plan",
+    "render_prometheus",
 ]
 
 
@@ -82,14 +135,21 @@ class Observability:
         metrics: MetricsRegistry,
         tracer: Tracer,
         enabled: bool,
+        timeline: Timeline = NULL_TIMELINE,
     ) -> None:
         self.metrics = metrics
         self.tracer = tracer
+        self.timeline = timeline
         self.enabled = enabled
 
     @classmethod
     def disabled(cls) -> "Observability":
-        return cls(metrics=NULL_REGISTRY, tracer=NULL_TRACER, enabled=False)
+        return cls(
+            metrics=NULL_REGISTRY,
+            tracer=NULL_TRACER,
+            enabled=False,
+            timeline=NULL_TIMELINE,
+        )
 
     # -- trace conveniences (safe with the null tracer) -------------------
 
@@ -127,13 +187,18 @@ def configure(
     log_level: Optional[int] = logging.INFO,
     trace_capacity: int = 64,
     histogram_capacity: int = 1024,
+    timeline: bool = True,
+    timeline_capacity: int = 4096,
 ) -> Observability:
     """Install a live observability sink and return it.
 
-    ``metrics``/``tracing`` select which halves record; a disabled half
-    keeps its null implementation.  ``log_level`` (None to leave logging
-    untouched) attaches a stream handler to the ``repro`` logger unless
-    the application already configured one.
+    ``metrics``/``tracing``/``timeline`` select which parts record; a
+    disabled part keeps its null implementation.  ``trace_capacity``
+    bounds how many finished traces the tracer retains,
+    ``timeline_capacity`` bounds the federation timeline's sample and
+    event deques.  ``log_level`` (None to leave logging untouched)
+    attaches a stream handler to the ``repro`` logger unless the
+    application already configured one.
     """
     global _OBS
     _OBS = Observability(
@@ -143,7 +208,10 @@ def configure(
             else NULL_REGISTRY
         ),
         tracer=Tracer(keep=trace_capacity) if tracing else NULL_TRACER,
-        enabled=metrics or tracing,
+        enabled=metrics or tracing or timeline,
+        timeline=(
+            Timeline(capacity=timeline_capacity) if timeline else NULL_TIMELINE
+        ),
     )
     if log_level is not None:
         root = logger()

@@ -76,11 +76,11 @@ class Histogram:
     """Sample distribution with p50/p95/p99 summaries.
 
     Samples are kept in a bounded ring (newest win), so a long-running
-    federation cannot grow memory without bound; ``count``/``total``
-    still reflect every observation ever made.
+    federation cannot grow memory without bound; ``count``/``total``/
+    ``minimum``/``maximum`` still reflect every observation ever made.
     """
 
-    __slots__ = ("_samples", "_capacity", "_next", "count", "total")
+    __slots__ = ("_samples", "_capacity", "_next", "count", "total", "_min", "_max")
 
     def __init__(self, capacity: int = 1024) -> None:
         if capacity <= 0:
@@ -90,10 +90,16 @@ class Histogram:
         self._next = 0
         self.count = 0
         self.total = 0.0
+        self._min = math.inf
+        self._max = -math.inf
 
     def observe(self, value: float) -> None:
         self.count += 1
         self.total += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
         if len(self._samples) < self._capacity:
             self._samples.append(value)
         else:
@@ -131,11 +137,13 @@ class Histogram:
 
     @property
     def minimum(self) -> float:
-        return min(self._samples) if self._samples else 0.0
+        """All-time minimum (not just the retained ring)."""
+        return self._min if self.count else 0.0
 
     @property
     def maximum(self) -> float:
-        return max(self._samples) if self._samples else 0.0
+        """All-time maximum (not just the retained ring)."""
+        return self._max if self.count else 0.0
 
     def snapshot(self) -> Dict[str, float]:
         p50, p95, p99 = self.quantiles((0.50, 0.95, 0.99))
@@ -158,11 +166,25 @@ def _key(name: str, labels: Dict[str, object]) -> MetricKey:
     return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+#: Characters in a label value that force quoted/escaped rendering —
+#: unescaped they would corrupt the ``name{k=v,...}`` key grammar.
+_UNSAFE_LABEL_CHARS = frozenset('",=\\{}\n')
+
+
+def _render_label_value(value: str) -> str:
+    if not _UNSAFE_LABEL_CHARS.intersection(value):
+        return value
+    escaped = (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+    return f'"{escaped}"'
+
+
 def _render_key(key: MetricKey) -> str:
     name, labels = key
     if not labels:
         return name
-    inner = ",".join(f"{k}={v}" for k, v in labels)
+    inner = ",".join(f"{k}={_render_label_value(v)}" for k, v in labels)
     return f"{name}{{{inner}}}"
 
 
@@ -199,6 +221,18 @@ class MetricsRegistry:
         return instrument
 
     # -- export ----------------------------------------------------------
+
+    def counter_items(self) -> List[Tuple[MetricKey, Counter]]:
+        """Every counter as sorted ``(key, instrument)`` pairs."""
+        return sorted(self._counters.items())
+
+    def gauge_items(self) -> List[Tuple[MetricKey, Gauge]]:
+        """Every gauge as sorted ``(key, instrument)`` pairs."""
+        return sorted(self._gauges.items())
+
+    def histogram_items(self) -> List[Tuple[MetricKey, Histogram]]:
+        """Every histogram as sorted ``(key, instrument)`` pairs."""
+        return sorted(self._histograms.items())
 
     def counter_value(self, name: str, **labels: object) -> float:
         instrument = self._counters.get(_key(name, labels))

@@ -168,6 +168,8 @@ class Tracer:
         return self.finished[-1] if self.finished else None
 
     def for_query(self, query_id: int) -> Optional[QueryTrace]:
+        if self.current is not None and self.current.query_id == query_id:
+            return self.current
         for trace in reversed(self.finished):
             if trace.query_id == query_id:
                 return trace

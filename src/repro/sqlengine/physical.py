@@ -32,6 +32,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from ..obs.profile import NULL_PROFILER, OperatorProfiler, get_profiler
 from .catalog import TableDef
 from .cost import (
     CostParameters,
@@ -97,7 +98,10 @@ class ExecutionContext:
 
     ``engine`` records which execution path drives this context ("row"
     or "vector"); ``batch_size`` is the row count per batch on the
-    vectorized path.
+    vectorized path.  ``profiler`` is captured from the process-global
+    profiling state at construction time (``NULL_PROFILER`` unless
+    ``repro.obs.profile.enable_profiling()`` is active), so every
+    operator dispatch is one attribute load plus one identity check.
     """
 
     storage: StorageManager
@@ -105,6 +109,7 @@ class ExecutionContext:
     meter: WorkMeter = field(default_factory=WorkMeter)
     engine: str = "row"
     batch_size: int = DEFAULT_BATCH_SIZE
+    profiler: OperatorProfiler = field(default_factory=get_profiler)
 
 
 class CostEstimator:
@@ -134,20 +139,41 @@ class PhysicalPlan:
         raise NotImplementedError
 
     def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
-        raise NotImplementedError
+        """Row-at-a-time execution (dispatch; operators implement ``_rows``).
+
+        When the operator profiler is enabled the stream is wrapped in a
+        per-node counting shim; with the default :data:`NULL_PROFILER`
+        this is a single identity check per stream open.
+        """
+        profiler = ctx.profiler
+        if profiler is NULL_PROFILER:
+            return self._rows(ctx)
+        return profiler.profile_rows(self, ctx)
 
     def rows_batched(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+        """Batched execution (dispatch; operators implement ``_rows_batched``)."""
+        profiler = ctx.profiler
+        if profiler is NULL_PROFILER:
+            return self._rows_batched(ctx)
+        return profiler.profile_batches(self, ctx)
+
+    def _rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        raise NotImplementedError
+
+    def _rows_batched(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
         """Batched execution; yields non-empty lists of row tuples.
 
-        The default adapter chunks the legacy ``rows()`` stream, so any
+        The default adapter chunks the legacy ``_rows()`` stream, so any
         operator without a native batch implementation (and any future
         operator) is automatically correct on the vector path — it runs
-        the very same row code, metering included.
+        the very same row code, metering included.  It chunks the
+        *private* stream so a profiled node is counted once, not once
+        per engine.
         """
         size = ctx.batch_size
         batch: RowBatch = []
         append = batch.append
-        for row in self.rows(ctx):
+        for row in self._rows(ctx):
             append(row)
             if len(batch) >= size:
                 yield batch
@@ -243,7 +269,7 @@ class SeqScan(PhysicalPlan):
             width_bytes=width,
         )
 
-    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+    def _rows(self, ctx: ExecutionContext) -> Iterator[Row]:
         heap = ctx.storage.table(self.table.name)
         params = ctx.params
         meter = ctx.meter
@@ -268,7 +294,7 @@ class SeqScan(PhysicalPlan):
             meter.cpu_ms += scanned * per_row
             meter.tuples_out += emitted
 
-    def rows_batched(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+    def _rows_batched(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
         heap = ctx.storage.table(self.table.name)
         params = ctx.params
         meter = ctx.meter
@@ -353,7 +379,7 @@ class IndexScan(PhysicalPlan):
             width_bytes=width,
         )
 
-    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+    def _rows(self, ctx: ExecutionContext) -> Iterator[Row]:
         heap = ctx.storage.table(self.table.name)
         index = heap.index_on(self.column)
         if index is None:
@@ -383,7 +409,7 @@ class IndexScan(PhysicalPlan):
             meter.cpu_ms += matched * per_row
             meter.tuples_out += emitted
 
-    def rows_batched(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+    def _rows_batched(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
         heap = ctx.storage.table(self.table.name)
         index = heap.index_on(self.column)
         if index is None:
@@ -463,7 +489,7 @@ class Filter(PhysicalPlan):
             width_bytes=child.width_bytes,
         )
 
-    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+    def _rows(self, ctx: ExecutionContext) -> Iterator[Row]:
         predicate = self.predicate.compile(self.output_schema)
         ops = _count_operators(self.predicate)
         per_row = ops * ctx.params.cpu_operator_cost
@@ -477,7 +503,7 @@ class Filter(PhysicalPlan):
         finally:
             meter.cpu_ms += seen * per_row
 
-    def rows_batched(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+    def _rows_batched(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
         # Conjunct-at-a-time selection vectors: each AND-ed conjunct is
         # applied to the survivors of the previous one, so later (often
         # costlier) conjuncts see progressively smaller batches.
@@ -536,7 +562,7 @@ class Project(PhysicalPlan):
             width_bytes=width,
         )
 
-    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+    def _rows(self, ctx: ExecutionContext) -> Iterator[Row]:
         evaluators = [
             item.expr.compile(self.child.output_schema)
             for item in self.items
@@ -552,7 +578,7 @@ class Project(PhysicalPlan):
         finally:
             meter.cpu_ms += seen * per_row
 
-    def rows_batched(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+    def _rows_batched(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
         kernels = [
             item.expr.compile_batch(self.child.output_schema)
             for item in self.items
@@ -630,7 +656,7 @@ class NestedLoopJoin(PhysicalPlan):
             width_bytes=width,
         )
 
-    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+    def _rows(self, ctx: ExecutionContext) -> Iterator[Row]:
         params = ctx.params
         meter = ctx.meter
         inner = list(self.right.rows(ctx))
@@ -658,7 +684,7 @@ class NestedLoopJoin(PhysicalPlan):
         finally:
             meter.cpu_ms += pairs * per_pair
 
-    def rows_batched(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+    def _rows_batched(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
         params = ctx.params
         meter = ctx.meter
         inner: List[Row] = []
@@ -771,7 +797,7 @@ class HashJoin(PhysicalPlan):
             width_bytes=width,
         )
 
-    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+    def _rows(self, ctx: ExecutionContext) -> Iterator[Row]:
         params = ctx.params
         meter = ctx.meter
         right_schema = self.right.output_schema
@@ -815,7 +841,7 @@ class HashJoin(PhysicalPlan):
             meter.cpu_ms += probed * params.hash_probe_cost
             meter.cpu_ms += examined * params.cpu_tuple_cost
 
-    def rows_batched(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+    def _rows_batched(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
         params = ctx.params
         meter = ctx.meter
         right_schema = self.right.output_schema
@@ -982,7 +1008,7 @@ class SortMergeJoin(PhysicalPlan):
             width_bytes=width,
         )
 
-    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+    def _rows(self, ctx: ExecutionContext) -> Iterator[Row]:
         params = ctx.params
         meter = ctx.meter
         left_idx = [self.left.output_schema.index_of(k) for k in self.left_keys]
@@ -1255,7 +1281,7 @@ class HashAggregate(PhysicalPlan):
                 distinct *= 10.0
         return max(1.0, min(distinct, rows_in))
 
-    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+    def _rows(self, ctx: ExecutionContext) -> Iterator[Row]:
         params = ctx.params
         meter = ctx.meter
         child_schema = self.child.output_schema
@@ -1313,7 +1339,7 @@ class HashAggregate(PhysicalPlan):
                 continue
             yield tuple(f(internal_row) for f in item_fns)
 
-    def rows_batched(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+    def _rows_batched(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
         params = ctx.params
         meter = ctx.meter
         child_schema = self.child.output_schema
@@ -1478,7 +1504,7 @@ class Sort(PhysicalPlan):
             width_bytes=child.width_bytes,
         )
 
-    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+    def _rows(self, ctx: ExecutionContext) -> Iterator[Row]:
         params = ctx.params
         meter = ctx.meter
         schema = self.child.output_schema
@@ -1493,7 +1519,7 @@ class Sort(PhysicalPlan):
             data.sort(key=lambda row: _sort_key((fn(row),)), reverse=not ascending)
         yield from data
 
-    def rows_batched(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+    def _rows_batched(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
         params = ctx.params
         meter = ctx.meter
         schema = self.child.output_schema
@@ -1553,7 +1579,7 @@ class Limit(PhysicalPlan):
             width_bytes=child.width_bytes,
         )
 
-    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+    def _rows(self, ctx: ExecutionContext) -> Iterator[Row]:
         remaining = self.count
         if remaining == 0:
             return
@@ -1563,7 +1589,7 @@ class Limit(PhysicalPlan):
             if remaining == 0:
                 return
 
-    def rows_batched(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+    def _rows_batched(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
         remaining = self.count
         if remaining == 0:
             return
@@ -1600,7 +1626,7 @@ class Distinct(PhysicalPlan):
             width_bytes=child.width_bytes,
         )
 
-    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+    def _rows(self, ctx: ExecutionContext) -> Iterator[Row]:
         params = ctx.params
         meter = ctx.meter
         seen = set()
@@ -1616,7 +1642,7 @@ class Distinct(PhysicalPlan):
         finally:
             meter.cpu_ms += consumed * params.hash_build_cost
 
-    def rows_batched(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+    def _rows_batched(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
         params = ctx.params
         meter = ctx.meter
         seen = set()
@@ -1680,7 +1706,7 @@ class MaterializedInput(PhysicalPlan):
             width_bytes=self.output_schema.row_width_bytes(),
         )
 
-    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+    def _rows(self, ctx: ExecutionContext) -> Iterator[Row]:
         per_row = ctx.params.cpu_tuple_cost
         meter = ctx.meter
         emitted = 0
@@ -1691,7 +1717,7 @@ class MaterializedInput(PhysicalPlan):
         finally:
             meter.cpu_ms += emitted * per_row
 
-    def rows_batched(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+    def _rows_batched(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
         per_row = ctx.params.cpu_tuple_cost
         meter = ctx.meter
         data = self.data

@@ -1,10 +1,23 @@
 """Tests for the CLI and the packaged experiment runners."""
 
+import json
+import re
+
 import pytest
 
+import repro.obs as obs
 from repro.cli import build_parser, main
 from repro.harness.experiments import run_figure9
-from repro.workload import TEST_SCALE
+from repro.workload import QUERY_TYPES, TEST_SCALE
+
+QT1_SQL = QUERY_TYPES[0].instance(0).sql
+
+
+@pytest.fixture()
+def clean_obs():
+    """Commands that configure the global obs sink get torn down."""
+    yield
+    obs.disable()
 
 
 class TestParser:
@@ -91,6 +104,151 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Mean response" in out
         assert "QCC status" in out
+
+
+class TestExplainCommand:
+    def test_without_analyze_lists_ranked_plans(self, capsys):
+        code = main(["explain", QT1_SQL, "--scale", "test"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Ranked global plans" in out
+        assert "p1[" in out
+
+    @pytest.mark.parametrize("engine", ["row", "vector"])
+    def test_analyze_annotates_estimates_and_actuals(self, capsys, engine):
+        code = main(
+            [
+                "explain",
+                QT1_SQL,
+                "--scale",
+                "test",
+                "--analyze",
+                "--engine",
+                engine,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Global plan:" in out
+        assert "II merge plan:" in out
+        assert re.search(r"\(est rows=\d+ total=", out)
+        assert re.search(
+            r"\(actual rows=\d+ batches=\d+ loops=\d+ time=", out
+        )
+        # Both the fragment plan and the merge plan were annotated.
+        assert out.count("actual rows=") >= 2
+
+    def test_analyze_row_and_vector_report_identical_row_counts(
+        self, capsys
+    ):
+        counts = {}
+        for engine in ("row", "vector"):
+            assert (
+                main(
+                    [
+                        "explain",
+                        QT1_SQL,
+                        "--scale",
+                        "test",
+                        "--analyze",
+                        "--engine",
+                        engine,
+                    ]
+                )
+                == 0
+            )
+            out = capsys.readouterr().out
+            counts[engine] = re.findall(r"actual rows=(\d+)", out)
+        assert counts["row"] == counts["vector"]
+        assert counts["row"]
+
+
+class TestTelemetryCommands:
+    def test_metrics_prom_format(self, capsys, clean_obs):
+        code = main(
+            [
+                "metrics",
+                "--scale",
+                "test",
+                "--queries",
+                "4",
+                "--format",
+                "prom",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# TYPE ii_queries_total counter" in out
+        assert "# TYPE qcc_calibration_factor gauge" in out
+        assert re.search(r'\{server="S\d"(,[^}]*)?\} ', out)
+
+    def test_metrics_json_to_file(self, tmp_path, capsys, clean_obs):
+        path = tmp_path / "metrics.json"
+        code = main(
+            [
+                "metrics",
+                "--scale",
+                "test",
+                "--queries",
+                "4",
+                "--format",
+                "json",
+                "--out",
+                str(path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert "counters" in payload
+        assert "plan_cache" in payload
+
+    def test_trace_chrome_format(self, tmp_path, clean_obs):
+        path = tmp_path / "trace.json"
+        code = main(
+            [
+                "trace",
+                "SELECT COUNT(*) AS n FROM customer",
+                "--scale",
+                "test",
+                "--format",
+                "chrome",
+                "--out",
+                str(path),
+            ]
+        )
+        assert code == 0
+        doc = json.loads(path.read_text())
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert complete
+        for event in complete:
+            for field in ("ts", "dur", "pid", "tid"):
+                assert field in event
+
+    def test_timeline_command_exports(self, tmp_path, capsys, clean_obs):
+        prefix = tmp_path / "tl"
+        json_path = tmp_path / "tl.json"
+        code = main(
+            [
+                "timeline",
+                "--scale",
+                "test",
+                "--csv",
+                str(prefix),
+                "--json",
+                str(json_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Federation timeline" in out
+        samples = (tmp_path / "tl_samples.csv").read_text().splitlines()
+        assert samples[0].startswith("t_ms,server,calibration_factor")
+        assert len(samples) > 1
+        events = (tmp_path / "tl_events.csv").read_text().splitlines()
+        assert events[0] == "t_ms,kind,server,detail,value"
+        payload = json.loads(json_path.read_text())
+        assert payload["experiment"] == "timeline"
+        assert payload["samples"]
 
 
 class TestExperimentRunners:

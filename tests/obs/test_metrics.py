@@ -86,7 +86,18 @@ class TestHistogram:
         assert histogram.total == sum(range(10))
         # ...but only the 4 newest samples are retained, oldest first.
         assert histogram.samples() == [6.0, 7.0, 8.0, 9.0]
-        assert histogram.minimum == 6.0
+        # min/max are all-time, not ring-bound: 0.0 was evicted from the
+        # ring but is still the true minimum.
+        assert histogram.minimum == 0.0
+        assert histogram.maximum == 9.0
+
+    def test_min_max_survive_ring_wraparound_in_snapshot(self):
+        histogram = Histogram(capacity=2)
+        for value in (5.0, -3.0, 7.0, 1.0, 2.0):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap["min"] == -3.0
+        assert snap["max"] == 7.0
 
     def test_rejects_bad_capacity(self):
         with pytest.raises(ValueError):
@@ -120,6 +131,38 @@ class TestRegistryExport:
         assert registry.gauge_value("missing") is None
         registry.counter("hits", server="S1").inc()
         assert registry.counter_value("hits", server="S1") == 1.0
+
+    def test_item_accessors_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", server="S2").inc()
+        registry.counter("hits", server="S1").inc(2)
+        registry.gauge("server_up", server="S1").set(1.0)
+        registry.histogram("response_ms", server="S1").observe(4.0)
+        counters = registry.counter_items()
+        assert [key for key, _ in counters] == [
+            ("hits", (("server", "S1"),)),
+            ("hits", (("server", "S2"),)),
+        ]
+        assert counters[0][1].value == 2.0
+        assert len(registry.gauge_items()) == 1
+        assert len(registry.histogram_items()) == 1
+
+    def test_unsafe_label_values_are_quoted_and_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", server='S"1').inc()
+        registry.counter("hits", server="a,b").inc()
+        registry.counter("hits", server="a=b").inc()
+        registry.counter("hits", server="a\\b").inc()
+        registry.counter("hits", server="a\nb").inc()
+        keys = list(registry.snapshot()["counters"])
+        assert 'hits{server="S\\"1"}' in keys
+        assert 'hits{server="a,b"}' in keys
+        assert 'hits{server="a=b"}' in keys
+        assert 'hits{server="a\\\\b"}' in keys
+        assert 'hits{server="a\\nb"}' in keys
+        # safe values keep the compact unquoted form
+        registry.gauge("server_up", server="S1").set(1.0)
+        assert "server_up{server=S1}" in registry.snapshot()["gauges"]
 
 
 class TestNullRegistry:

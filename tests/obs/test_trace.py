@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import json
 
+import repro.obs as obs
 from repro.obs import NULL_TRACE, Tracer
 from repro.obs.trace import NullTracer, QueryTrace
 
@@ -97,6 +98,23 @@ class TestTracer:
         assert [t.query_id for t in tracer.finished] == [3, 4]
         assert tracer.for_query(4) is not None
         assert tracer.for_query(1) is None
+
+    def test_for_query_matches_the_running_trace(self):
+        tracer = Tracer(keep=2)
+        done = tracer.start(1, "q", 0.0)
+        tracer.finish(done, 1.0)
+        running = tracer.start(2, "q", 2.0)
+        assert tracer.for_query(2) is running
+        assert tracer.for_query(1) is done
+        tracer.finish(running, 3.0)
+        assert tracer.for_query(2) is running
+
+    def test_trace_capacity_is_configurable(self, live_obs):
+        sink = obs.configure(log_level=None, trace_capacity=3)
+        for query_id in range(1, 6):
+            trace = sink.tracer.start(query_id, "q", 0.0)
+            sink.tracer.finish(trace, 1.0)
+        assert [t.query_id for t in sink.tracer.finished] == [3, 4, 5]
 
 
 class TestNullTracer:
