@@ -1,0 +1,426 @@
+"""Deterministic scenario execution (FoundationDB-style simulation runs).
+
+:func:`run_scenario` materialises a :class:`~repro.chaos.scenario.ScenarioSpec`
+into a live federation, applies its fault schedule, drives the workload
+on the virtual clock and records everything the invariant checkers need:
+
+* per-query outcomes (rows, response time, retries, servers, errors);
+* every fragment dispatch, stamped with the set of servers the
+  availability monitor considered down *at that instant*;
+* every plan-cache hit, stamped with the entry's epoch and the live
+  epoch counter;
+* the calibration factors (server, fragment, initial, II) after a final
+  fold, plus their configured clamp bounds.
+
+It then reruns the same workload twice more: once with the fault
+schedule stripped (the *fault-free oracle* — any completed chaos query
+must produce exactly the oracle's rows) and once on the row execution
+engine (the vector engine's answers, response times and per-fragment
+observed times must match bit-for-bit, faults included).
+
+Everything runs on virtual time with seeded randomness only, so a
+scenario is byte-reproducible from its spec alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..fed import FederationError
+from ..fed.replication import ReplicaManager
+from ..harness.deployment import (
+    DEFAULT_SERVER_SPECS,
+    Deployment,
+    build_databases,
+    build_federation,
+    build_replica_federation,
+)
+from ..sim import (
+    OutageSchedule,
+    ServerUnavailable,
+    StepSchedule,
+    WindowedErrorInjector,
+)
+from ..sim.rng import derive_seed
+from ..sqlengine import Database, resolve_engine
+from ..workload import TEST_SCALE
+from .scenario import ScenarioSpec, fault_window_steps
+
+#: Seed for table data and query-instance parameters.  Deliberately
+#: *not* the scenario seed: every scenario shares one dataset so the
+#: expensive populate step happens once per topology, and fault
+#: schedules — not data — are what varies across scenarios.
+DATA_SEED = 7
+
+#: Origins of the replica topology's nicknames (matches
+#: build_replica_federation's S1/R1 and S2/R2 table groups).
+REPLICA_ORIGINS: Dict[str, str] = {
+    "orders": "S1",
+    "customer": "S1",
+    "lineitem": "S2",
+    "product": "S2",
+    "supplier": "S2",
+}
+
+
+@dataclass
+class QueryOutcome:
+    """What one submitted query did."""
+
+    index: int
+    query_type: str
+    sql: str
+    submitted_ms: float
+    status: str  # "ok" | "failed"
+    rows: List[tuple] = field(default_factory=list)
+    response_ms: Optional[float] = None
+    retries: int = 0
+    servers: Tuple[str, ...] = ()
+    #: per-fragment observed response time (WorkMeter-derived, so the
+    #: row and vector engines must agree bit-for-bit)
+    fragment_ms: Dict[str, float] = field(default_factory=dict)
+    error: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class DispatchRecord:
+    """One fragment dispatch and the monitor's down-set at that instant."""
+
+    t_ms: float
+    server: str
+    down_before: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class CacheLookupRecord:
+    """One plan-cache hit: the entry's epoch vs the live counter."""
+
+    t_ms: float
+    entry_epoch: int
+    epoch_at_lookup: int
+
+
+@dataclass
+class ScenarioRun:
+    """Everything recorded about one executed scenario."""
+
+    spec: ScenarioSpec
+    outcomes: List[QueryOutcome]
+    dispatches: List[DispatchRecord] = field(default_factory=list)
+    cache_lookups: List[CacheLookupRecord] = field(default_factory=list)
+    server_factors: Dict[str, float] = field(default_factory=dict)
+    fragment_factors: Dict[Tuple[str, str], float] = field(
+        default_factory=dict
+    )
+    initial_factors: Dict[str, float] = field(default_factory=dict)
+    ii_factor: float = 1.0
+    factor_bounds: Tuple[float, float] = (0.0, float("inf"))
+    #: The fault-free rerun's outcomes (None when skipped).
+    oracle: Optional[List[QueryOutcome]] = None
+    #: The row-engine rerun's outcomes (None when skipped).
+    row_engine: Optional[List[QueryOutcome]] = None
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "ok")
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "failed")
+
+
+# -- database cache ----------------------------------------------------------
+
+_TRIPLE_DATABASES: Optional[Dict[str, Database]] = None
+_REPLICA_DATABASES: Optional[Dict[str, Database]] = None
+
+
+def triple_databases() -> Dict[str, Database]:
+    """Shared test-scale databases for the three-server topology."""
+    global _TRIPLE_DATABASES
+    if _TRIPLE_DATABASES is None:
+        _TRIPLE_DATABASES = build_databases(
+            DEFAULT_SERVER_SPECS, TEST_SCALE, seed=DATA_SEED
+        )
+    return _TRIPLE_DATABASES
+
+
+def replica_databases() -> Dict[str, Database]:
+    """Shared test-scale databases for the S1/R1/S2/R2 topology."""
+    global _REPLICA_DATABASES
+    if _REPLICA_DATABASES is None:
+        deployment = build_replica_federation(
+            scale=TEST_SCALE, seed=DATA_SEED, with_qcc=False
+        )
+        _REPLICA_DATABASES = {
+            name: server.database
+            for name, server in deployment.servers.items()
+        }
+    return _REPLICA_DATABASES
+
+
+# -- deployment assembly -----------------------------------------------------
+
+
+def _build_deployment(
+    spec: ScenarioSpec,
+    engine: str,
+    with_faults: bool,
+    databases: Optional[Dict[str, Database]],
+) -> Tuple[Deployment, Optional[ReplicaManager]]:
+    if spec.topology == "replica":
+        prebuilt = databases if databases is not None else replica_databases()
+        deployment = build_replica_federation(
+            scale=TEST_SCALE,
+            seed=DATA_SEED,
+            prebuilt_databases=prebuilt,
+            engine=engine,
+        )
+        manager = ReplicaManager(deployment.registry)
+        for nickname, origin in REPLICA_ORIGINS.items():
+            manager.set_origin(nickname, origin)
+        deployment.integrator.replica_manager = manager
+    else:
+        prebuilt = databases if databases is not None else triple_databases()
+        deployment = build_federation(
+            scale=TEST_SCALE,
+            seed=DATA_SEED,
+            prebuilt_databases=prebuilt,
+            engine=engine,
+        )
+        manager = None
+
+    if with_faults:
+        _apply_schedule_faults(spec, deployment)
+    return deployment, manager
+
+
+def _apply_schedule_faults(spec: ScenarioSpec, deployment: Deployment) -> None:
+    """Install outage/flaky/latency/storm schedules on the servers.
+
+    Replica-lag events are imperative (origin writes) and are pumped by
+    the submit loop instead.
+    """
+    by_server: Dict[str, Dict[str, list]] = {}
+    for event in spec.faults:
+        by_server.setdefault(event.server, {}).setdefault(
+            event.kind, []
+        ).append(event)
+
+    for name, events in by_server.items():
+        server = deployment.servers[name]
+        outages = events.get("outage")
+        if outages:
+            server.availability = OutageSchedule(
+                [(e.start_ms, e.end_ms) for e in outages]
+            )
+        flaky = events.get("flaky")
+        if flaky:
+            server.errors = WindowedErrorInjector(
+                [(e.start_ms, e.end_ms, e.magnitude) for e in flaky],
+                seed=derive_seed(spec.seed, "chaos", spec.index, "flaky"),
+                name=name,
+            )
+        latency = events.get("latency")
+        if latency:
+            server.link.congestion = StepSchedule(
+                fault_window_steps(latency)
+            )
+        storm = events.get("storm")
+        if storm:
+            # Load-level storms: the paper's "heavy update load" as a
+            # contention schedule.  Chaos deliberately avoids real DML so
+            # every server's data stays byte-identical and the fault-free
+            # oracle comparison is exact.
+            server.load = StepSchedule(fault_window_steps(storm))
+
+
+# -- recorders ---------------------------------------------------------------
+
+
+def _record_dispatches(
+    deployment: Deployment, records: List[DispatchRecord]
+) -> None:
+    """Wrap MW's dispatch path to log (server, monitor down-set) pairs."""
+    meta_wrapper = deployment.meta_wrapper
+    qcc = deployment.qcc
+    original = meta_wrapper.execute_option
+
+    def recording(option, t_ms, allow_substitution=True):
+        down = (
+            tuple(qcc.availability.down_servers())
+            if qcc is not None
+            else ()
+        )
+        try:
+            used, execution = original(option, t_ms, allow_substitution)
+        except ServerUnavailable as exc:
+            records.append(DispatchRecord(t_ms, exc.server, down))
+            raise
+        records.append(DispatchRecord(t_ms, used.server, down))
+        return used, execution
+
+    meta_wrapper.execute_option = recording
+
+
+def _record_cache_lookups(
+    deployment: Deployment, records: List[CacheLookupRecord]
+) -> None:
+    """Wrap the plan cache to log the epoch every served hit carries."""
+    cache = deployment.integrator.plan_cache
+    if cache is None:
+        return
+    original = cache.get
+
+    def recording(key, t_ms):
+        entry = original(key, t_ms)
+        if entry is not None:
+            records.append(
+                CacheLookupRecord(t_ms, entry.epoch, cache.epoch.value)
+            )
+        return entry
+
+    cache.get = recording
+
+
+# -- execution ---------------------------------------------------------------
+
+
+def _execute(
+    spec: ScenarioSpec,
+    engine: str,
+    with_faults: bool,
+    databases: Optional[Dict[str, Database]],
+    run: Optional[ScenarioRun] = None,
+) -> List[QueryOutcome]:
+    """One full pass over the spec's workload.
+
+    When *run* is given, internal recorders and the final factor
+    snapshot are attached to it (the primary pass); oracle and engine
+    reruns only collect outcomes.
+    """
+    deployment, manager = _build_deployment(
+        spec, engine, with_faults, databases
+    )
+    resolved = resolve_engine(engine)
+    saved_engines = {
+        name: server.database.engine
+        for name, server in deployment.servers.items()
+    }
+    for server in deployment.servers.values():
+        server.database.engine = resolved
+
+    if run is not None:
+        _record_dispatches(deployment, run.dispatches)
+        _record_cache_lookups(deployment, run.cache_lookups)
+
+    lag_events = sorted(
+        (e for e in spec.faults if e.kind == "replica_lag"),
+        key=lambda e: (e.start_ms, e.server, e.table),
+    )
+    applied = 0
+
+    outcomes: List[QueryOutcome] = []
+    clock = deployment.clock
+    integrator = deployment.integrator
+    try:
+        for index, query in enumerate(spec.queries):
+            clock.advance(query.gap_ms)
+            if manager is not None and with_faults:
+                while (
+                    applied < len(lag_events)
+                    and lag_events[applied].start_ms <= clock.now
+                ):
+                    event = lag_events[applied]
+                    manager.note_write(event.table, event.start_ms)
+                    applied += 1
+            sql = query.sql(DATA_SEED)
+            submitted = clock.now
+            try:
+                result = integrator.submit(
+                    sql,
+                    label=query.query_type,
+                    staleness_tolerance_ms=spec.staleness_tolerance_ms,
+                )
+            except (FederationError, ServerUnavailable) as exc:
+                outcomes.append(
+                    QueryOutcome(
+                        index=index,
+                        query_type=query.query_type,
+                        sql=sql,
+                        submitted_ms=submitted,
+                        status="failed",
+                        error=str(exc),
+                    )
+                )
+                continue
+            outcomes.append(
+                QueryOutcome(
+                    index=index,
+                    query_type=query.query_type,
+                    sql=sql,
+                    submitted_ms=submitted,
+                    status="ok",
+                    rows=list(result.rows),
+                    response_ms=result.response_ms,
+                    retries=result.retries,
+                    servers=tuple(sorted(result.plan.servers)),
+                    fragment_ms={
+                        fragment_id: outcome.execution.observed_ms
+                        for fragment_id, outcome in result.fragments.items()
+                    },
+                )
+            )
+
+        if run is not None and deployment.qcc is not None:
+            qcc = deployment.qcc
+            qcc.recalibrate(clock.now)
+            calibrator = qcc.calibrator
+            run.server_factors = calibrator.server_factors()
+            run.fragment_factors = calibrator.fragment_factors()
+            run.initial_factors = calibrator.initial_factors()
+            run.ii_factor = qcc.ii_factor()
+            config = qcc.config.calibrator
+            run.factor_bounds = (config.min_factor, config.max_factor)
+    finally:
+        # Databases are shared across scenarios; leave their engine
+        # selection the way we found it.
+        for name, server in deployment.servers.items():
+            server.database.engine = saved_engines[name]
+    return outcomes
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    databases: Optional[Dict[str, Database]] = None,
+    with_oracle: bool = True,
+    with_engine_differential: bool = True,
+) -> ScenarioRun:
+    """Execute *spec* and its verification twins; returns the record.
+
+    ``databases`` overrides the shared per-topology dataset (tests pass
+    session-scoped fixtures).  The oracle and row-engine reruns can be
+    disabled individually — the shrinker does so for checkers that don't
+    need them.
+    """
+    run = ScenarioRun(spec=spec, outcomes=[])
+    run.outcomes = _execute(
+        spec, "vector", with_faults=True, databases=databases, run=run
+    )
+    if with_oracle:
+        run.oracle = _execute(
+            spec.without_faults(),
+            "vector",
+            with_faults=False,
+            databases=databases,
+        )
+    if with_engine_differential:
+        run.row_engine = _execute(
+            spec, "row", with_faults=True, databases=databases
+        )
+    return run
+
+
+#: Type of the predicate the shrinker minimises against.
+FailureProbe = Callable[[ScenarioSpec], Optional[str]]

@@ -10,6 +10,7 @@
     python -m repro trace "SELECT ..." --format chrome   # Perfetto trace
     python -m repro metrics --format prom    # Prometheus exposition text
     python -m repro timeline --csv out       # availability/calibration sweep
+    python -m repro chaos --seed 42 --runs 25   # deterministic chaos sweep
 
 Experiments accept ``--scale {test,bench,paper}`` (paper scale loads
 100k-row tables; expect minutes, not seconds).
@@ -250,6 +251,54 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the structured result as JSON",
     )
+    chaos = sub.add_parser(
+        "chaos",
+        help=(
+            "run seed-reproducible fault-injection scenarios and check "
+            "federation invariants (see docs/testing.md)"
+        ),
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=42, help="root scenario seed"
+    )
+    chaos.add_argument(
+        "--runs", type=int, default=25, help="number of scenarios"
+    )
+    chaos.add_argument(
+        "--max-shrink",
+        type=int,
+        default=200,
+        metavar="N",
+        help="candidate re-executions the shrinker may spend per failure",
+    )
+    chaos.add_argument(
+        "--jsonl",
+        metavar="PATH",
+        default=None,
+        help="write one scenario-verdict JSON line per run to PATH",
+    )
+    chaos.add_argument(
+        "--repro",
+        metavar="SPEC_JSON",
+        default=None,
+        help=(
+            "replay one exact scenario from its canonical JSON (as "
+            "printed by a failing run's repro command); --runs is ignored"
+        ),
+    )
+    chaos.add_argument(
+        "--checkers",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="run only this invariant checker (repeatable; default: all)",
+    )
+    chaos.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report failures without minimising their schedules",
+    )
+
     # Experiments build their own federations internally; for them the
     # engine is selected process-wide via REPRO_ENGINE instead.
     for command in (demo, query, explain, status, trace, metrics):
@@ -484,6 +533,102 @@ def _cmd_timeline(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from .chaos import (
+        ScenarioSpec,
+        forbid_global_random,
+        generate_scenarios,
+        repro_command,
+        run_checkers,
+        run_scenario,
+        shrink_schedule,
+        violations,
+    )
+    from .obs.export import JsonlSink
+
+    # Reproducibility is the whole point: refuse to run if the simulator
+    # grew an implicit global-random dependence.
+    forbid_global_random()
+
+    checker_names = args.checkers or None
+    if args.repro:
+        specs = [ScenarioSpec.from_json(args.repro)]
+    else:
+        specs = generate_scenarios(args.seed, args.runs)
+
+    sink = None
+    if args.jsonl:
+        # Truncate: the artifact must be a pure function of the seed so
+        # CI can diff two invocations byte-for-byte.
+        open(args.jsonl, "w").close()
+        sink = JsonlSink(args.jsonl)
+
+    failures = 0
+    for spec in specs:
+        run = run_scenario(spec)
+        verdicts = run_checkers(run, names=checker_names)
+        found = violations(verdicts)
+        status = "FAIL" if found else "ok"
+        print(
+            f"[{status}] scenario {spec.index} seed={spec.seed} "
+            f"{spec.topology} queries={len(spec.queries)} "
+            f"faults={len(spec.faults)} completed={run.completed} "
+            f"failed={run.failed}"
+        )
+        if sink is not None:
+            sink.emit(
+                "chaos-scenario",
+                {
+                    "seed": spec.seed,
+                    "index": spec.index,
+                    "topology": spec.topology,
+                    "queries": len(spec.queries),
+                    "faults": [event.describe() for event in spec.faults],
+                    "completed": run.completed,
+                    "failed": run.failed,
+                    "violations": {
+                        name: found_list
+                        for name, found_list in sorted(verdicts.items())
+                    },
+                    "verdict": status,
+                    "spec": spec.to_dict(),
+                },
+            )
+        if not found:
+            continue
+        failures += 1
+        for line in found:
+            print(f"    {line}")
+        if args.no_shrink:
+            print(f"    reproduce: {repro_command(spec)}")
+            continue
+
+        def probe(candidate: ScenarioSpec):
+            candidate_run = run_scenario(candidate)
+            candidate_found = violations(
+                run_checkers(candidate_run, names=checker_names)
+            )
+            return candidate_found[0] if candidate_found else None
+
+        shrunk = shrink_schedule(
+            spec, probe, max_attempts=args.max_shrink
+        )
+        print(
+            f"    shrunk to {len(shrunk.spec.faults)} fault(s), "
+            f"{len(shrunk.spec.queries)} query(ies) in "
+            f"{shrunk.attempts} attempts: {shrunk.message}"
+        )
+        print(f"    reproduce: {shrunk.command}")
+
+    print(
+        f"\n{len(specs)} scenario(s), {failures} with invariant "
+        f"violations"
+    )
+    if sink is not None:
+        print(f"Verdicts written to {args.jsonl}")
+    return 1 if failures else 0
+
+
 _COMMANDS = {
     "demo": _cmd_demo,
     "experiment": _cmd_experiment,
@@ -493,6 +638,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "metrics": _cmd_metrics,
     "timeline": _cmd_timeline,
+    "chaos": _cmd_chaos,
 }
 
 

@@ -231,6 +231,18 @@ class CostCalibrator:
     def server_factors(self) -> Dict[str, float]:
         return dict(self._active_server)
 
+    def fragment_factors(self) -> Dict[Tuple[str, str], float]:
+        """Active per-(server, fragment signature) factors.
+
+        Invariant checkers audit these against the configured clamp
+        bounds; they are folded copies, so mutating the dict is safe.
+        """
+        return dict(self._active_fragment)
+
+    def initial_factors(self) -> Dict[str, float]:
+        """Probe-derived initial factors (already clamped)."""
+        return dict(self._initial)
+
     def live_ratios(self) -> Dict[str, float]:
         """Un-folded observed/estimated ratio per server with samples.
 

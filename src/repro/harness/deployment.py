@@ -271,6 +271,9 @@ def build_replica_federation(
     qcc_config: Optional[QCCConfig] = None,
     with_qcc: bool = True,
     params: CostParameters = DEFAULT_COST_PARAMETERS,
+    availability: Optional[Mapping[str, AvailabilitySchedule]] = None,
+    error_seeds: Optional[Mapping[str, float]] = None,
+    prebuilt_databases: Optional[Mapping[str, Database]] = None,
     induced_load: bool = False,
     induced_gain: float = 0.002,
     induced_decay_ms: float = 2_000.0,
@@ -284,6 +287,11 @@ def build_replica_federation(
     (lineitem, product, supplier), so a federated join across the two
     table groups has two fragments with two candidate servers each —
     exactly the paper's Q6 with its nine derivable global plans.
+
+    ``prebuilt_databases``/``availability``/``error_seeds`` mirror
+    :func:`build_federation`: the chaos harness reuses loaded replica
+    databases across hundreds of scenarios and injects per-server
+    outages and transient errors.
     """
     group_a = ("orders", "customer")
     group_b = ("lineitem", "product", "supplier")
@@ -325,15 +333,18 @@ def build_replica_federation(
     wrappers: Dict[str, RelationalWrapper] = {}
     databases: Dict[str, Database] = {}
     for spec in specs:
-        database = Database(
-            name=spec.name, profile=spec.profile(), params=params,
-            engine=engine,
-        )
-        populate(
-            database,
-            [all_table_specs[t] for t in spec_map[spec.name]],
-            seed=seed,
-        )
+        if prebuilt_databases is not None:
+            database = prebuilt_databases[spec.name]
+        else:
+            database = Database(
+                name=spec.name, profile=spec.profile(), params=params,
+                engine=engine,
+            )
+            populate(
+                database,
+                [all_table_specs[t] for t in spec_map[spec.name]],
+                seed=seed,
+            )
         databases[spec.name] = database
         load = MutableLoad(0.0)
         loads[spec.name] = load
@@ -343,12 +354,20 @@ def build_replica_federation(
             )
         else:
             schedule_load = load
+        schedule = (
+            availability.get(spec.name, AlwaysUp())
+            if availability
+            else AlwaysUp()
+        )
+        error_rate = (error_seeds or {}).get(spec.name, spec.error_rate)
         server = RemoteServer(
             name=spec.name,
             database=database,
             contention=spec.contention(),
             load=schedule_load,
             link=spec.link(),
+            availability=schedule,
+            errors=ErrorInjector(error_rate, seed=seed, name=spec.name),
         )
         servers[spec.name] = server
         wrappers[spec.name] = RelationalWrapper(server)

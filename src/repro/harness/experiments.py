@@ -328,13 +328,17 @@ def run_timeline(
     databases: Optional[Mapping[str, Database]] = None,
     instances_per_type: int = 2,
     load_level: float = LOAD_LEVEL,
+    seed: int = 7,
 ) -> TimelineResult:
     """A Figure-9-style sweep recorded on the federation timeline.
 
     Four phases — all idle, all loaded, S3 down, S3 recovered — with a
     recalibration at every phase boundary, so the timeline captures both
     the calibration factors absorbing the load shift and the
-    availability transitions around the outage.
+    availability transitions around the outage.  ``seed`` drives the
+    table data (unless ``databases`` is prebuilt) and the workload
+    interleaving, so two invocations with the same seed produce
+    identical timelines.
     """
     sink = obs.get_obs()
     if sink.timeline is NULL_TIMELINE:
@@ -343,14 +347,17 @@ def run_timeline(
         )
     timeline = sink.timeline
     if databases is None:
-        databases = build_databases(DEFAULT_SERVER_SPECS, scale)
+        databases = build_databases(DEFAULT_SERVER_SPECS, scale, seed=seed)
     outage = _ManualOutage()
     deployment = build_federation(
         scale=scale,
+        seed=seed,
         prebuilt_databases=databases,
         availability={"S3": outage},
     )
-    workload = build_workload(instances_per_type=instances_per_type)
+    workload = build_workload(
+        instances_per_type=instances_per_type, seed=seed
+    )
     phases: List[Tuple[str, float, float]] = []
 
     def run_phase_named(name: str) -> None:

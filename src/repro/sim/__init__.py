@@ -12,6 +12,7 @@ from .failures import (
     ErrorInjector,
     OutageSchedule,
     ServerUnavailable,
+    WindowedErrorInjector,
 )
 from .load import (
     ConstantLoad,
@@ -49,6 +50,7 @@ __all__ = [
     "UpdateStorm",
     "UpdateStormDriver",
     "VirtualClock",
+    "WindowedErrorInjector",
     "derive_rng",
     "derive_seed",
 ]

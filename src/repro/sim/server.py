@@ -162,7 +162,7 @@ class RemoteServer:
         """Execute *plan* and compute the observed response time."""
         if not self.is_up(t_ms):
             raise ServerUnavailable(self.name, t_ms)
-        if self.errors.should_fail():
+        if self.errors.should_fail(t_ms):
             raise ServerUnavailable(self.name, t_ms, transient=True)
         result = self.database.run_plan(plan)
         level = self.load.level(t_ms)
@@ -207,7 +207,7 @@ class RemoteServer:
         """
         if not self.is_up(t_ms):
             raise ServerUnavailable(self.name, t_ms)
-        if self.errors.should_fail():
+        if self.errors.should_fail(t_ms):
             raise ServerUnavailable(self.name, t_ms, transient=True)
         result = self.database.run_dml(sql)
         level = self.load.level(t_ms)

@@ -1,0 +1,88 @@
+"""Pytest bridge for the chaos harness: the CI smoke sweep.
+
+Runs a fixed seed set through the full scenario-execute-check loop and
+asserts every bundled invariant holds — the same loop ``python -m repro
+chaos`` drives, so a red test here reproduces from the printed spec.
+"""
+
+import pytest
+
+from repro.chaos import (
+    generate_scenario,
+    registered_checkers,
+    run_checkers,
+    run_scenario,
+    violations,
+)
+
+#: (seed, index) pairs chosen to cover both topologies and all five
+#: fault kinds; kept small so the tier-1 run stays fast.  The CI
+#: chaos-smoke job sweeps 100 scenarios on top of this.
+SMOKE_SCENARIOS = [(42, i) for i in range(6)] + [(42, 8), (42, 10), (7, 0)]
+
+EXPECTED_CHECKERS = {
+    "oracle-equivalence",
+    "no-down-dispatch",
+    "calibration-bounds",
+    "cache-epoch",
+    "engine-equivalence",
+}
+
+
+def _databases_for(spec, sample_databases):
+    # The triple topology reuses the session-scoped fixture (same data
+    # seed); the replica topology's shared build is cached in-module.
+    return sample_databases if spec.topology == "triple" else None
+
+
+def test_all_bundled_checkers_are_registered():
+    assert EXPECTED_CHECKERS <= set(registered_checkers())
+
+
+@pytest.mark.parametrize("seed,index", SMOKE_SCENARIOS)
+def test_invariants_hold(seed, index, sample_databases):
+    spec = generate_scenario(seed, index)
+    run = run_scenario(
+        spec, databases=_databases_for(spec, sample_databases)
+    )
+    assert violations(run_checkers(run)) == []
+    # Scenarios must exercise the federation, not no-op through it.
+    assert run.completed + run.failed == len(spec.queries)
+    assert run.oracle is not None and run.row_engine is not None
+
+
+def test_rerun_is_byte_identical(sample_databases):
+    spec = generate_scenario(42, 0)
+    databases = _databases_for(spec, sample_databases)
+    first = run_scenario(spec, databases=databases)
+    second = run_scenario(spec, databases=databases)
+    for a, b in zip(first.outcomes, second.outcomes):
+        assert (a.status, a.rows, a.response_ms, a.retries, a.servers) == (
+            b.status,
+            b.rows,
+            b.response_ms,
+            b.retries,
+            b.servers,
+        )
+        assert a.fragment_ms == b.fragment_ms
+    assert first.dispatches == second.dispatches
+    assert first.cache_lookups == second.cache_lookups
+    assert first.server_factors == second.server_factors
+    assert first.ii_factor == second.ii_factor
+
+
+def test_faults_actually_bite():
+    """Across the smoke set, at least one scenario must degrade.
+
+    A chaos harness whose fault schedules never intersect query
+    execution tests nothing; this guards the horizon/gap calibration.
+    """
+    touched = 0
+    for seed, index in SMOKE_SCENARIOS:
+        spec = generate_scenario(seed, index)
+        run = run_scenario(
+            spec, with_oracle=False, with_engine_differential=False
+        )
+        if run.failed or any(o.retries for o in run.outcomes):
+            touched += 1
+    assert touched >= 1

@@ -1,0 +1,147 @@
+"""Scenario generation: determinism, serialisation, validity."""
+
+import pytest
+
+from repro.chaos import (
+    FAULT_KINDS,
+    FaultEvent,
+    QuerySpec,
+    ScenarioSpec,
+    TOPOLOGY_SERVERS,
+    generate_scenario,
+    generate_scenarios,
+)
+from repro.chaos.scenario import (
+    DEFAULT_HORIZON_MS,
+    QUERY_TYPE_NAMES,
+    fault_window_steps,
+)
+
+
+class TestGeneratorDeterminism:
+    def test_same_seed_index_is_byte_identical(self):
+        for index in range(10):
+            a = generate_scenario(42, index)
+            b = generate_scenario(42, index)
+            assert a == b
+            assert a.canonical_json() == b.canonical_json()
+
+    def test_generate_scenarios_matches_pointwise(self):
+        batch = generate_scenarios(7, 8)
+        for index, spec in enumerate(batch):
+            assert spec == generate_scenario(7, index)
+
+    def test_different_seeds_differ(self):
+        a = [generate_scenario(1, i).canonical_json() for i in range(5)]
+        b = [generate_scenario(2, i).canonical_json() for i in range(5)]
+        assert a != b
+
+    def test_component_streams_are_independent(self):
+        """Fault sampling must not perturb the workload stream.
+
+        Halving the horizon changes every fault window but draws from
+        the ``faults`` stream only — topology and queries are sampled
+        from their own derived streams and must not move.
+        """
+        spec = generate_scenario(42, 0)
+        narrow = generate_scenario(42, 0, horizon_ms=DEFAULT_HORIZON_MS / 2)
+        assert narrow.topology == spec.topology
+        assert narrow.queries == spec.queries
+        assert narrow.staleness_tolerance_ms == spec.staleness_tolerance_ms
+
+
+class TestSerialisation:
+    @pytest.mark.parametrize("index", range(8))
+    def test_json_round_trip(self, index):
+        spec = generate_scenario(42, index)
+        assert ScenarioSpec.from_json(spec.canonical_json()) == spec
+
+    def test_dict_round_trip_preserves_tolerance(self):
+        spec = ScenarioSpec(
+            seed=1,
+            index=0,
+            topology="replica",
+            queries=(QuerySpec("QT1", 0, 50.0),),
+            staleness_tolerance_ms=500.0,
+        )
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_canonical_json_is_key_sorted(self):
+        payload = generate_scenario(3, 0).canonical_json()
+        assert payload.index('"faults"') < payload.index('"queries"')
+
+
+class TestValidity:
+    @pytest.mark.parametrize("index", range(20))
+    def test_sampled_scenarios_are_well_formed(self, index):
+        spec = generate_scenario(99, index)
+        servers = TOPOLOGY_SERVERS[spec.topology]
+        assert 4 <= len(spec.queries) <= 8
+        assert 1 <= len(spec.faults) <= 6
+        for query in spec.queries:
+            assert query.query_type in QUERY_TYPE_NAMES
+            assert 0 <= query.instance_id <= 9
+            assert 20.0 <= query.gap_ms <= 200.0
+            assert query.sql(7).startswith("SELECT")
+        for fault in spec.faults:
+            assert fault.kind in FAULT_KINDS
+            assert fault.server in servers
+            assert 0.0 <= fault.start_ms <= fault.end_ms
+            assert fault.end_ms <= DEFAULT_HORIZON_MS * 1.2
+        if spec.topology == "triple":
+            assert all(f.kind != "replica_lag" for f in spec.faults)
+            assert spec.staleness_tolerance_ms is None
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(seed=1, index=0, topology="mesh", queries=())
+
+    def test_fault_outside_topology_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(
+                seed=1,
+                index=0,
+                topology="triple",
+                queries=(),
+                faults=(FaultEvent("outage", "R1", 0.0, 100.0),),
+            )
+
+    def test_unknown_fault_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent("meteor", "S1", 0.0, 100.0)
+
+    def test_without_faults_strips_schedule_only(self):
+        spec = generate_scenario(42, 1)
+        oracle = spec.without_faults()
+        assert oracle.faults == ()
+        assert oracle.queries == spec.queries
+        assert oracle.topology == spec.topology
+
+
+class TestFaultWindowSteps:
+    def test_overlap_takes_max_level(self):
+        steps = fault_window_steps(
+            [
+                FaultEvent("storm", "S1", 100.0, 300.0, magnitude=0.4),
+                FaultEvent("storm", "S1", 200.0, 400.0, magnitude=0.8),
+            ]
+        )
+        assert steps == [
+            (100.0, 0.4),
+            (200.0, 0.8),
+            (400.0, 0.0),
+        ]
+
+    def test_disjoint_windows_return_to_zero(self):
+        steps = fault_window_steps(
+            [
+                FaultEvent("latency", "S1", 100.0, 200.0, magnitude=0.5),
+                FaultEvent("latency", "S1", 300.0, 400.0, magnitude=0.7),
+            ]
+        )
+        assert steps == [
+            (100.0, 0.5),
+            (200.0, 0.0),
+            (300.0, 0.7),
+            (400.0, 0.0),
+        ]

@@ -1,0 +1,128 @@
+"""Shrinker tests: planted failures must reduce to minimal reproducers."""
+
+import pytest
+
+from repro.chaos import (
+    FaultEvent,
+    QuerySpec,
+    ScenarioSpec,
+    repro_command,
+    shrink_schedule,
+)
+
+
+def _big_spec(fault_count=12, query_count=8):
+    faults = []
+    servers = ("S1", "S2", "S3")
+    for i in range(fault_count):
+        start = 100.0 * i
+        faults.append(
+            FaultEvent(
+                "outage" if i % 2 else "storm",
+                servers[i % 3],
+                start,
+                start + 80.0,
+                magnitude=0.5 if i % 2 == 0 else 0.0,
+            )
+        )
+    queries = tuple(
+        QuerySpec("QT1", i % 4, 50.0) for i in range(query_count)
+    )
+    return ScenarioSpec(
+        seed=1,
+        index=0,
+        topology="triple",
+        queries=queries,
+        faults=tuple(faults),
+    )
+
+
+def _needs_pair(spec):
+    """Fails iff the schedule keeps an S1 outage AND an S2 storm."""
+    has_outage = any(
+        f.kind == "outage" and f.server == "S1" for f in spec.faults
+    )
+    has_storm = any(
+        f.kind == "storm" and f.server == "S2" for f in spec.faults
+    )
+    if has_outage and has_storm:
+        return "S1 outage + S2 storm interaction"
+    return None
+
+
+def test_shrinks_planted_schedule_to_minimal_pair():
+    spec = _big_spec()
+    assert len(spec.faults) == 12
+    result = shrink_schedule(spec, _needs_pair)
+    # Acceptance bar: a planted failure reduces to <= 3 fault events.
+    assert len(result.spec.faults) <= 3
+    # And for this predicate the true minimum is exactly the pair.
+    assert len(result.spec.faults) == 2
+    kinds = sorted((f.kind, f.server) for f in result.spec.faults)
+    assert kinds == [("outage", "S1"), ("storm", "S2")]
+    assert result.message == "S1 outage + S2 storm interaction"
+    assert not result.budget_exhausted
+
+
+def test_shrinks_workload_too():
+    spec = _big_spec()
+
+    def probe(candidate):
+        base = _needs_pair(candidate)
+        if base is None:
+            return None
+        # Failure also requires at least one query to trigger it.
+        return base if candidate.queries else None
+
+    result = shrink_schedule(spec, probe)
+    assert len(result.spec.faults) == 2
+    assert len(result.spec.queries) <= 1
+
+
+def test_single_fault_failure_shrinks_to_one_event():
+    spec = _big_spec()
+
+    def probe(candidate):
+        for fault in candidate.faults:
+            if fault.kind == "outage" and fault.start_ms == 300.0:
+                return "the 300ms outage alone"
+        return None
+
+    result = shrink_schedule(spec, probe)
+    assert len(result.spec.faults) == 1
+    assert result.spec.faults[0].start_ms == 300.0
+
+
+def test_non_failing_spec_rejected():
+    spec = _big_spec(fault_count=2)
+
+    with pytest.raises(ValueError):
+        shrink_schedule(spec, lambda candidate: None)
+
+
+def test_budget_bounds_probe_executions():
+    spec = _big_spec(fault_count=12)
+    calls = []
+
+    def probe(candidate):
+        calls.append(1)
+        return _needs_pair(candidate)
+
+    result = shrink_schedule(spec, probe, max_attempts=5)
+    # Initial probe + at most max_attempts candidates.
+    assert len(calls) <= 6
+    assert result.attempts <= 5
+
+
+def test_repro_command_round_trips():
+    spec = _big_spec(fault_count=3)
+    command = repro_command(spec)
+    assert command.startswith("repro chaos --seed 1 --repro '")
+    payload = command.split("--repro '", 1)[1].rstrip("'")
+    assert ScenarioSpec.from_json(payload) == spec
+
+
+def test_shrunk_spec_still_fails_probe():
+    spec = _big_spec()
+    result = shrink_schedule(spec, _needs_pair)
+    assert _needs_pair(result.spec) is not None

@@ -251,6 +251,80 @@ class TestTelemetryCommands:
         assert payload["samples"]
 
 
+class TestChaosCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.seed == 42
+        assert args.runs == 25
+        assert args.max_shrink == 200
+        assert args.jsonl is None
+        assert args.repro is None
+
+    def test_sweep_writes_deterministic_jsonl(self, tmp_path, capsys):
+        first = tmp_path / "a.jsonl"
+        second = tmp_path / "b.jsonl"
+        assert main(
+            ["chaos", "--seed", "42", "--runs", "2",
+             "--jsonl", str(first)]
+        ) == 0
+        assert main(
+            ["chaos", "--seed", "42", "--runs", "2",
+             "--jsonl", str(second)]
+        ) == 0
+        assert first.read_text() == second.read_text()
+        records = [
+            json.loads(line)
+            for line in first.read_text().splitlines()
+        ]
+        assert len(records) == 2
+        for record in records:
+            assert record["kind"] == "chaos-scenario"
+            assert record["verdict"] == "ok"
+            assert not any(record["violations"].values())
+
+    def test_repro_replays_one_scenario(self, capsys):
+        from repro.chaos import generate_scenario
+
+        spec = generate_scenario(42, 1)
+        code = main(
+            ["chaos", "--seed", "42", "--repro", spec.canonical_json()]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 scenario(s), 0 with invariant violations" in out
+
+    def test_checker_subset_flag(self, capsys):
+        code = main(
+            ["chaos", "--seed", "42", "--runs", "1",
+             "--checkers", "no-down-dispatch"]
+        )
+        assert code == 0
+
+    def test_failure_is_shrunk_and_exit_is_nonzero(self, capsys):
+        """A violated invariant turns into a minimal repro command."""
+        from repro.chaos.checkers import _REGISTRY, register_checker
+
+        @register_checker("planted-outage-intolerance")
+        def planted(run):
+            if any(f.kind == "outage" for f in run.spec.faults):
+                return ["planted: an outage exists"]
+            return []
+
+        try:
+            code = main(
+                ["chaos", "--seed", "42", "--runs", "1",
+                 "--checkers", "planted-outage-intolerance",
+                 "--max-shrink", "10"]
+            )
+        finally:
+            del _REGISTRY["planted-outage-intolerance"]
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "[FAIL] scenario 0" in out
+        assert "shrunk to 1 fault(s)" in out
+        assert "reproduce: repro chaos --seed 42 --repro '" in out
+
+
 class TestExperimentRunners:
     def test_figure9_runner_structure(self, sample_databases):
         result = run_figure9(scale=TEST_SCALE, databases=sample_databases)

@@ -10,9 +10,13 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.fed import FederationError, QueryStatus
 from repro.harness import build_federation
-from repro.sim import OutageSchedule, ServerUnavailable
+from repro.sim import (
+    OutageSchedule,
+    ServerUnavailable,
+    WindowedErrorInjector,
+)
 from repro.sqlengine import rows_close_unordered
-from repro.workload import QT3, TEST_SCALE
+from repro.workload import QT1, QT3, TEST_SCALE
 
 
 @st.composite
@@ -81,3 +85,88 @@ class TestFailureInjection:
         for record in patroller.completed():
             assert record.response_time_ms is not None
             assert record.response_time_ms >= 0
+
+
+class TestMidQueryFaults:
+    """Faults landing *between* compile and dispatch within one submit.
+
+    The integrator compiles at ``t0`` and dispatches at ``t0 +
+    compile_overhead_ms``; a fault window opening inside that gap is
+    invisible to the router's compile-time availability view and must be
+    absorbed by the retry loop, not crash the query.
+    """
+
+    def test_outage_between_compile_and_dispatch_is_retried(
+        self, sample_databases
+    ):
+        # Every server goes down 1ms after submit-time compile, and
+        # comes back before the first retry (failure_penalty_ms=250):
+        # whichever server the router picked, the dispatch at t0+2 hits
+        # a down server, the retry recompiles and completes.
+        availability = {
+            name: OutageSchedule([(1.0, 200.0)])
+            for name in ("S1", "S2", "S3")
+        }
+        deployment = build_federation(
+            scale=TEST_SCALE,
+            prebuilt_databases=sample_databases,
+            availability=availability,
+        )
+        instance = QT1.instance(0)
+        reference = sample_databases["S1"].run(instance.sql).rows
+
+        result = deployment.integrator.submit(instance.sql, label="QT1")
+
+        assert result.retries >= 1
+        assert rows_close_unordered(result.rows, reference)
+        # The retry's failure penalty is part of the observed response.
+        assert result.response_ms >= deployment.integrator.failure_penalty_ms
+
+    def test_flaky_retry_executes_at_advanced_timestamp(
+        self, sample_databases
+    ):
+        """Regression: retries must re-dispatch at ``t0 + elapsed``.
+
+        Every server hard-fails during [1, 100)ms — after the QCC's
+        t=0 bootstrap probe, so all servers start reachable.  The first
+        dispatch (t=2ms) lands in the window; the retry carries the
+        250ms failure penalty, so it re-executes at ~252ms — outside
+        the window — and succeeds.  A retry loop reusing the stale
+        submit timestamp would dispatch back inside the window every
+        time and exhaust all retries into a FederationError.
+        """
+        deployment = build_federation(
+            scale=TEST_SCALE, prebuilt_databases=sample_databases
+        )
+        for name, server in deployment.servers.items():
+            server.errors = WindowedErrorInjector(
+                [(1.0, 100.0, 1.0)], seed=11, name=name
+            )
+        instance = QT1.instance(1)
+        reference = sample_databases["S1"].run(instance.sql).rows
+
+        result = deployment.integrator.submit(instance.sql, label="QT1")
+
+        assert result.retries >= 1
+        assert rows_close_unordered(result.rows, reference)
+
+    def test_unrelenting_outage_fails_cleanly(self, sample_databases):
+        """When no retry can escape the fault, failure is clean."""
+        availability = {
+            name: OutageSchedule([(1.0, 1e9)])
+            for name in ("S1", "S2", "S3")
+        }
+        deployment = build_federation(
+            scale=TEST_SCALE,
+            prebuilt_databases=sample_databases,
+            availability=availability,
+        )
+        instance = QT1.instance(2)
+        try:
+            deployment.integrator.submit(instance.sql, label="QT1")
+        except (FederationError, ServerUnavailable):
+            pass
+        else:
+            raise AssertionError("expected the query to fail")
+        patroller = deployment.integrator.patroller
+        assert patroller.failure_count() == 1

@@ -1,0 +1,62 @@
+"""The AST guard against implicit global-random use in the simulator."""
+
+import pytest
+
+from repro.chaos import (
+    DeterminismError,
+    forbid_global_random,
+    global_random_uses,
+)
+
+
+def test_sim_package_is_clean():
+    # The shipped simulator must never consume global random state;
+    # the chaos CLI refuses to run otherwise.
+    forbid_global_random()
+
+
+def test_flags_module_level_random_calls(tmp_path):
+    offender = tmp_path / "offender.py"
+    offender.write_text(
+        "import random\n"
+        "def jitter():\n"
+        "    return random.random() * random.uniform(0, 5)\n"
+        "def pick(items):\n"
+        "    random.shuffle(items)\n"
+        "    return random.choice(items)\n"
+    )
+    uses = global_random_uses(tmp_path)
+    attrs = [use.rsplit("random.", 1)[1] for use in uses]
+    assert sorted(attrs) == ["choice", "random", "shuffle", "uniform"]
+    with pytest.raises(DeterminismError) as excinfo:
+        forbid_global_random(tmp_path)
+    assert "offender.py:3" in str(excinfo.value)
+    assert "derive_rng" in str(excinfo.value)
+
+
+def test_seeded_instances_are_allowed(tmp_path):
+    clean = tmp_path / "clean.py"
+    clean.write_text(
+        "import random\n"
+        "def make(seed):\n"
+        "    rng = random.Random(seed)\n"
+        "    return rng.random()\n"
+    )
+    assert global_random_uses(tmp_path) == []
+    forbid_global_random(tmp_path)
+
+
+def test_bare_references_without_call_are_flagged(tmp_path):
+    sneaky = tmp_path / "sneaky.py"
+    sneaky.write_text(
+        "import random\n"
+        "draw = random.random\n"
+    )
+    uses = global_random_uses(tmp_path)
+    assert len(uses) == 1 and uses[0].endswith("random.random")
+
+
+def test_scans_single_file(tmp_path):
+    target = tmp_path / "one.py"
+    target.write_text("import random\nx = random.randint(0, 5)\n")
+    assert len(global_random_uses(target)) == 1

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.sim import AlwaysUp, ErrorInjector, OutageSchedule, ServerUnavailable
+from repro.sim import (
+    AlwaysUp,
+    ErrorInjector,
+    OutageSchedule,
+    ServerUnavailable,
+    WindowedErrorInjector,
+)
 
 
 class TestAlwaysUp:
@@ -33,6 +39,41 @@ class TestOutageSchedule:
         schedule = OutageSchedule([(300.0, 400.0), (100.0, 200.0)])
         assert schedule.outages == [(100.0, 200.0), (300.0, 400.0)]
 
+    def test_boundary_instants(self):
+        """[start, end): down exactly at t==start, up exactly at t==end."""
+        schedule = OutageSchedule([(100.0, 200.0), (500.0, 600.0)])
+        for start, end in ((100.0, 200.0), (500.0, 600.0)):
+            assert not schedule.is_up(start)
+            assert schedule.is_up(end)
+            # Just inside/outside the half-open interval.
+            assert not schedule.is_up(end - 1e-9)
+            assert schedule.is_up(start - 1e-9)
+
+    def test_overlapping_intervals_merged(self):
+        schedule = OutageSchedule(
+            [(100.0, 300.0), (200.0, 400.0), (400.0, 500.0)]
+        )
+        # Overlap and touching intervals collapse to one [100, 500).
+        assert schedule.outages == [(100.0, 500.0)]
+        assert not schedule.is_up(350.0)
+        assert not schedule.is_up(400.0)
+        assert schedule.is_up(500.0)
+
+    def test_contained_interval_merged(self):
+        schedule = OutageSchedule([(100.0, 400.0), (150.0, 200.0)])
+        assert schedule.outages == [(100.0, 400.0)]
+        assert not schedule.is_up(399.9)
+
+    def test_many_intervals_bisect_agrees_with_scan(self):
+        intervals = [(float(i * 100), float(i * 100 + 50)) for i in range(50)]
+        schedule = OutageSchedule(intervals)
+
+        def linear_is_up(t):
+            return not any(s <= t < e for s, e in intervals)
+
+        for t in [x * 12.5 for x in range(0, 400)]:
+            assert schedule.is_up(t) == linear_is_up(t), t
+
 
 class TestErrorInjector:
     def test_zero_rate_never_fails(self):
@@ -59,6 +100,55 @@ class TestErrorInjector:
 def _seq(seed, name, n=50):
     injector = ErrorInjector(0.5, seed=seed, name=name)
     return [injector.should_fail() for _ in range(n)]
+
+
+class TestWindowedErrorInjector:
+    def test_fails_only_inside_windows(self):
+        injector = WindowedErrorInjector(
+            [(100.0, 200.0, 1.0)], seed=3, name="s"
+        )
+        assert not any(injector.should_fail(t) for t in (0.0, 99.9, 200.0))
+        assert injector.should_fail(100.0)
+        assert injector.should_fail(199.9)
+
+    def test_rate_respected_in_window(self):
+        injector = WindowedErrorInjector(
+            [(0.0, 1e9, 0.3)], seed=5, name="s"
+        )
+        failures = sum(injector.should_fail(float(t)) for t in range(2000))
+        assert 0.25 < failures / 2000 < 0.35
+
+    def test_no_rng_consumed_outside_windows(self):
+        """Out-of-window probes must not advance the RNG stream.
+
+        The chaos oracle rerun shares nothing with the primary run, but
+        within one run the same injector serves many probes; draws
+        outside fault windows would make in-window outcomes depend on
+        how many fault-free calls preceded them.
+        """
+        a = WindowedErrorInjector([(100.0, 200.0, 0.5)], seed=9, name="s")
+        b = WindowedErrorInjector([(100.0, 200.0, 0.5)], seed=9, name="s")
+        # a absorbs many out-of-window probes first; b does not.
+        for t in range(90):
+            a.should_fail(float(t))
+        seq_a = [a.should_fail(100.0 + t) for t in range(50)]
+        seq_b = [b.should_fail(100.0 + t) for t in range(50)]
+        assert seq_a == seq_b
+
+    def test_rate_at(self):
+        injector = WindowedErrorInjector(
+            [(100.0, 200.0, 0.4), (300.0, 400.0, 0.8)], seed=1, name="s"
+        )
+        assert injector.rate_at(50.0) == 0.0
+        assert injector.rate_at(150.0) == 0.4
+        assert injector.rate_at(350.0) == 0.8
+        assert injector.rate_at(200.0) == 0.0
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            WindowedErrorInjector([(200.0, 100.0, 0.5)])
+        with pytest.raises(ValueError):
+            WindowedErrorInjector([(100.0, 200.0, 1.5)])
 
 
 class TestServerUnavailable:
