@@ -1,0 +1,188 @@
+"""Sustained load against the concurrent runtime: saturation + overload.
+
+Two stages, all on virtual time and fully seeded:
+
+1. A rate sweep measures the federation's saturation throughput — the
+   plateau of completed-queries-per-virtual-second as the offered
+   Poisson rate climbs past what the server queues can drain.
+2. A long Poisson run offers 2x that measured saturation.  Admission
+   control must hold the line: the lowest-priority class (the only one
+   with a finite latency budget and token rate) absorbs every shed,
+   no shed fires while its class still had headroom, nothing errors,
+   and sustained throughput stays within sight of saturation.
+
+The overload run executes twice and its verdict JSONL must be
+byte-identical — the load generator is a pure function of its seed.
+CI uploads the summary as ``bench-load.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.fed.admission import PriorityClass
+from repro.harness import DEFAULT_SERVER_SPECS, ascii_table, build_databases
+from repro.harness.loadgen import run_loadgen
+from repro.workload import TEST_SCALE
+
+#: Offered Poisson rates for the saturation sweep (queries/s, virtual).
+SWEEP_RATES = (25.0, 50.0, 100.0, 200.0)
+SWEEP_DURATION_MS = 1_500.0
+
+#: Queries in the overload run; CI can shrink via the environment.
+OVERLOAD_QUERIES = int(os.environ.get("REPRO_BENCH_LOAD_QUERIES", "1000"))
+SEED = 11
+
+#: Optional path for a standalone JSON artifact of the results.
+ARTIFACT = os.environ.get("REPRO_BENCH_LOAD_JSON", "")
+
+#: Priority mix for the bench.  The sheddable class carries the majority
+#: of the traffic, so at 2x saturation dropping it brings the admitted
+#: residual back under capacity and the backlog self-regulates around
+#: the batch latency budget instead of growing without bound.
+BENCH_CLASSES = (
+    PriorityClass("gold", rank=0, weight=0.12),
+    PriorityClass("silver", rank=1, weight=0.18),
+    PriorityClass("batch", rank=2, weight=0.7, budget_ms=800.0),
+)
+
+#: Regression tripwires for the overload run (virtual ms).  Generous —
+#: they catch a queueing-model or admission regression blowing latency
+#: up by an order of magnitude, not small drift.
+P95_BOUND_MS = 4_000.0
+P99_BOUND_MS = 6_000.0
+#: Overload must still sustain at least this fraction of saturation.
+SUSTAIN_FRACTION = 0.5
+
+
+def _loadgen_databases():
+    return build_databases(DEFAULT_SERVER_SPECS, TEST_SCALE, seed=7)
+
+
+def _sweep(databases):
+    curve = {}
+    for rate in SWEEP_RATES:
+        result = run_loadgen(
+            arrival="poisson",
+            rate_qps=rate,
+            duration_ms=SWEEP_DURATION_MS,
+            classes=BENCH_CLASSES,
+            seed=SEED,
+            scale=TEST_SCALE,
+            prebuilt_databases=databases,
+        )
+        curve[rate] = result
+    return curve
+
+
+def _overload(databases, rate_qps):
+    # Submission window sized so the query cap is what ends the run.
+    duration_ms = 2_000.0 * OVERLOAD_QUERIES / rate_qps * 1_000.0
+    return run_loadgen(
+        arrival="poisson",
+        rate_qps=rate_qps,
+        duration_ms=duration_ms,
+        classes=BENCH_CLASSES,
+        seed=SEED,
+        scale=TEST_SCALE,
+        prebuilt_databases=databases,
+        max_queries=OVERLOAD_QUERIES,
+    )
+
+
+def test_sustained_load_and_overload_shedding(benchmark):
+    databases = _loadgen_databases()
+    wall_start = time.perf_counter()
+
+    def _measure():
+        curve = _sweep(databases)
+        saturation_qps = max(r.sustained_qps for r in curve.values())
+        overload_rate = 2.0 * saturation_qps
+        first = _overload(databases, overload_rate)
+        second = _overload(databases, overload_rate)
+        return curve, saturation_qps, first, second
+
+    curve, saturation_qps, first, second = benchmark.pedantic(
+        _measure, rounds=1, iterations=1
+    )
+    wall_s = time.perf_counter() - wall_start
+    executed = (
+        sum(len(r.completed) for r in curve.values())
+        + len(first.completed)
+        + len(second.completed)
+    )
+    real_qps = executed / wall_s if wall_s > 0 else float("inf")
+
+    print("\n=== Saturation sweep (open-loop Poisson, virtual time) ===")
+    rows = [
+        [
+            f"{rate:.0f} q/s",
+            r.offered,
+            len(r.completed),
+            len(r.sheds),
+            f"{r.sustained_qps:.1f}",
+        ]
+        for rate, r in curve.items()
+    ]
+    print(
+        ascii_table(
+            ["Offered", "Arrived", "Done", "Shed", "Sustained q/s"], rows
+        )
+    )
+    print(
+        f"measured saturation: {saturation_qps:.1f} q/s; overload run at "
+        f"{2 * saturation_qps:.1f} q/s ({OVERLOAD_QUERIES} queries)"
+    )
+    print(first.render())
+    print(
+        f"wall clock: {wall_s:.2f} s for {executed} completed queries "
+        f"({real_qps:.1f} q/s real time)"
+    )
+
+    stats = first.response_stats()
+    benchmark.extra_info["saturation_qps"] = saturation_qps
+    benchmark.extra_info["overload_sustained_qps"] = first.sustained_qps
+    benchmark.extra_info["overload_p95_ms"] = stats.p95
+    benchmark.extra_info["overload_p99_ms"] = stats.p99
+    benchmark.extra_info["overload_shed"] = len(first.sheds)
+    benchmark.extra_info["wall_s"] = wall_s
+    benchmark.extra_info["real_qps"] = real_qps
+
+    if ARTIFACT:
+        artifact = {
+            "sweep": {
+                str(rate): r.summary() for rate, r in curve.items()
+            },
+            "saturation_qps": saturation_qps,
+            "overload": first.summary(),
+            "wall_s": wall_s,
+            "real_qps": real_qps,
+        }
+        with open(ARTIFACT, "w") as handle:
+            json.dump(artifact, handle, indent=2)
+        print(f"artifact written to {ARTIFACT}")
+
+    # The generator is a pure function of its seed: the two overload
+    # invocations must serialise byte-for-byte identically.
+    assert first.verdict_lines() == second.verdict_lines()
+
+    # Overload degraded gracefully: nothing errored, every shed is
+    # backed by a genuine out-of-headroom admission decision, and only
+    # the lowest-priority class was sacrificed.
+    assert not first.failures
+    assert first.shed_violations() == []
+    lowest = max(first.classes, key=lambda spec: spec.rank)
+    by_class = first.sheds_by_class()
+    assert len(first.sheds) > 0, "2x saturation should force sheds"
+    for spec in first.classes:
+        if spec.name != lowest.name:
+            assert by_class[spec.name] == 0, (
+                f"sheds leaked into class {spec.name}: {by_class}"
+            )
+
+    # Throughput and tail-latency tripwires.
+    assert first.sustained_qps >= SUSTAIN_FRACTION * saturation_qps
+    assert stats.p95 <= P95_BOUND_MS
+    assert stats.p99 <= P99_BOUND_MS

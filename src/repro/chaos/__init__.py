@@ -34,6 +34,8 @@ from .runner import (
     run_scenario,
 )
 from .scenario import (
+    ARRIVAL_PROCESSES,
+    ArrivalSpec,
     FAULT_KINDS,
     FaultEvent,
     QuerySpec,
@@ -45,6 +47,8 @@ from .scenario import (
 from .shrink import FailureProbe, ShrinkResult, repro_command, shrink_schedule
 
 __all__ = [
+    "ARRIVAL_PROCESSES",
+    "ArrivalSpec",
     "CacheLookupRecord",
     "CheckerFn",
     "DeterminismError",

@@ -29,6 +29,13 @@ Bundled invariants:
     the vector engine's behaviour bit-for-bit: same per-query status,
     rows, retries, chosen servers, and (WorkMeter-derived) response and
     per-fragment times.
+``shed-only-over-budget``
+    Admission control only sheds a query when its class genuinely lacked
+    headroom at decision time — the token bucket was empty or the
+    backlog-predicted sojourn exceeded the class latency budget.  A shed
+    issued while both axes had headroom is overload protection firing
+    without overload, and every shed outcome must be backed by a
+    recorded admission decision.
 """
 
 from __future__ import annotations
@@ -36,6 +43,7 @@ from __future__ import annotations
 import math
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
+from ..fed.admission import shed_violations
 from ..sqlengine import rows_close_unordered
 from .runner import QueryOutcome, ScenarioRun
 
@@ -102,15 +110,20 @@ def check_oracle_equivalence(run: ScenarioRun) -> List[str]:
                 f"query #{outcome.index} has no oracle counterpart"
             )
             continue
-        if reference.status != "ok":
+        if reference.status == "failed":
             problems.append(
                 f"oracle (fault-free) run failed on query #{outcome.index} "
                 f"({outcome.query_type}): {reference.error}"
             )
             continue
         if outcome.status != "ok":
-            # Failing under faults is legitimate degradation, not a
-            # correctness violation.
+            # Failing (or being shed) under faults is legitimate
+            # degradation, not a correctness violation.
+            continue
+        if reference.status == "shed":
+            # The oracle's own admission controller shed this query —
+            # pure-concurrency overload, legal even without faults.
+            # There are no oracle rows to compare against.
             continue
         if not rows_close_unordered(outcome.rows, reference.rows):
             problems.append(
@@ -203,6 +216,22 @@ def _engine_mismatch(
         ):
             return f"fragment {fragment_id} observed time diverged"
     return None
+
+
+@register_checker("shed-only-over-budget")
+def check_shed_only_over_budget(run: ScenarioRun) -> List[str]:
+    problems = shed_violations(run.admission_decisions)
+    shed_outcomes = sum(1 for o in run.outcomes if o.status == "shed")
+    shed_decisions = sum(
+        1 for d in run.admission_decisions if not d.admitted
+    )
+    if shed_outcomes > shed_decisions:
+        problems.append(
+            f"{shed_outcomes} queries were shed but only "
+            f"{shed_decisions} rejecting admission decisions were "
+            "recorded — a shed without evidence"
+        )
+    return problems
 
 
 @register_checker("engine-equivalence")

@@ -88,14 +88,21 @@ def global_random_uses(root: Union[str, Path]) -> List[str]:
 def forbid_global_random(root: Optional[Union[str, Path]] = None) -> None:
     """Error out if the target package touches global ``random`` state.
 
-    Defaults to ``src/repro/sim`` — the simulation substrate every chaos
-    scenario is built from.
+    Defaults to scanning both ``src/repro/sim`` (the simulation
+    substrate, event scheduler included) and ``src/repro/fed`` (the
+    federation layer: admission control's arrival generators consume
+    randomness too) — every package a chaos scenario executes stochastic
+    code from.
     """
     if root is None:
-        from .. import sim
+        from .. import fed, sim
 
-        root = Path(sim.__file__).parent
-    uses = global_random_uses(root)
+        roots = [Path(sim.__file__).parent, Path(fed.__file__).parent]
+    else:
+        roots = [Path(root)]
+    uses: List[str] = []
+    for package_root in roots:
+        uses.extend(global_random_uses(package_root))
     if uses:
         raise DeterminismError(
             "implicit global random use breaks seed-reproducibility:\n  "

@@ -28,6 +28,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..fed import FederationError
+from ..fed.admission import AdmissionDecision, PriorityClass
+from ..fed.concurrent import ConcurrentRuntime
 from ..fed.replication import ReplicaManager
 from ..harness.deployment import (
     DEFAULT_SERVER_SPECS,
@@ -63,6 +65,22 @@ REPLICA_ORIGINS: Dict[str, str] = {
     "supplier": "S2",
 }
 
+#: Priority classes concurrent chaos scenarios run under.  ``gold`` is
+#: never shed; ``bronze`` has a tight budget and a small token bucket so
+#: overload actually exercises the shed path.  Names must match
+#: ``repro.chaos.scenario.CHAOS_CLASS_NAMES``.
+CHAOS_CLASSES = (
+    PriorityClass("gold", rank=0, weight=0.5),
+    PriorityClass(
+        "bronze",
+        rank=1,
+        weight=0.5,
+        budget_ms=2_000.0,
+        rate_qps=40.0,
+        burst=8.0,
+    ),
+)
+
 
 @dataclass
 class QueryOutcome:
@@ -72,7 +90,7 @@ class QueryOutcome:
     query_type: str
     sql: str
     submitted_ms: float
-    status: str  # "ok" | "failed"
+    status: str  # "ok" | "failed" | "shed"
     rows: List[tuple] = field(default_factory=list)
     response_ms: Optional[float] = None
     retries: int = 0
@@ -81,6 +99,8 @@ class QueryOutcome:
     #: row and vector engines must agree bit-for-bit)
     fragment_ms: Dict[str, float] = field(default_factory=dict)
     error: Optional[str] = None
+    #: Admission priority class (concurrent scenarios only).
+    klass: str = ""
 
 
 @dataclass(frozen=True)
@@ -120,6 +140,11 @@ class ScenarioRun:
     oracle: Optional[List[QueryOutcome]] = None
     #: The row-engine rerun's outcomes (None when skipped).
     row_engine: Optional[List[QueryOutcome]] = None
+    #: Every admit/shed verdict the primary pass's admission controller
+    #: issued (concurrent scenarios; empty for sequential).
+    admission_decisions: List[AdmissionDecision] = field(
+        default_factory=list
+    )
 
     @property
     def completed(self) -> int:
@@ -128,6 +153,10 @@ class ScenarioRun:
     @property
     def failed(self) -> int:
         return sum(1 for o in self.outcomes if o.status == "failed")
+
+    @property
+    def shed(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "shed")
 
 
 # -- database cache ----------------------------------------------------------
@@ -247,14 +276,16 @@ def _record_dispatches(
     qcc = deployment.qcc
     original = meta_wrapper.execute_option
 
-    def recording(option, t_ms, allow_substitution=True):
+    def recording(option, t_ms, allow_substitution=True, **kwargs):
         down = (
             tuple(qcc.availability.down_servers())
             if qcc is not None
             else ()
         )
         try:
-            used, execution = original(option, t_ms, allow_substitution)
+            used, execution = original(
+                option, t_ms, allow_substitution, **kwargs
+            )
         except ServerUnavailable as exc:
             records.append(DispatchRecord(t_ms, exc.server, down))
             raise
@@ -285,6 +316,97 @@ def _record_cache_lookups(
 
 
 # -- execution ---------------------------------------------------------------
+
+
+def _drive_concurrent(
+    spec: ScenarioSpec,
+    integrator,
+    manager: Optional[ReplicaManager],
+    with_faults: bool,
+    lag_events: List,
+    run: Optional[ScenarioRun],
+) -> List[QueryOutcome]:
+    """Open-loop pass: overlap the workload on the event scheduler.
+
+    Gap values are interarrival times (cumulative arrival instants), not
+    think times; every query carries a priority class, and admission may
+    shed it.  Replica-lag writes are scheduled at their event times —
+    registered before the query processes so equal-time ties resolve
+    write-before-submit, matching the sequential drive's ordering.
+    """
+    runtime = ConcurrentRuntime(integrator, classes=CHAOS_CLASSES)
+    if manager is not None and with_faults:
+        for event in lag_events:
+            runtime.scheduler.call_at(
+                event.start_ms, manager.note_write, event.table,
+                event.start_ms,
+            )
+
+    handles = []
+    t_arrive = runtime.scheduler.now
+    for query in spec.queries:
+        t_arrive += query.gap_ms
+        handles.append(
+            runtime.submit_at(
+                t_arrive,
+                query.sql(DATA_SEED),
+                klass=query.klass or CHAOS_CLASSES[0].name,
+                label=query.query_type,
+                staleness_tolerance_ms=spec.staleness_tolerance_ms,
+            )
+        )
+    runtime.run()
+
+    if run is not None:
+        run.admission_decisions = list(runtime.admission.decisions)
+
+    outcomes: List[QueryOutcome] = []
+    for index, (query, handle) in enumerate(zip(spec.queries, handles)):
+        if handle.result is not None:
+            result = handle.result
+            outcomes.append(
+                QueryOutcome(
+                    index=index,
+                    query_type=query.query_type,
+                    sql=handle.sql,
+                    submitted_ms=handle.submitted_ms,
+                    status="ok",
+                    rows=list(result.rows),
+                    response_ms=result.response_ms,
+                    retries=result.retries,
+                    servers=tuple(sorted(result.plan.servers)),
+                    fragment_ms={
+                        fragment_id: outcome.execution.observed_ms
+                        for fragment_id, outcome in result.fragments.items()
+                    },
+                    klass=handle.klass,
+                )
+            )
+        elif handle.shed is not None:
+            outcomes.append(
+                QueryOutcome(
+                    index=index,
+                    query_type=query.query_type,
+                    sql=handle.sql,
+                    submitted_ms=handle.submitted_ms,
+                    status="shed",
+                    error=handle.shed.reason,
+                    klass=handle.klass,
+                )
+            )
+        else:
+            outcomes.append(
+                QueryOutcome(
+                    index=index,
+                    query_type=query.query_type,
+                    sql=handle.sql,
+                    submitted_ms=handle.submitted_ms,
+                    status="failed",
+                    error=str(handle.error),
+                    klass=handle.klass,
+                )
+            )
+    return outcomes
 
 
 def _execute(
@@ -325,53 +447,60 @@ def _execute(
     clock = deployment.clock
     integrator = deployment.integrator
     try:
-        for index, query in enumerate(spec.queries):
-            clock.advance(query.gap_ms)
-            if manager is not None and with_faults:
-                while (
-                    applied < len(lag_events)
-                    and lag_events[applied].start_ms <= clock.now
-                ):
-                    event = lag_events[applied]
-                    manager.note_write(event.table, event.start_ms)
-                    applied += 1
-            sql = query.sql(DATA_SEED)
-            submitted = clock.now
-            try:
-                result = integrator.submit(
-                    sql,
-                    label=query.query_type,
-                    staleness_tolerance_ms=spec.staleness_tolerance_ms,
-                )
-            except (FederationError, ServerUnavailable) as exc:
+        if spec.arrival is not None:
+            outcomes = _drive_concurrent(
+                spec, integrator, manager, with_faults, lag_events, run
+            )
+        else:
+            for index, query in enumerate(spec.queries):
+                clock.advance(query.gap_ms)
+                if manager is not None and with_faults:
+                    while (
+                        applied < len(lag_events)
+                        and lag_events[applied].start_ms <= clock.now
+                    ):
+                        event = lag_events[applied]
+                        manager.note_write(event.table, event.start_ms)
+                        applied += 1
+                sql = query.sql(DATA_SEED)
+                submitted = clock.now
+                try:
+                    result = integrator.submit(
+                        sql,
+                        label=query.query_type,
+                        staleness_tolerance_ms=spec.staleness_tolerance_ms,
+                    )
+                except (FederationError, ServerUnavailable) as exc:
+                    outcomes.append(
+                        QueryOutcome(
+                            index=index,
+                            query_type=query.query_type,
+                            sql=sql,
+                            submitted_ms=submitted,
+                            status="failed",
+                            error=str(exc),
+                        )
+                    )
+                    continue
                 outcomes.append(
                     QueryOutcome(
                         index=index,
                         query_type=query.query_type,
                         sql=sql,
                         submitted_ms=submitted,
-                        status="failed",
-                        error=str(exc),
+                        status="ok",
+                        rows=list(result.rows),
+                        response_ms=result.response_ms,
+                        retries=result.retries,
+                        servers=tuple(sorted(result.plan.servers)),
+                        fragment_ms={
+                            fragment_id: outcome.execution.observed_ms
+                            for fragment_id, outcome in (
+                                result.fragments.items()
+                            )
+                        },
                     )
                 )
-                continue
-            outcomes.append(
-                QueryOutcome(
-                    index=index,
-                    query_type=query.query_type,
-                    sql=sql,
-                    submitted_ms=submitted,
-                    status="ok",
-                    rows=list(result.rows),
-                    response_ms=result.response_ms,
-                    retries=result.retries,
-                    servers=tuple(sorted(result.plan.servers)),
-                    fragment_ms={
-                        fragment_id: outcome.execution.observed_ms
-                        for fragment_id, outcome in result.fragments.items()
-                    },
-                )
-            )
 
         if run is not None and deployment.qcc is not None:
             qcc = deployment.qcc

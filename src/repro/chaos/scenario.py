@@ -59,12 +59,20 @@ DEFAULT_HORIZON_MS = 4_000.0
 
 @dataclass(frozen=True)
 class QuerySpec:
-    """One workload step: advance the clock, then submit one instance."""
+    """One workload step: advance the clock, then submit one instance.
+
+    Under a sequential scenario ``gap_ms`` is the closed-loop think time
+    before submission; under a concurrent scenario (``arrival`` set on
+    the spec) it is the open-loop interarrival gap, and ``klass`` names
+    the query's admission priority class.
+    """
 
     query_type: str
     instance_id: int
     #: Virtual-time gap before this query is submitted.
     gap_ms: float
+    #: Admission priority class ("" = scenario is sequential).
+    klass: str = ""
 
     def sql(self, seed: int = 7) -> str:
         return template_by_name(self.query_type).instance(
@@ -76,6 +84,7 @@ class QuerySpec:
             "query_type": self.query_type,
             "instance_id": self.instance_id,
             "gap_ms": self.gap_ms,
+            "klass": self.klass,
         }
 
     @classmethod
@@ -84,6 +93,46 @@ class QuerySpec:
             query_type=str(data["query_type"]),
             instance_id=int(data["instance_id"]),
             gap_ms=float(data["gap_ms"]),
+            klass=str(data.get("klass", "")),
+        )
+
+
+#: Arrival processes a concurrent scenario may sample.
+ARRIVAL_PROCESSES = ("poisson", "bursty")
+
+#: Priority classes concurrent chaos queries are drawn from (must match
+#: ``repro.chaos.runner.CHAOS_CLASSES``).
+CHAOS_CLASS_NAMES = ("gold", "bronze")
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """Open-loop arrival process of a concurrent scenario.
+
+    ``None`` on a :class:`ScenarioSpec` means the legacy closed-loop
+    sequential drive (one query at a time, think-time gaps).
+    """
+
+    process: str  # "poisson" | "bursty"
+    rate_qps: float
+
+    def __post_init__(self) -> None:
+        if self.process not in ARRIVAL_PROCESSES:
+            raise ValueError(f"unknown arrival process {self.process!r}")
+        if self.rate_qps <= 0:
+            raise ValueError(f"non-positive arrival rate {self.rate_qps}")
+
+    def describe(self) -> str:
+        return f"{self.process}@{self.rate_qps:g}qps"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"process": self.process, "rate_qps": self.rate_qps}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ArrivalSpec":
+        return cls(
+            process=str(data["process"]),
+            rate_qps=float(data["rate_qps"]),
         )
 
 
@@ -159,6 +208,8 @@ class ScenarioSpec:
     #: Replica-currency tolerance queries are submitted with (replica
     #: topology only); None = no currency filtering.
     staleness_tolerance_ms: Optional[float] = None
+    #: Open-loop arrival process; None = sequential closed-loop drive.
+    arrival: Optional[ArrivalSpec] = None
 
     def __post_init__(self) -> None:
         if self.topology not in TOPOLOGY_SERVERS:
@@ -184,9 +235,14 @@ class ScenarioSpec:
             f"{q.query_type}#{q.instance_id}" for q in self.queries
         )
         faults = "; ".join(f.describe() for f in self.faults) or "none"
+        arrival = (
+            self.arrival.describe() if self.arrival is not None
+            else "sequential"
+        )
         return (
             f"scenario seed={self.seed} index={self.index} "
-            f"topology={self.topology} queries=[{mix}] faults=[{faults}]"
+            f"topology={self.topology} arrival={arrival} "
+            f"queries=[{mix}] faults=[{faults}]"
         )
 
     def to_dict(self) -> Dict[str, object]:
@@ -197,11 +253,15 @@ class ScenarioSpec:
             "queries": [q.to_dict() for q in self.queries],
             "faults": [f.to_dict() for f in self.faults],
             "staleness_tolerance_ms": self.staleness_tolerance_ms,
+            "arrival": (
+                None if self.arrival is None else self.arrival.to_dict()
+            ),
         }
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ScenarioSpec":
         tolerance = data.get("staleness_tolerance_ms")
+        arrival = data.get("arrival")
         return cls(
             seed=int(data["seed"]),
             index=int(data["index"]),
@@ -214,6 +274,9 @@ class ScenarioSpec:
             ),
             staleness_tolerance_ms=(
                 None if tolerance is None else float(tolerance)
+            ),
+            arrival=(
+                None if arrival is None else ArrivalSpec.from_dict(arrival)
             ),
         )
 
@@ -293,6 +356,27 @@ def generate_scenario(
         tolerance_rng = derive_rng(seed, "chaos", index, "tolerance")
         tolerance = tolerance_rng.choice((None, 500.0, 2_000.0))
 
+    # Concurrency dimension: a separate stream (existing components keep
+    # their bytes) decides whether this scenario drives queries open-loop
+    # through the event scheduler.  Concurrent scenarios resample gaps
+    # from the arrival process and tag each query with a priority class.
+    arrival: Optional[ArrivalSpec] = None
+    arrival_rng = derive_rng(seed, "chaos", index, "arrival")
+    if arrival_rng.random() < 0.4:
+        process = arrival_rng.choice(ARRIVAL_PROCESSES)
+        rate_qps = arrival_rng.choice((20.0, 40.0, 80.0))
+        arrival = ArrivalSpec(process=process, rate_qps=rate_qps)
+        queries = tuple(
+            replace(
+                query,
+                gap_ms=round(
+                    arrival_rng.expovariate(rate_qps / 1000.0), 2
+                ),
+                klass=arrival_rng.choice(CHAOS_CLASS_NAMES),
+            )
+            for query in queries
+        )
+
     return ScenarioSpec(
         seed=seed,
         index=index,
@@ -300,6 +384,7 @@ def generate_scenario(
         queries=queries,
         faults=faults,
         staleness_tolerance_ms=tolerance,
+        arrival=arrival,
     )
 
 

@@ -11,6 +11,7 @@
     python -m repro metrics --format prom    # Prometheus exposition text
     python -m repro timeline --csv out       # availability/calibration sweep
     python -m repro chaos --seed 42 --runs 25   # deterministic chaos sweep
+    python -m repro loadgen --arrival poisson --qps 60   # open-loop load
 
 Experiments accept ``--scale {test,bench,paper}`` (paper scale loads
 100k-row tables; expect minutes, not seconds).
@@ -298,6 +299,63 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="report failures without minimising their schedules",
     )
+    loadgen = sub.add_parser(
+        "loadgen",
+        help=(
+            "fire a seeded open-loop arrival stream at the concurrent "
+            "runtime and report per-class latency and shed accounting"
+        ),
+    )
+    loadgen.add_argument(
+        "--arrival",
+        choices=("poisson", "bursty"),
+        default="poisson",
+        help="arrival process (default: poisson)",
+    )
+    loadgen.add_argument(
+        "--qps", type=float, default=40.0, help="offered load, queries/s"
+    )
+    loadgen.add_argument(
+        "--duration",
+        type=float,
+        default=4_000.0,
+        metavar="MS",
+        help="submission window in virtual milliseconds",
+    )
+    loadgen.add_argument(
+        "--classes",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "priority classes as NAME=WEIGHT:BUDGET_MS:RATE_QPS[:BURST],"
+            "... (rank follows position; empty field = unlimited; "
+            "default: gold/silver/batch)"
+        ),
+    )
+    loadgen.add_argument(
+        "--seed", type=int, default=7, help="traffic seed"
+    )
+    loadgen.add_argument(
+        "--discipline",
+        choices=("ps", "fifo"),
+        default="ps",
+        help="server queue discipline (default: ps)",
+    )
+    loadgen.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="test",
+        help="workload scale (default: test)",
+    )
+    loadgen.add_argument(
+        "--jsonl",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write the run header and one verdict JSON line per query "
+            "to PATH (byte-deterministic for fixed parameters)"
+        ),
+    )
 
     # Experiments build their own federations internally; for them the
     # engine is selected process-wide via REPRO_ENGINE instead.
@@ -569,11 +627,16 @@ def _cmd_chaos(args) -> int:
         verdicts = run_checkers(run, names=checker_names)
         found = violations(verdicts)
         status = "FAIL" if found else "ok"
+        arrival = (
+            spec.arrival.describe() if spec.arrival is not None
+            else "sequential"
+        )
         print(
             f"[{status}] scenario {spec.index} seed={spec.seed} "
-            f"{spec.topology} queries={len(spec.queries)} "
+            f"{spec.topology} arrival={arrival} "
+            f"queries={len(spec.queries)} "
             f"faults={len(spec.faults)} completed={run.completed} "
-            f"failed={run.failed}"
+            f"failed={run.failed} shed={run.shed}"
         )
         if sink is not None:
             sink.emit(
@@ -582,10 +645,15 @@ def _cmd_chaos(args) -> int:
                     "seed": spec.seed,
                     "index": spec.index,
                     "topology": spec.topology,
+                    "arrival": (
+                        None if spec.arrival is None
+                        else spec.arrival.to_dict()
+                    ),
                     "queries": len(spec.queries),
                     "faults": [event.describe() for event in spec.faults],
                     "completed": run.completed,
                     "failed": run.failed,
+                    "shed": run.shed,
                     "violations": {
                         name: found_list
                         for name, found_list in sorted(verdicts.items())
@@ -629,6 +697,33 @@ def _cmd_chaos(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_loadgen(args) -> int:
+    from .chaos import forbid_global_random
+    from .fed.admission import DEFAULT_CLASSES, parse_class_spec
+    from .harness.loadgen import run_loadgen
+
+    forbid_global_random()
+    classes = (
+        parse_class_spec(args.classes) if args.classes else DEFAULT_CLASSES
+    )
+    result = run_loadgen(
+        arrival=args.arrival,
+        rate_qps=args.qps,
+        duration_ms=args.duration,
+        classes=classes,
+        seed=args.seed,
+        scale=_SCALES[args.scale],
+        discipline=args.discipline,
+    )
+    print(result.render())
+    if args.jsonl:
+        with open(args.jsonl, "w") as handle:
+            for line in result.verdict_lines():
+                handle.write(line + "\n")
+        print(f"Verdicts written to {args.jsonl}")
+    return 1 if result.shed_violations() or result.failures else 0
+
+
 _COMMANDS = {
     "demo": _cmd_demo,
     "experiment": _cmd_experiment,
@@ -639,6 +734,7 @@ _COMMANDS = {
     "metrics": _cmd_metrics,
     "timeline": _cmd_timeline,
     "chaos": _cmd_chaos,
+    "loadgen": _cmd_loadgen,
 }
 
 

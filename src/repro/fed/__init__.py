@@ -1,5 +1,20 @@
 """Federated integration layer (the DB2 Information Integrator analog)."""
 
+from .admission import (
+    AdmissionController,
+    AdmissionDecision,
+    ArrivalProcess,
+    BurstyArrivals,
+    DEFAULT_CLASSES,
+    PoissonArrivals,
+    PriorityClass,
+    ShedVerdict,
+    TokenBucket,
+    make_arrivals,
+    parse_class_spec,
+    shed_violations,
+)
+from .concurrent import ConcurrentRuntime, QueryHandle
 from .cursor import BatchInfo, FederatedCursor
 from .decomposer import DecomposedQuery, QueryFragment, decompose
 from .explain import ExplainRecord, ExplainTable
@@ -29,8 +44,14 @@ from .routers import (
 )
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "ArrivalProcess",
     "BatchInfo",
+    "BurstyArrivals",
+    "ConcurrentRuntime",
     "CostBasedRouter",
+    "DEFAULT_CLASSES",
     "FederatedCursor",
     "DecomposedQuery",
     "EstimatedInput",
@@ -48,10 +69,15 @@ __all__ = [
     "Placement",
     "PlanCache",
     "PlanCacheEntry",
+    "PoissonArrivals",
     "PreferredServerRouter",
+    "PriorityClass",
     "QueryFragment",
+    "QueryHandle",
     "QueryPatroller",
     "QueryStatus",
+    "ShedVerdict",
+    "TokenBucket",
     "ReplicaManager",
     "ReplicaState",
     "ReplicaSyncDaemon",
@@ -63,5 +89,8 @@ __all__ = [
     "eliminate_dominated",
     "enumerate_global_plans",
     "estimate_merge_cost",
+    "make_arrivals",
+    "parse_class_spec",
     "plan_key",
+    "shed_violations",
 ]

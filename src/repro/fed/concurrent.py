@@ -1,0 +1,501 @@
+"""Concurrent federation runtime: overlapping queries on shared servers.
+
+:class:`ConcurrentRuntime` drives an unmodified
+:class:`~repro.fed.integrator.InformationIntegrator` from a
+discrete-event scheduler (:mod:`repro.sim.sched`).  Each submitted query
+becomes a coroutine that walks exactly the integrator's sequential
+control flow — admission, patrol record, compile, route, dispatch,
+retry-on-failover, merge — but instead of charging fragment times
+straight to the clock it *yields* the raw service demands into
+per-server capacity queues.  When many queries are in flight their
+fragments contend, sojourn times inflate, and the inflated sojourns (not
+the raw demands) are what the meta-wrapper reports to QCC — so the
+calibrator observes load exactly the way the paper's testbed observed
+update storms, except the load now emerges from query concurrency
+itself.
+
+Equivalence guarantee: a query that meets no contention (every queue
+empty for its whole lifetime) observes sojourn == raw demand *exactly*
+(see :class:`~repro.sim.sched.Completion`), so a single query run
+through this runtime produces a bit-identical
+:class:`~repro.fed.integrator.FederatedResult` to ``integrator.submit``.
+``tests/integration/test_concurrent_equivalence.py`` enforces this.
+
+Admission happens at the patroller's front door: each query carries a
+priority class; the :class:`~repro.fed.admission.AdmissionController`
+sheds it (recorded, budgeted, token-audited) before any work is done
+when the class is out of tokens or the backlog already exceeds its
+latency budget.
+
+Known approximation: the observability tracer's "current trace" is
+process-global, so spans from overlapping queries attach to whichever
+trace started last when tracing is enabled.  Each query's own trace
+object is still threaded through its coroutine, so per-query span data
+is correct; only ``tracer.current`` is ambiguous mid-flight.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..obs import NULL_TRACE, get_obs
+from ..obs.profile import NULL_PROFILER, get_profiler
+from ..sim import (
+    AllOf,
+    Delay,
+    EventScheduler,
+    ServerQueue,
+    ServerUnavailable,
+    Work,
+)
+from ..sqlengine import MaterializedInput, PhysicalPlan, execute_plan
+from .admission import (
+    AdmissionController,
+    DEFAULT_CLASSES,
+    PriorityClass,
+    ShedVerdict,
+)
+from .integrator import (
+    FederatedResult,
+    FragmentOutcome,
+    InformationIntegrator,
+)
+from .merge import build_merge_plan
+from .nicknames import FederationError
+
+#: Queue name of the integrator's own merge stage.
+II_QUEUE = "II"
+
+
+@dataclass
+class QueryHandle:
+    """The caller's view of one in-flight (or finished) query."""
+
+    index: int
+    sql: str
+    klass: str
+    label: Optional[str]
+    submitted_ms: float
+    result: Optional[FederatedResult] = None
+    shed: Optional[ShedVerdict] = None
+    error: Optional[Exception] = None
+
+    @property
+    def status(self) -> str:
+        if self.result is not None:
+            return "completed"
+        if self.shed is not None:
+            return "shed"
+        if self.error is not None:
+            return "failed"
+        return "pending"
+
+    @property
+    def done(self) -> bool:
+        return self.status != "pending"
+
+    @property
+    def response_ms(self) -> Optional[float]:
+        if self.result is not None:
+            return self.result.response_ms
+        return None
+
+
+class ConcurrentRuntime:
+    """Event-driven multi-query front end over one integrator.
+
+    ``discipline`` selects the per-server contention model (``"ps"``
+    processor sharing or ``"fifo"``); ``server_capacity`` /
+    ``ii_capacity`` are service rates (1.0 = the sequential runtime's
+    speed).  The runtime owns the integrator's clock via its scheduler
+    and disables the integrator's own clock advancement.
+    """
+
+    def __init__(
+        self,
+        integrator: InformationIntegrator,
+        classes: Sequence[PriorityClass] = DEFAULT_CLASSES,
+        discipline: str = "ps",
+        server_capacity: float = 1.0,
+        ii_capacity: float = 1.0,
+    ):
+        self.integrator = integrator
+        integrator.advance_clock = False
+        self.scheduler = EventScheduler(integrator.clock)
+        self.discipline = discipline
+        self.server_capacity = float(server_capacity)
+        self.queues: Dict[str, ServerQueue] = {}
+        self.ii_queue = ServerQueue(
+            II_QUEUE,
+            self.scheduler,
+            capacity=ii_capacity,
+            discipline=discipline,
+        )
+        for name in integrator.meta_wrapper.server_names():
+            self.queues[name] = ServerQueue(
+                name,
+                self.scheduler,
+                capacity=self.server_capacity,
+                discipline=discipline,
+            )
+        sources: Dict[str, ServerQueue] = dict(self.queues)
+        sources[II_QUEUE] = self.ii_queue
+        self.admission = AdmissionController(
+            classes, sources, t0_ms=self.scheduler.now
+        )
+        self.handles: List[QueryHandle] = []
+        #: Highest-priority class: the default for unclassified queries.
+        self._default_class = min(
+            classes, key=lambda c: c.rank
+        ).name
+
+    # -- queue plumbing --------------------------------------------------
+
+    def _queue_for(self, server: str) -> ServerQueue:
+        """Capacity queue for *server*, created lazily so servers that
+        appear after construction (replica promotion, chaos topology
+        changes) still contend."""
+        queue = self.queues.get(server)
+        if queue is None:
+            queue = ServerQueue(
+                server,
+                self.scheduler,
+                capacity=self.server_capacity,
+                discipline=self.discipline,
+            )
+            self.queues[server] = queue
+            self.admission.backlog_sources[server] = queue
+        return queue
+
+    # -- submission ------------------------------------------------------
+
+    def submit_at(
+        self,
+        t_ms: float,
+        sql: str,
+        klass: Optional[str] = None,
+        label: Optional[str] = None,
+        staleness_tolerance_ms: Optional[float] = None,
+    ) -> QueryHandle:
+        """Schedule one federated query to arrive at virtual *t_ms*."""
+        handle = QueryHandle(
+            index=len(self.handles),
+            sql=sql,
+            klass=klass if klass is not None else self._default_class,
+            label=label,
+            submitted_ms=t_ms,
+        )
+        self.handles.append(handle)
+        self.scheduler.spawn(
+            self._query_process(handle, staleness_tolerance_ms), at_ms=t_ms
+        )
+        return handle
+
+    def run(self, until_ms: Optional[float] = None) -> float:
+        """Run the event loop until quiescence (or *until_ms*)."""
+        return self.scheduler.run(until_ms)
+
+    # -- results ---------------------------------------------------------
+
+    def completed(self) -> List[QueryHandle]:
+        return [h for h in self.handles if h.result is not None]
+
+    def sheds(self) -> List[QueryHandle]:
+        return [h for h in self.handles if h.shed is not None]
+
+    def failures(self) -> List[QueryHandle]:
+        return [h for h in self.handles if h.error is not None]
+
+    # -- the per-query coroutine ----------------------------------------
+
+    def _query_process(
+        self, handle: QueryHandle, staleness_tolerance_ms: Optional[float]
+    ):
+        ii = self.integrator
+        mw = ii.meta_wrapper
+        obs = get_obs()
+        t0 = handle.submitted_ms
+        obs.metrics.gauge("sched_in_flight").set(
+            self.scheduler.live_processes
+        )
+
+        decision = self.admission.decide(handle.klass, t0)
+        record = ii.patroller.submit(handle.sql, t0, label=handle.label)
+        if not decision.admitted:
+            ii.patroller.shed(record, t0, decision.reason)
+            obs.metrics.counter(
+                "admission_shed_total",
+                klass=handle.klass,
+                reason=decision.reason,
+            ).inc()
+            handle.shed = ShedVerdict(record=record, decision=decision)
+            return
+        obs.metrics.counter(
+            "admission_admitted_total", klass=handle.klass
+        ).inc()
+
+        obs.metrics.counter("ii_queries_total").inc()
+        trace = obs.tracer.start(record.query_id, handle.sql, t0)
+        if ii.qcc is not None:
+            ii.qcc.tick(t0)
+
+        elapsed = ii.compile_overhead_ms
+        excluded: set = set()
+        retries = 0
+        t_attempt = t0
+        last_error: Optional[ServerUnavailable] = None
+        first_attempt = True
+
+        while retries <= ii.max_retries:
+            try:
+                decomposed, plans = ii.compile(
+                    handle.sql, t_attempt, excluded, staleness_tolerance_ms
+                )
+            except FederationError as exc:
+                ii.patroller.fail(record, t0 + elapsed, str(exc))
+                obs.metrics.counter("ii_query_failures_total").inc()
+                obs.tracer.finish(trace, t0 + elapsed, status="failed")
+                handle.error = exc
+                return
+            span = trace.begin("route", t_attempt)
+            if ii.qcc is not None:
+                chosen = ii.qcc.recommend_global(decomposed, plans, t_attempt)
+            else:
+                chosen = ii.router.choose(
+                    decomposed, plans, handle.label, t_attempt
+                )
+            trace.end(
+                span,
+                t_attempt,
+                servers=sorted(chosen.servers),
+                estimated_total=chosen.total_cost,
+                candidates=len(plans),
+            )
+            if first_attempt:
+                # The sequential runtime stamps dispatch at
+                # t0 + compile_overhead; retries recompile at the already
+                # advanced clock with no extra overhead (same as
+                # ``InformationIntegrator.submit``).
+                first_attempt = False
+                yield Delay(ii.compile_overhead_ms)
+            t_dispatch = t0 + elapsed
+
+            ii.explain_table.record(
+                record.query_id, record.sql, t_dispatch, chosen
+            )
+
+            # Execute every fragment at the dispatch instant to learn its
+            # raw service demand (report=False defers QCC reporting until
+            # the queue-inflated sojourn is known).
+            executed = []  # (choice, option, execution, span)
+            failure: Optional[ServerUnavailable] = None
+            for choice in chosen.choices:
+                frag_span = trace.begin(
+                    "dispatch",
+                    t_dispatch,
+                    fragment=choice.fragment.fragment_id,
+                    server=choice.server,
+                )
+                try:
+                    option, execution = mw.execute_option(
+                        choice, t_dispatch, report=False
+                    )
+                except ServerUnavailable as exc:
+                    failure = exc
+                    break
+                executed.append((choice, option, execution, frag_span))
+
+            if failure is not None:
+                # Fragments that did execute are reported with their raw
+                # demand — they never reached a queue because the attempt
+                # was abandoned.  This mirrors the sequential runtime,
+                # where execute_option reports each success before a
+                # later fragment raises.
+                for choice, option, execution, frag_span in executed:
+                    mw.note_execution(option, execution, t_dispatch)
+                    estimated = option.estimated.total
+                    trace.end(
+                        frag_span,
+                        t_dispatch + execution.observed_ms,
+                        server=option.server,
+                        estimated_total=estimated,
+                        calibrated_total=option.calibrated.total,
+                        calibration_factor=(
+                            option.calibrated.total / estimated
+                            if estimated > 0
+                            else None
+                        ),
+                        observed_ms=execution.observed_ms,
+                        substituted=option.server != choice.server,
+                        engine=execution.engine,
+                    )
+                last_error = failure
+                excluded.add(failure.server)
+                ii.patroller.note_server_failure(record, failure.server)
+                obs.metrics.counter("ii_query_retries_total").inc()
+                trace.event(
+                    "retry",
+                    t_dispatch,
+                    server=failure.server,
+                    attempt=retries,
+                )
+                elapsed += ii.failure_penalty_ms
+                retries += 1
+                t_attempt = t0 + elapsed
+                yield Delay(ii.failure_penalty_ms)
+                continue
+
+            # Contend: push each fragment's raw demand through its
+            # server's capacity queue; resume when the slowest finishes.
+            completions = yield AllOf(
+                [
+                    Work(self._queue_for(option.server), execution.observed_ms)
+                    for _, option, execution, _ in executed
+                ]
+            )
+
+            outcomes: Dict[str, FragmentOutcome] = {}
+            remote_ms = 0.0
+            for (choice, option, execution, frag_span), completion in zip(
+                executed, completions
+            ):
+                inflated = dataclasses.replace(
+                    execution, observed_ms=completion.sojourn_ms
+                )
+                mw.note_execution(option, inflated, t_dispatch)
+                obs.metrics.histogram(
+                    "sched_sojourn_ms", server=option.server
+                ).observe(completion.sojourn_ms)
+                obs.metrics.gauge(
+                    "sched_queue_depth", server=option.server
+                ).set(self._queue_for(option.server).depth)
+                estimated = option.estimated.total
+                trace.end(
+                    frag_span,
+                    completion.finished_ms,
+                    server=option.server,
+                    estimated_total=estimated,
+                    calibrated_total=option.calibrated.total,
+                    calibration_factor=(
+                        option.calibrated.total / estimated
+                        if estimated > 0
+                        else None
+                    ),
+                    observed_ms=inflated.observed_ms,
+                    substituted=option.server != choice.server,
+                    engine=execution.engine,
+                    queue_wait_ms=completion.wait_ms,
+                    depth_at_arrival=completion.depth_at_arrival,
+                )
+                outcomes[option.fragment.fragment_id] = FragmentOutcome(
+                    option=option, execution=inflated
+                )
+                remote_ms = max(remote_ms, completion.sojourn_ms)
+
+            # II-side merge: computed locally, then charged to the
+            # integrator's own capacity queue.
+            inputs: Dict[str, PhysicalPlan] = {
+                fragment_id: MaterializedInput(
+                    fragment_id,
+                    decomposed.fragment_for_binding(
+                        outcome.option.fragment.bindings[0]
+                    ).output_schema,
+                    outcome.execution.rows,
+                )
+                for fragment_id, outcome in outcomes.items()
+            }
+            merge_span = trace.begin("merge", t_dispatch + remote_ms)
+            merge_plan = build_merge_plan(decomposed, inputs)
+            merge_result = execute_plan(
+                merge_plan, ii._merge_storage, ii.params, engine=ii.engine
+            )
+            level = ii.load.level(t_dispatch)
+            merge_demand_ms = ii.profile.cpu_ms(
+                merge_result.meter.cpu_ms
+            ) * ii.contention.cpu_multiplier(level) + ii.profile.io_ms(
+                merge_result.meter.io_ms
+            ) * ii.contention.io_multiplier(level)
+            merge_completion = yield Work(self.ii_queue, merge_demand_ms)
+            merge_ms = merge_completion.sojourn_ms
+            trace.end(
+                merge_span,
+                merge_completion.finished_ms,
+                estimated_total=chosen.merge_cost.total,
+                observed_ms=merge_ms,
+                rows=len(merge_result.rows),
+                ii_load=level,
+                engine=merge_result.engine,
+            )
+            obs.metrics.histogram("ii_merge_ms").observe(merge_ms)
+            obs.metrics.histogram("ii_remote_ms").observe(remote_ms)
+            obs.metrics.gauge(
+                "sched_queue_depth", server=II_QUEUE
+            ).set(self.ii_queue.depth)
+
+            # Same formula as the sequential runtime, with queue-inflated
+            # components; the AllOf join resumes at max(fragment finish)
+            # and the merge is submitted at that instant, so this equals
+            # merge_completion.finished_ms - t0 up to float residue.
+            response_ms = (t_dispatch - t0) + remote_ms + merge_ms
+
+            if ii.qcc is not None:
+                raw_estimate = (
+                    max(c.calibrated.total for c in chosen.choices)
+                    + chosen.merge_cost.total
+                )
+                ii.qcc.record_ii_execution(
+                    estimated_total=raw_estimate,
+                    observed_ms=remote_ms + merge_ms,
+                    t_ms=t_dispatch,
+                )
+
+            result = FederatedResult(
+                rows=merge_result.rows,
+                schema=merge_result.schema,
+                response_ms=response_ms,
+                plan=chosen,
+                fragments=outcomes,
+                record=record,
+                merge_ms=merge_ms,
+                remote_ms=remote_ms,
+                retries=retries,
+                merge_plan=merge_plan,
+            )
+            ii.patroller.complete(record, t0 + response_ms)
+            obs.metrics.histogram("ii_response_ms").observe(response_ms)
+            obs.metrics.histogram(
+                "query_sojourn_ms", klass=handle.klass
+            ).observe(response_ms)
+            obs.metrics.gauge("sched_in_flight").set(
+                self.scheduler.live_processes - 1
+            )
+            obs.tracer.finish(trace, t0 + response_ms)
+            if trace is not NULL_TRACE:
+                result.trace = trace
+                ii.explain_table.attach_trace(record.query_id, trace)
+            profiler = get_profiler()
+            if profiler is not NULL_PROFILER:
+                result.profile = profiler.capture()
+                ii.explain_table.attach_profile(
+                    record.query_id, result.profile
+                )
+            handle.result = result
+            return
+
+        # Retries exhausted — same message shape as the sequential path.
+        message = (
+            f"query failed after {ii.max_retries} retries"
+            f" ({retries} attempts)"
+            + (f": {last_error}" if last_error else "")
+        )
+        ii.patroller.fail(
+            record,
+            t0 + elapsed,
+            message,
+            server=last_error.server if last_error else None,
+        )
+        obs.metrics.counter("ii_query_failures_total").inc()
+        obs.tracer.finish(trace, t0 + elapsed, status="failed")
+        handle.error = FederationError(message)

@@ -22,6 +22,9 @@ class QueryStatus(enum.Enum):
     RUNNING = "running"
     COMPLETED = "completed"
     FAILED = "failed"
+    #: Rejected by the admission controller before any work was done
+    #: (SLO-aware overload shedding; see docs/concurrency.md).
+    SHED = "shed"
 
 
 @dataclass
@@ -89,6 +92,23 @@ class QueryPatroller:
             "query %d failed at %.0fms: %s", record.query_id, t_ms, error
         )
 
+    def shed(self, record: PatrolRecord, t_ms: float, reason: str) -> None:
+        """Mark a query as shed by admission control (no work performed).
+
+        Sheds are deliberate overload protection, not failures: they get
+        their own status and counter so SLO dashboards can tell "we
+        chose not to run this" apart from "we tried and broke".
+        """
+        record.completed_ms = t_ms
+        record.status = QueryStatus.SHED
+        record.error = reason
+        get_obs().metrics.counter(
+            "queries_shed_total", label=record.label or "all"
+        ).inc()
+        _LOG.info(
+            "query %d shed at %.0fms: %s", record.query_id, t_ms, reason
+        )
+
     def note_server_failure(self, record: PatrolRecord, server: str) -> None:
         """Record a server failure that the query survived via failover."""
         record.failed_servers.append(server)
@@ -122,6 +142,13 @@ class QueryPatroller:
             1
             for r in self.records(label)
             if r.status is QueryStatus.FAILED
+        )
+
+    def shed_count(self, label: Optional[str] = None) -> int:
+        return sum(
+            1
+            for r in self.records(label)
+            if r.status is QueryStatus.SHED
         )
 
     def __len__(self) -> int:

@@ -23,12 +23,14 @@ from .experiment import (
     run_workload_once,
 )
 from .experiments import TimelineResult, run_timeline
+from .loadgen import LoadGenResult, run_loadgen
 from .metrics import ResponseStats, geometric_mean, mean, percent_gain, percentile
 from .report import ascii_table, bar_chart, grouped_series
 
 __all__ = [
     "DEFAULT_SERVER_SPECS",
     "Deployment",
+    "LoadGenResult",
     "PhaseOutcome",
     "ProcedureReport",
     "QueryOutcome",
@@ -49,6 +51,7 @@ __all__ = [
     "observe_on_servers",
     "percent_gain",
     "percentile",
+    "run_loadgen",
     "run_phase",
     "run_phase_sweep",
     "run_procedure",

@@ -25,15 +25,27 @@ from .load import (
 )
 from .network import LOCAL_LINK, NetworkLink
 from .rng import derive_rng, derive_seed
+from .sched import (
+    AllOf,
+    Completion,
+    Delay,
+    EventScheduler,
+    ServerQueue,
+    Work,
+)
 from .server import REQUEST_BYTES, RemoteExecution, RemoteServer
 from .storms import StormReport, UpdateStormDriver
 
 __all__ = [
+    "AllOf",
     "AlwaysUp",
     "AvailabilitySchedule",
+    "Completion",
     "ConstantLoad",
     "ContentionProfile",
+    "Delay",
     "ErrorInjector",
+    "EventScheduler",
     "InducedLoad",
     "LOCAL_LINK",
     "LoadSchedule",
@@ -44,6 +56,7 @@ __all__ = [
     "REQUEST_BYTES",
     "RemoteExecution",
     "RemoteServer",
+    "ServerQueue",
     "ServerUnavailable",
     "StepSchedule",
     "StormReport",
@@ -51,6 +64,7 @@ __all__ = [
     "UpdateStormDriver",
     "VirtualClock",
     "WindowedErrorInjector",
+    "Work",
     "derive_rng",
     "derive_seed",
 ]

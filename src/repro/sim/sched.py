@@ -1,0 +1,436 @@
+"""Discrete-event scheduler: many in-flight queries on one virtual clock.
+
+Until this module existed every federated query ran to completion before
+the next one started, so the "load" the calibrator observed was entirely
+scripted.  :class:`EventScheduler` lets arbitrarily many simulated
+activities overlap in virtual time: each activity is a plain Python
+generator (a coroutine) that *yields* requests — a :class:`Work` item
+bound for a server's capacity queue, a :class:`Delay`, or an
+:class:`AllOf` join over several requests — and is resumed when the
+request completes, receiving a :class:`Completion` describing when the
+work actually finished.
+
+Per-server capacity is modelled by :class:`ServerQueue` under one of two
+disciplines:
+
+``fifo``
+    One fragment at a time; later arrivals wait for the backlog to
+    drain.  Sojourn = queueing delay + service time.
+``ps``
+    Egalitarian processor sharing: all resident fragments progress
+    simultaneously at ``capacity / n`` each, the classic model of a
+    multiprogrammed database server.  Sojourn inflates smoothly with the
+    number of concurrent residents.
+
+Either way, observed sojourn times grow with concurrency — which is
+exactly the signal the paper's QCC calibrates against, so contention
+produced by *overlapping queries* feeds the calibrator the same way the
+testbed's real update storms did.
+
+Determinism: events at equal virtual times fire in scheduling order (a
+monotonic sequence number breaks ties), processor-sharing departures
+break remaining-work ties by arrival order, and nothing here consumes
+randomness — byte-identical replays come for free.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Generator, List, Optional, Sequence, Tuple
+
+from .clock import VirtualClock
+
+#: Relative slack when comparing virtual times (float accumulation).
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class Work:
+    """A request for ``demand_ms`` of service at one capacity queue."""
+
+    queue: "ServerQueue"
+    demand_ms: float
+
+    def __post_init__(self) -> None:
+        if self.demand_ms < 0:
+            raise ValueError(f"negative work demand {self.demand_ms}")
+
+
+@dataclass(frozen=True)
+class Delay:
+    """A request to sleep ``delay_ms`` of virtual time."""
+
+    delay_ms: float
+
+    def __post_init__(self) -> None:
+        if self.delay_ms < 0:
+            raise ValueError(f"negative delay {self.delay_ms}")
+
+
+@dataclass(frozen=True)
+class AllOf:
+    """Join: resume once every sub-request has completed.
+
+    The resume value is a list of per-request results in the order the
+    requests were given (``None`` for plain delays).
+    """
+
+    requests: Tuple[object, ...]
+
+    def __init__(self, requests: Sequence[object]):
+        object.__setattr__(self, "requests", tuple(requests))
+
+
+@dataclass(frozen=True)
+class Completion:
+    """What happened to one :class:`Work` request."""
+
+    queue: str
+    queued_ms: float
+    started_ms: float
+    finished_ms: float
+    demand_ms: float
+    #: Dedicated service time (``demand_ms / capacity``).
+    service_ms: float
+    #: Residents in the queue at the instant this work arrived (this
+    #: request included) — the congestion it walked into.
+    depth_at_arrival: int
+    #: Whether this work ever shared the server with other residents.
+    contended: bool
+
+    @property
+    def sojourn_ms(self) -> float:
+        """Total time in system: queueing/slowdown + service.
+
+        An uncontended job's sojourn is *exactly* its service time — the
+        identity is asserted here rather than recovered from
+        ``finished - queued`` so a query that met no congestion observes
+        bit-identical timings to a sequential run (no ``(a+b)-a``
+        floating-point residue).
+        """
+        if not self.contended:
+            return self.service_ms
+        return self.finished_ms - self.queued_ms
+
+    @property
+    def wait_ms(self) -> float:
+        """Sojourn in excess of the dedicated service time."""
+        return max(0.0, self.sojourn_ms - self.service_ms)
+
+
+Process = Generator[object, object, None]
+
+
+class EventScheduler:
+    """A deterministic event loop over a :class:`VirtualClock`."""
+
+    def __init__(self, clock: Optional[VirtualClock] = None):
+        self.clock = clock if clock is not None else VirtualClock()
+        self._heap: List[Tuple[float, int, Callable, tuple]] = []
+        self._seq = 0
+        self._live_processes = 0
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._heap)
+
+    @property
+    def live_processes(self) -> int:
+        return self._live_processes
+
+    # -- primitives ------------------------------------------------------
+
+    def call_at(self, t_ms: float, fn: Callable, *args: object) -> None:
+        """Run ``fn(*args)`` at virtual time *t_ms* (clamped to now)."""
+        if t_ms < self.clock.now - _EPS:
+            raise ValueError(
+                f"cannot schedule at {t_ms} before now={self.clock.now}"
+            )
+        heapq.heappush(
+            self._heap, (max(t_ms, self.clock.now), self._seq, fn, args)
+        )
+        self._seq += 1
+
+    def call_later(self, delay_ms: float, fn: Callable, *args: object) -> None:
+        if delay_ms < 0:
+            raise ValueError(f"negative delay {delay_ms}")
+        self.call_at(self.clock.now + delay_ms, fn, *args)
+
+    # -- processes -------------------------------------------------------
+
+    def spawn(self, process: Process, at_ms: Optional[float] = None) -> None:
+        """Start *process* (a generator yielding Work/Delay/AllOf).
+
+        The first ``next()`` happens at ``at_ms`` (default: now), so a
+        process observes the scheduler clock already advanced to its
+        start time.
+        """
+        self._live_processes += 1
+        self.call_at(
+            self.clock.now if at_ms is None else at_ms,
+            self._step,
+            process,
+            None,
+        )
+
+    def _step(self, process: Process, value: object) -> None:
+        try:
+            request = process.send(value)
+        except StopIteration:
+            self._live_processes -= 1
+            return
+        self._dispatch(request, lambda result: self._step(process, result))
+
+    def _dispatch(
+        self, request: object, resume: Callable[[object], None]
+    ) -> None:
+        if isinstance(request, Work):
+            request.queue.submit(request.demand_ms, resume)
+        elif isinstance(request, Delay):
+            self.call_later(request.delay_ms, resume, None)
+        elif isinstance(request, AllOf):
+            self._join(request.requests, resume)
+        else:
+            raise TypeError(
+                f"process yielded {request!r}; expected Work, Delay or AllOf"
+            )
+
+    def _join(
+        self, requests: Tuple[object, ...], resume: Callable[[object], None]
+    ) -> None:
+        if not requests:
+            self.call_later(0.0, resume, [])
+            return
+        results: List[object] = [None] * len(requests)
+        remaining = [len(requests)]
+
+        def collect(index: int, result: object) -> None:
+            results[index] = result
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                resume(results)
+
+        for index, request in enumerate(requests):
+            self._dispatch(request, lambda r, i=index: collect(i, r))
+
+    # -- the loop --------------------------------------------------------
+
+    def run(self, until_ms: Optional[float] = None) -> float:
+        """Fire events in (time, schedule-order) until the heap drains
+        (or ``until_ms``); returns the final virtual time."""
+        while self._heap:
+            t, _, fn, args = self._heap[0]
+            if until_ms is not None and t > until_ms + _EPS:
+                break
+            heapq.heappop(self._heap)
+            self.clock.advance_to(t)
+            fn(*args)
+        if until_ms is not None:
+            self.clock.advance_to(until_ms)
+        return self.clock.now
+
+
+@dataclass
+class _Job:
+    """One resident work item (both disciplines)."""
+
+    seq: int
+    queued_ms: float
+    started_ms: float
+    demand_ms: float
+    remaining_ms: float
+    callback: Callable[[Completion], None]
+    depth_at_arrival: int = 1
+    contended: bool = False
+
+
+class ServerQueue:
+    """A capacity-limited service station on the scheduler's clock.
+
+    ``capacity`` is a service rate: a demand of ``d`` ms takes ``d /
+    capacity`` ms of dedicated service.  Under ``fifo`` jobs run one at
+    a time in arrival order; under ``ps`` all resident jobs share the
+    capacity equally (processor sharing).
+    """
+
+    DISCIPLINES = ("fifo", "ps")
+
+    def __init__(
+        self,
+        name: str,
+        scheduler: EventScheduler,
+        capacity: float = 1.0,
+        discipline: str = "ps",
+    ):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if discipline not in self.DISCIPLINES:
+            raise ValueError(
+                f"unknown discipline {discipline!r}; "
+                f"expected one of {self.DISCIPLINES}"
+            )
+        self.name = name
+        self.scheduler = scheduler
+        self.capacity = float(capacity)
+        self.discipline = discipline
+        self._jobs: List[_Job] = []
+        self._seq = 0
+        #: FIFO: when the last queued job will finish.
+        self._free_at = 0.0
+        #: PS: last instant the residents' remaining work was updated.
+        self._last_update = 0.0
+        #: PS: guards against stale departure events after state changes.
+        self._epoch = 0
+        # -- lifetime statistics ----------------------------------------
+        self.served = 0
+        self.busy_ms = 0.0
+        self.max_depth = 0
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Jobs currently in the system (queued + in service)."""
+        return len(self._jobs)
+
+    def backlog_ms(self, t_ms: float) -> float:
+        """Virtual time needed to drain the current residents (no new
+        arrivals) — the admission controller's wait predictor."""
+        if self.discipline == "fifo":
+            return max(0.0, self._free_at - t_ms)
+        self._advance_ps(t_ms)
+        # ``remaining_ms`` is already in service-time units (demand /
+        # capacity), and the server retires one service-unit per unit of
+        # virtual time regardless of how it is shared.
+        return sum(j.remaining_ms for j in self._jobs)
+
+    # -- submission ------------------------------------------------------
+
+    def submit(
+        self, demand_ms: float, callback: Callable[[Completion], None]
+    ) -> None:
+        """Enqueue ``demand_ms`` of service now; ``callback(completion)``
+        fires at the (virtual) instant the work finishes."""
+        if demand_ms < 0:
+            raise ValueError(f"negative work demand {demand_ms}")
+        now = self.scheduler.now
+        service = demand_ms / self.capacity
+        if self.discipline == "fifo":
+            start = max(now, self._free_at)
+            finish = start + service
+            self._free_at = finish
+            job = _Job(
+                seq=self._seq,
+                queued_ms=now,
+                started_ms=start,
+                demand_ms=demand_ms,
+                remaining_ms=service,
+                callback=callback,
+                depth_at_arrival=len(self._jobs) + 1,
+                contended=start > now,
+            )
+            self._seq += 1
+            self._jobs.append(job)
+            self.max_depth = max(self.max_depth, len(self._jobs))
+            self.scheduler.call_at(finish, self._complete_fifo, job, finish)
+            return
+        # Processor sharing.
+        self._advance_ps(now)
+        job = _Job(
+            seq=self._seq,
+            queued_ms=now,
+            started_ms=now,
+            demand_ms=demand_ms,
+            remaining_ms=service,
+            callback=callback,
+            depth_at_arrival=len(self._jobs) + 1,
+        )
+        self._seq += 1
+        self._jobs.append(job)
+        self.max_depth = max(self.max_depth, len(self._jobs))
+        if len(self._jobs) > 1:
+            # Sharing starts (or continues) for every resident.
+            for resident in self._jobs:
+                resident.contended = True
+        self._reschedule_ps()
+
+    # -- FIFO ------------------------------------------------------------
+
+    def _complete_fifo(self, job: _Job, finish_ms: float) -> None:
+        self._jobs.remove(job)
+        self.served += 1
+        self.busy_ms += job.remaining_ms
+        job.callback(
+            Completion(
+                queue=self.name,
+                queued_ms=job.queued_ms,
+                started_ms=job.started_ms,
+                finished_ms=finish_ms,
+                demand_ms=job.demand_ms,
+                service_ms=job.demand_ms / self.capacity,
+                depth_at_arrival=job.depth_at_arrival,
+                contended=job.contended,
+            )
+        )
+
+    # -- processor sharing ----------------------------------------------
+
+    def _advance_ps(self, t_ms: float) -> None:
+        """Progress every resident's remaining work up to *t_ms*."""
+        if t_ms <= self._last_update:
+            return
+        if self._jobs:
+            # Each of n residents progresses at 1/n in service-time
+            # units (capacity is already folded into ``remaining_ms``).
+            burned = (t_ms - self._last_update) / len(self._jobs)
+            for job in self._jobs:
+                job.remaining_ms = max(0.0, job.remaining_ms - burned)
+        self._last_update = t_ms
+
+    def _reschedule_ps(self) -> None:
+        """(Re)arm the next-departure event; stale events are fenced by
+        the epoch counter."""
+        self._epoch += 1
+        if not self._jobs:
+            return
+        head = min(self._jobs, key=lambda j: (j.remaining_ms, j.seq))
+        eta = head.remaining_ms * len(self._jobs)
+        self.scheduler.call_at(
+            self._last_update + eta, self._depart_ps, self._epoch
+        )
+
+    def _depart_ps(self, epoch: int) -> None:
+        if epoch != self._epoch:
+            return  # superseded by a later arrival/departure
+        now = self.scheduler.now
+        self._advance_ps(now)
+        head = min(self._jobs, key=lambda j: (j.remaining_ms, j.seq))
+        self._jobs.remove(head)
+        self.served += 1
+        self.busy_ms += head.demand_ms / self.capacity
+        # Re-arm before the callback: the callback may resume a process
+        # that immediately submits more work to this very queue.
+        self._reschedule_ps()
+        head.callback(
+            Completion(
+                queue=self.name,
+                queued_ms=head.queued_ms,
+                started_ms=head.started_ms,
+                finished_ms=now,
+                demand_ms=head.demand_ms,
+                service_ms=head.demand_ms / self.capacity,
+                depth_at_arrival=head.depth_at_arrival,
+                contended=head.contended,
+            )
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ServerQueue {self.name} {self.discipline} "
+            f"depth={self.depth}>"
+        )

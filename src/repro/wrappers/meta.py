@@ -170,12 +170,20 @@ class MetaWrapper:
         option: FragmentOption,
         t_ms: float,
         allow_substitution: bool = True,
+        report: bool = True,
     ) -> Tuple[FragmentOption, RemoteExecution]:
         """Execute a fragment option; returns (actually-run option, result).
 
         With QCC attached and substitution allowed, the fragment-level
         load balancer may swap the option for an *identical* plan on an
         equivalent server (Section 4.1) just before dispatch.
+
+        ``report=False`` defers the runtime-log/metrics/QCC reporting:
+        the concurrent runtime executes the fragment to learn its raw
+        service demand, runs that demand through the server's capacity
+        queue, and only then calls :meth:`note_execution` with the
+        queue-inflated sojourn — so under load the calibrator observes
+        contention, exactly as the paper's probe model intends.
         """
         obs = get_obs()
         if self.qcc is not None and allow_substitution:
@@ -205,6 +213,22 @@ class MetaWrapper:
                 "mw_fragment_errors_total", server=option.server
             ).inc()
             raise
+        if report:
+            self.note_execution(option, result, t_ms)
+        return option, result
+
+    def note_execution(
+        self,
+        option: FragmentOption,
+        result: RemoteExecution,
+        t_ms: float,
+    ) -> None:
+        """Record one fragment execution (metrics, runtime log, QCC).
+
+        ``result.observed_ms`` is what QCC learns from; the concurrent
+        runtime passes a queue-inflated copy of the raw execution here.
+        """
+        obs = get_obs()
         obs.metrics.counter(
             "mw_fragment_executions_total", server=option.server
         ).inc()
@@ -231,7 +255,6 @@ class MetaWrapper:
                 observed_ms=result.observed_ms,
                 t_ms=t_ms,
             )
-        return option, result
 
     # -- probes ----------------------------------------------------------
 

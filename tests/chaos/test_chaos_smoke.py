@@ -26,6 +26,7 @@ EXPECTED_CHECKERS = {
     "calibration-bounds",
     "cache-epoch",
     "engine-equivalence",
+    "shed-only-over-budget",
 }
 
 
@@ -46,13 +47,26 @@ def test_invariants_hold(seed, index, sample_databases):
         spec, databases=_databases_for(spec, sample_databases)
     )
     assert violations(run_checkers(run)) == []
-    # Scenarios must exercise the federation, not no-op through it.
-    assert run.completed + run.failed == len(spec.queries)
+    # Scenarios must exercise the federation, not no-op through it:
+    # every query either completes, fails under faults, or is shed by
+    # admission control (concurrent scenarios only).
+    assert run.completed + run.failed + run.shed == len(spec.queries)
     assert run.oracle is not None and run.row_engine is not None
+    if spec.arrival is None:
+        assert run.shed == 0
+
+
+def test_smoke_set_covers_both_arrival_modes():
+    specs = [generate_scenario(s, i) for s, i in SMOKE_SCENARIOS]
+    assert any(spec.arrival is None for spec in specs)
+    assert any(spec.arrival is not None for spec in specs)
 
 
 def test_rerun_is_byte_identical(sample_databases):
+    # (42, 0) samples a concurrent arrival process, so this doubles as
+    # the determinism proof for the event-scheduler path.
     spec = generate_scenario(42, 0)
+    assert spec.arrival is not None
     databases = _databases_for(spec, sample_databases)
     first = run_scenario(spec, databases=databases)
     second = run_scenario(spec, databases=databases)
@@ -69,6 +83,7 @@ def test_rerun_is_byte_identical(sample_databases):
     assert first.cache_lookups == second.cache_lookups
     assert first.server_factors == second.server_factors
     assert first.ii_factor == second.ii_factor
+    assert first.admission_decisions == second.admission_decisions
 
 
 def test_faults_actually_bite():

@@ -18,6 +18,8 @@ from repro.chaos import (
     run_scenario,
 )
 from repro.chaos.checkers import registered_checkers
+from repro.chaos.runner import QueryOutcome
+from repro.fed.admission import AdmissionDecision
 
 
 @pytest.fixture(scope="module")
@@ -114,6 +116,45 @@ def test_engine_equivalence_catches_routing_divergence(clean_run):
     assert found["engine-equivalence"], "routing divergence not detected"
 
 
+def test_shed_only_over_budget_catches_headroom_shed(clean_run):
+    run = _mutant(clean_run)
+    # A rejection recorded while the bucket was full and the predicted
+    # sojourn sat under the (infinite) budget: shedding without cause.
+    run.admission_decisions.append(
+        AdmissionDecision(
+            klass="bronze",
+            t_ms=10.0,
+            admitted=False,
+            tokens_before=5.0,
+            predicted_ms=1.0,
+            budget_ms=float("inf"),
+            reason="no-tokens",
+        )
+    )
+    found = run_checkers(run, names=["shed-only-over-budget"])
+    assert found["shed-only-over-budget"], "headroom shed not detected"
+
+
+def test_shed_only_over_budget_catches_unevidenced_shed(clean_run):
+    run = _mutant(clean_run)
+    # A shed outcome with no rejecting admission decision backing it.
+    run.outcomes.append(
+        QueryOutcome(
+            index=len(run.outcomes),
+            query_type="QT1",
+            sql="SELECT 1",
+            submitted_ms=0.0,
+            status="shed",
+            klass="bronze",
+        )
+    )
+    found = run_checkers(run, names=["shed-only-over-budget"])
+    assert any(
+        "without evidence" in message
+        for message in found["shed-only-over-budget"]
+    )
+
+
 def test_every_bundled_checker_has_a_mutation_test(clean_run):
     """No checker ships without a falsifiability proof in this module."""
     covered = {
@@ -122,6 +163,7 @@ def test_every_bundled_checker_has_a_mutation_test(clean_run):
         "calibration-bounds",
         "cache-epoch",
         "engine-equivalence",
+        "shed-only-over-budget",
     }
     assert set(registered_checkers()) == covered, (
         "a checker was added without a mutation-style self-test; "

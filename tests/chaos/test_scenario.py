@@ -3,6 +3,8 @@
 import pytest
 
 from repro.chaos import (
+    ARRIVAL_PROCESSES,
+    ArrivalSpec,
     FAULT_KINDS,
     FaultEvent,
     QuerySpec,
@@ -12,6 +14,7 @@ from repro.chaos import (
     generate_scenarios,
 )
 from repro.chaos.scenario import (
+    CHAOS_CLASS_NAMES,
     DEFAULT_HORIZON_MS,
     QUERY_TYPE_NAMES,
     fault_window_steps,
@@ -70,6 +73,44 @@ class TestSerialisation:
         payload = generate_scenario(3, 0).canonical_json()
         assert payload.index('"faults"') < payload.index('"queries"')
 
+    def test_arrival_round_trip(self):
+        spec = ScenarioSpec(
+            seed=1,
+            index=0,
+            topology="triple",
+            queries=(QuerySpec("QT1", 0, 12.5, klass="gold"),),
+            arrival=ArrivalSpec(process="bursty", rate_qps=40.0),
+        )
+        clone = ScenarioSpec.from_json(spec.canonical_json())
+        assert clone == spec
+        assert clone.arrival.describe() == "bursty@40qps"
+        assert clone.queries[0].klass == "gold"
+
+    def test_sampled_concurrent_scenario_round_trips(self):
+        spec = next(
+            generate_scenario(42, index)
+            for index in range(20)
+            if generate_scenario(42, index).arrival is not None
+        )
+        assert ScenarioSpec.from_json(spec.canonical_json()) == spec
+
+    def test_legacy_dict_without_concurrency_keys_parses(self):
+        # Verdict JSON written before the concurrency dimension existed
+        # has no ``arrival`` key and no per-query ``klass`` — it must
+        # keep deserialising as a sequential scenario.
+        spec = generate_scenario(42, 0)
+        payload = spec.to_dict()
+        payload.pop("arrival", None)
+        for query in payload["queries"]:
+            query.pop("klass", None)
+        legacy = ScenarioSpec.from_dict(payload)
+        assert legacy.arrival is None
+        assert all(q.klass == "" for q in legacy.queries)
+
+    def test_unknown_arrival_process_rejected(self):
+        with pytest.raises(ValueError):
+            ArrivalSpec(process="lockstep", rate_qps=10.0)
+
 
 class TestValidity:
     @pytest.mark.parametrize("index", range(20))
@@ -81,8 +122,20 @@ class TestValidity:
         for query in spec.queries:
             assert query.query_type in QUERY_TYPE_NAMES
             assert 0 <= query.instance_id <= 9
-            assert 20.0 <= query.gap_ms <= 200.0
+            if spec.arrival is None:
+                # Sequential scenarios keep the paper's think-time band
+                # and carry no priority class.
+                assert 20.0 <= query.gap_ms <= 200.0
+                assert query.klass == ""
+            else:
+                # Concurrent scenarios draw exponential interarrival
+                # gaps and tag every query with a priority class.
+                assert query.gap_ms >= 0.0
+                assert query.klass in CHAOS_CLASS_NAMES
             assert query.sql(7).startswith("SELECT")
+        if spec.arrival is not None:
+            assert spec.arrival.process in ARRIVAL_PROCESSES
+            assert spec.arrival.rate_qps > 0.0
         for fault in spec.faults:
             assert fault.kind in FAULT_KINDS
             assert fault.server in servers

@@ -1,0 +1,140 @@
+"""Load generator: determinism, shed confinement, CLI artifact."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.fed.admission import PriorityClass
+from repro.harness.loadgen import run_loadgen
+
+
+@pytest.fixture(scope="module")
+def overloaded(sample_databases):
+    """One run hot enough to force sheds (shared read-only in-module)."""
+    return run_loadgen(
+        arrival="poisson",
+        rate_qps=80.0,
+        duration_ms=1_500.0,
+        seed=11,
+        prebuilt_databases=sample_databases,
+    )
+
+
+class TestLoadGen:
+    def test_verdicts_are_byte_identical(self, overloaded, sample_databases):
+        rerun = run_loadgen(
+            arrival="poisson",
+            rate_qps=80.0,
+            duration_ms=1_500.0,
+            seed=11,
+            prebuilt_databases=sample_databases,
+        )
+        assert overloaded.verdict_lines() == rerun.verdict_lines()
+
+    def test_header_carries_arrival_spec(self, overloaded):
+        header = json.loads(overloaded.verdict_lines()[0])
+        assert header["record"] == "loadgen-run"
+        assert header["arrival"] == {
+            "process": "poisson",
+            "rate_qps": 80.0,
+        }
+        assert [c["name"] for c in header["classes"]] == [
+            "gold",
+            "silver",
+            "batch",
+        ]
+
+    def test_every_query_has_a_verdict_line(self, overloaded):
+        lines = overloaded.verdict_lines()
+        assert len(lines) == overloaded.offered + 1
+        statuses = [json.loads(line)["status"] for line in lines[1:]]
+        assert statuses.count("completed") == len(overloaded.completed)
+        assert statuses.count("shed") == len(overloaded.sheds)
+
+    def test_sheds_confined_to_lowest_class_with_evidence(self, overloaded):
+        assert overloaded.sheds, "80 q/s at test scale must shed batch"
+        by_class = overloaded.sheds_by_class()
+        assert by_class["gold"] == 0 and by_class["silver"] == 0
+        assert by_class["batch"] == len(overloaded.sheds)
+        assert overloaded.shed_violations() == []
+        assert not overloaded.failures
+
+    def test_summary_shapes(self, overloaded):
+        summary = overloaded.summary()
+        assert summary["offered"] == overloaded.offered
+        assert set(summary["per_class"]) == {"gold", "silver", "batch"}
+        assert summary["sustained_qps"] > 0
+        assert summary["shed_violations"] == []
+
+    def test_bursty_process_differs_from_poisson(
+        self, overloaded, sample_databases
+    ):
+        bursty = run_loadgen(
+            arrival="bursty",
+            rate_qps=80.0,
+            duration_ms=1_500.0,
+            seed=11,
+            prebuilt_databases=sample_databases,
+        )
+        header = json.loads(bursty.verdict_lines()[0])
+        assert header["arrival"]["process"] == "bursty"
+        # Same seed, same rate, different process: a different trace.
+        assert bursty.verdict_lines() != overloaded.verdict_lines()
+
+    def test_custom_classes_respect_weights(self, sample_databases):
+        classes = (
+            PriorityClass("only", rank=0, weight=1.0),
+            PriorityClass("never", rank=1, weight=0.0, budget_ms=1.0),
+        )
+        result = run_loadgen(
+            rate_qps=40.0,
+            duration_ms=500.0,
+            classes=classes,
+            seed=5,
+            prebuilt_databases=sample_databases,
+        )
+        assert result.offered > 0
+        assert all(h.klass == "only" for h in result.handles)
+
+
+class TestLoadgenCli:
+    def test_cli_writes_deterministic_jsonl(self, tmp_path, capsys):
+        paths = []
+        for name in ("a.jsonl", "b.jsonl"):
+            path = tmp_path / name
+            code = main(
+                [
+                    "loadgen",
+                    "--qps",
+                    "40",
+                    "--duration",
+                    "600",
+                    "--seed",
+                    "5",
+                    "--jsonl",
+                    str(path),
+                ]
+            )
+            assert code == 0
+            paths.append(path)
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+        out = capsys.readouterr().out
+        assert "arrival=poisson@40qps" in out
+        assert "Class" in out
+
+    def test_cli_parses_class_spec(self, capsys):
+        code = main(
+            [
+                "loadgen",
+                "--qps",
+                "30",
+                "--duration",
+                "400",
+                "--classes",
+                "vip=0.5:inf:inf,bulk=0.5:400:20:4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "vip" in out and "bulk" in out

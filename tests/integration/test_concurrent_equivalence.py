@@ -1,0 +1,163 @@
+"""Concurrent runtime vs sequential integrator: equivalence + inflation.
+
+The event scheduler must be a pure generalisation of the sequential
+runtime: a single query routed through :class:`ConcurrentRuntime` meets
+no contention, so every observable — rows, response decomposition,
+routing, calibrator feedback — must be *bit-identical* to
+``integrator.submit`` on an identically seeded federation.  Only under
+actual overlap may observed times inflate, and then the inflation must
+feed the calibrator.
+"""
+
+import pytest
+
+from repro.fed import ConcurrentRuntime, DEFAULT_CLASSES, PriorityClass
+from repro.harness import build_federation
+from repro.workload import TEST_SCALE, build_workload
+from repro.workload.queries import QT1, QT3
+
+# Concurrency is an II-side concern: the same physical data backs the
+# sequential reference and the concurrent run.
+
+
+@pytest.fixture()
+def make_deployment(sample_databases):
+    def factory():
+        return build_federation(
+            scale=TEST_SCALE, prebuilt_databases=sample_databases
+        )
+
+    return factory
+
+
+class TestSingleQueryEquivalence:
+    @pytest.mark.parametrize("discipline", ["ps", "fifo"])
+    def test_single_query_is_bit_identical(
+        self, make_deployment, discipline
+    ):
+        for instance in build_workload(instances_per_type=1):
+            sequential = make_deployment()
+            reference = sequential.integrator.submit(
+                instance.sql, label=instance.label
+            )
+
+            concurrent = make_deployment()
+            runtime = ConcurrentRuntime(
+                concurrent.integrator, discipline=discipline
+            )
+            handle = runtime.submit_at(0.0, instance.sql, klass="gold")
+            runtime.run()
+
+            result = handle.result
+            assert result is not None, handle.error
+            # Exact equality, not approx: an uncontended queue must add
+            # zero float residue to any observable.
+            assert result.rows == reference.rows
+            assert result.response_ms == reference.response_ms
+            assert result.remote_ms == reference.remote_ms
+            assert result.merge_ms == reference.merge_ms
+            assert result.retries == reference.retries
+            assert result.plan.servers == reference.plan.servers
+
+    def test_single_query_calibrator_feedback_is_bit_identical(
+        self, make_deployment
+    ):
+        instance = QT3.instance(0)
+
+        sequential = make_deployment()
+        sequential.integrator.submit(instance.sql)
+
+        concurrent = make_deployment()
+        runtime = ConcurrentRuntime(concurrent.integrator)
+        runtime.submit_at(0.0, instance.sql, klass="gold")
+        runtime.run()
+
+        seq_log = sequential.meta_wrapper.runtime_log
+        conc_log = concurrent.meta_wrapper.runtime_log
+        assert [
+            (e.server, e.fragment_signature, e.observed_ms, e.estimated_total)
+            for e in seq_log
+        ] == [
+            (e.server, e.fragment_signature, e.observed_ms, e.estimated_total)
+            for e in conc_log
+        ]
+
+    def test_sequential_runs_unaffected_by_scheduler_import(
+        self, make_deployment
+    ):
+        """Two identically seeded sequential submits bracket a
+        concurrent run: the scheduler must leave no global state."""
+        instance = QT1.instance(0)
+        before = make_deployment().integrator.submit(instance.sql)
+
+        runtime = ConcurrentRuntime(make_deployment().integrator)
+        runtime.submit_at(0.0, instance.sql, klass="gold")
+        runtime.run()
+
+        after = make_deployment().integrator.submit(instance.sql)
+        assert before.response_ms == after.response_ms
+        assert before.rows == after.rows
+
+
+class TestContentionInflation:
+    def test_overlapping_queries_inflate_observed_latency(
+        self, make_deployment
+    ):
+        instance = QT3.instance(0)
+
+        solo = make_deployment()
+        runtime = ConcurrentRuntime(solo.integrator)
+        baseline = runtime.submit_at(0.0, instance.sql, klass="gold")
+        runtime.run()
+
+        crowded = make_deployment()
+        runtime = ConcurrentRuntime(crowded.integrator)
+        handles = [
+            runtime.submit_at(0.0, instance.sql, klass="gold")
+            for _ in range(8)
+        ]
+        runtime.run()
+
+        assert all(h.result is not None for h in handles)
+        slowest = max(h.result.response_ms for h in handles)
+        assert slowest > baseline.result.response_ms
+        # The inflation reached the calibrator's input log, not just
+        # the client-visible response times.
+        observed = [e.observed_ms for e in crowded.meta_wrapper.runtime_log]
+        solo_observed = [
+            e.observed_ms for e in solo.meta_wrapper.runtime_log
+        ]
+        assert max(observed) > max(solo_observed)
+
+    def test_run_is_replayable(self, make_deployment):
+        def drive():
+            deployment = make_deployment()
+            runtime = ConcurrentRuntime(deployment.integrator)
+            instance = QT3.instance(0)
+            handles = [
+                runtime.submit_at(i * 5.0, instance.sql, klass="silver")
+                for i in range(6)
+            ]
+            runtime.run()
+            return [(h.status, h.response_ms) for h in handles]
+
+        assert drive() == drive()
+
+    def test_sheds_require_exhausted_headroom(self, make_deployment):
+        """A tight lowest-class budget under heavy overlap sheds — and
+        every shed verdict carries evidence that survives the audit."""
+        classes = DEFAULT_CLASSES[:2] + (
+            PriorityClass("batch", rank=2, weight=0.3, budget_ms=5.0),
+        )
+        deployment = make_deployment()
+        runtime = ConcurrentRuntime(deployment.integrator, classes=classes)
+        instance = QT3.instance(0)
+        for i in range(10):
+            runtime.submit_at(float(i), instance.sql, klass="batch")
+        runtime.run()
+        sheds = runtime.sheds()
+        assert sheds, "a 5 ms budget under overlap must shed"
+        assert all(h.shed.reason == "budget-exhausted" for h in sheds)
+        from repro.fed.admission import shed_violations
+
+        assert shed_violations(runtime.admission.decisions) == []

@@ -9,10 +9,24 @@ from repro.chaos import (
 )
 
 
-def test_sim_package_is_clean():
-    # The shipped simulator must never consume global random state;
-    # the chaos CLI refuses to run otherwise.
+def test_sim_and_fed_packages_are_clean():
+    # The shipped simulator and federation layer must never consume
+    # global random state; the chaos CLI refuses to run otherwise.
     forbid_global_random()
+
+
+def test_default_scan_covers_fed_package(tmp_path, monkeypatch):
+    """The no-argument guard must scan ``repro.fed`` too — admission
+    control's arrival generators draw randomness there, and an implicit
+    global draw would break every concurrent scenario's determinism."""
+    import repro.fed
+
+    offender = tmp_path / "arrivals.py"
+    offender.write_text("import random\ngap = random.expovariate(1.0)\n")
+    monkeypatch.setattr(repro.fed, "__file__", str(tmp_path / "__init__.py"))
+    with pytest.raises(DeterminismError) as excinfo:
+        forbid_global_random()
+    assert "arrivals.py:2" in str(excinfo.value)
 
 
 def test_flags_module_level_random_calls(tmp_path):

@@ -1,0 +1,242 @@
+"""Event scheduler and capacity queues: determinism, conservation,
+FIFO-vs-PS sojourn shapes."""
+
+import pytest
+
+from repro.sim.sched import (
+    AllOf,
+    Completion,
+    Delay,
+    EventScheduler,
+    ServerQueue,
+    Work,
+)
+
+
+def _worker(queue, demand_ms, log):
+    completion = yield Work(queue, demand_ms)
+    log.append(completion)
+
+
+class TestEventScheduler:
+    def test_equal_time_events_fire_in_scheduling_order(self):
+        sched = EventScheduler()
+        order = []
+        sched.call_at(10.0, order.append, "first")
+        sched.call_at(10.0, order.append, "second")
+        sched.call_at(5.0, order.append, "earlier")
+        sched.call_at(10.0, order.append, "third")
+        sched.run()
+        assert order == ["earlier", "first", "second", "third"]
+
+    def test_run_returns_final_virtual_time(self):
+        sched = EventScheduler()
+        sched.call_at(123.5, lambda: None)
+        assert sched.run() == 123.5
+
+    def test_cannot_schedule_into_the_past(self):
+        sched = EventScheduler()
+        sched.call_at(100.0, lambda: None)
+        sched.run()
+        with pytest.raises(ValueError):
+            sched.call_at(50.0, lambda: None)
+
+    def test_delay_and_allof_resume_processes(self):
+        sched = EventScheduler()
+        queue = ServerQueue("S", sched, capacity=1.0)
+        trail = []
+
+        def process():
+            yield Delay(5.0)
+            trail.append(("woke", sched.now))
+            completions = yield AllOf(
+                [Work(queue, 10.0), Work(queue, 20.0), Delay(1.0)]
+            )
+            trail.append(("joined", sched.now))
+            assert completions[2] is None  # plain delays carry no result
+            assert all(
+                isinstance(c, Completion) for c in completions[:2]
+            )
+
+        sched.spawn(process())
+        sched.run()
+        assert trail[0] == ("woke", 5.0)
+        # PS over {10, 20}: sharing until the 10-unit job departs at
+        # t=25, then the survivor's last 10 units run alone until 35.
+        assert trail[1] == ("joined", 35.0)
+
+    def test_spawn_at_defers_first_step(self):
+        sched = EventScheduler()
+        seen = []
+
+        def process():
+            seen.append(sched.now)
+            yield Delay(0.0)
+
+        sched.spawn(process(), at_ms=42.0)
+        sched.run()
+        assert seen == [42.0]
+
+    def test_replay_is_deterministic(self):
+        def drive():
+            sched = EventScheduler()
+            fifo = ServerQueue("F", sched, capacity=2.0, discipline="fifo")
+            ps = ServerQueue("P", sched, capacity=2.0, discipline="ps")
+            log = []
+            for index in range(6):
+                sched.spawn(
+                    _worker(fifo, 10.0 + index, log), at_ms=index * 3.0
+                )
+                sched.spawn(
+                    _worker(ps, 8.0 + index, log), at_ms=index * 3.0
+                )
+            sched.run()
+            return [
+                (c.queue, c.queued_ms, c.finished_ms, c.sojourn_ms)
+                for c in log
+            ]
+
+        assert drive() == drive()
+
+
+class TestServerQueue:
+    @pytest.mark.parametrize("discipline", ["fifo", "ps"])
+    def test_capacity_conservation(self, discipline):
+        """Total busy time == total demand / capacity, every job is
+        served exactly once, and the queue drains empty."""
+        sched = EventScheduler()
+        queue = ServerQueue(
+            "S", sched, capacity=2.0, discipline=discipline
+        )
+        demands = [10.0, 4.0, 26.0, 8.0, 2.0]
+        log = []
+        for index, demand in enumerate(demands):
+            sched.spawn(_worker(queue, demand, log), at_ms=index * 1.0)
+        end = sched.run()
+        assert len(log) == len(demands)
+        assert queue.served == len(demands)
+        assert queue.depth == 0
+        assert queue.busy_ms == pytest.approx(
+            sum(demands) / queue.capacity
+        )
+        # A single server can't finish faster than its capacity allows.
+        assert end >= sum(demands) / queue.capacity
+
+    def test_uncontended_sojourn_is_exactly_service_time(self):
+        """The bit-exactness contract behind sequential equivalence: a
+        lone job's sojourn must be ``demand / capacity`` exactly, even
+        when the arrival instant has an awkward float representation."""
+        sched = EventScheduler()
+        queue = ServerQueue("S", sched, capacity=3.0)
+        log = []
+        sched.spawn(_worker(queue, 10.0, log), at_ms=0.1 + 0.2)  # 0.30000...4
+        sched.run()
+        (completion,) = log
+        assert completion.contended is False
+        assert completion.sojourn_ms == 10.0 / 3.0
+        assert completion.wait_ms == 0.0
+
+    def test_fifo_serialises_in_arrival_order(self):
+        sched = EventScheduler()
+        queue = ServerQueue("S", sched, capacity=1.0, discipline="fifo")
+        log = []
+        for _ in range(3):
+            sched.spawn(_worker(queue, 10.0, log), at_ms=0.0)
+        sched.run()
+        assert [c.finished_ms for c in log] == [10.0, 20.0, 30.0]
+        assert [c.sojourn_ms for c in log] == [10.0, 20.0, 30.0]
+        assert [c.wait_ms for c in log] == [0.0, 10.0, 20.0]
+        assert log[0].contended is False
+        assert log[1].contended and log[2].contended
+
+    def test_ps_shares_capacity_equally(self):
+        """Two equal jobs arriving together each take twice their solo
+        service time and finish simultaneously — the egalitarian-PS
+        signature FIFO cannot produce."""
+        sched = EventScheduler()
+        queue = ServerQueue("S", sched, capacity=1.0, discipline="ps")
+        log = []
+        for _ in range(2):
+            sched.spawn(_worker(queue, 10.0, log), at_ms=0.0)
+        sched.run()
+        assert [c.finished_ms for c in log] == [20.0, 20.0]
+        assert all(c.contended for c in log)
+        assert all(c.sojourn_ms == pytest.approx(20.0) for c in log)
+
+    def test_ps_vs_fifo_sojourn_shape(self):
+        """Same workload, both disciplines: FIFO lets the short job jump
+        out fast behind nothing, PS drags every resident; total drain
+        time is identical (work conservation)."""
+
+        def drive(discipline):
+            sched = EventScheduler()
+            queue = ServerQueue(
+                "S", sched, capacity=1.0, discipline=discipline
+            )
+            log = []
+            sched.spawn(_worker(queue, 30.0, log), at_ms=0.0)
+            sched.spawn(_worker(queue, 3.0, log), at_ms=1.0)
+            sched.run()
+            return {c.demand_ms: c.sojourn_ms for c in log}
+
+        fifo, ps = drive("fifo"), drive("ps")
+        # FIFO: the short job waits out the long one's full residual.
+        assert fifo[3.0] == pytest.approx(32.0)
+        assert fifo[30.0] == pytest.approx(30.0)
+        # PS: the short job only pays double while sharing (sojourn 6);
+        # the long job pays for the company instead (sojourn 33).
+        assert ps[3.0] == pytest.approx(6.0)
+        assert ps[30.0] == pytest.approx(33.0)
+        # Work conservation: both disciplines drain the 33 ms of demand
+        # at the same instant, t = 33.
+        assert 1.0 + fifo[3.0] == pytest.approx(33.0)
+        assert ps[30.0] == pytest.approx(33.0)
+
+    def test_ps_departure_ties_break_by_arrival_order(self):
+        sched = EventScheduler()
+        queue = ServerQueue("S", sched, capacity=1.0, discipline="ps")
+        log = []
+        for _ in range(3):
+            sched.spawn(_worker(queue, 12.0, log), at_ms=0.0)
+        sched.run()
+        # Identical demands: all depart at 36 in submission order.
+        assert [c.finished_ms for c in log] == [36.0, 36.0, 36.0]
+        assert [c.depth_at_arrival for c in log] == [1, 2, 3]
+
+    def test_backlog_ms_predicts_drain_time(self):
+        sched = EventScheduler()
+        fifo = ServerQueue("F", sched, capacity=2.0, discipline="fifo")
+        ps = ServerQueue("P", sched, capacity=2.0, discipline="ps")
+        log = []
+        for queue in (fifo, ps):
+            sched.spawn(_worker(queue, 10.0, log), at_ms=0.0)
+            sched.spawn(_worker(queue, 6.0, log), at_ms=0.0)
+        sched.run(until_ms=0.0)
+        assert fifo.backlog_ms(0.0) == pytest.approx(8.0)
+        assert ps.backlog_ms(0.0) == pytest.approx(8.0)
+        sched.run()
+        assert fifo.backlog_ms(sched.now) == 0.0
+        assert ps.backlog_ms(sched.now) == 0.0
+
+    def test_max_depth_tracks_peak_concurrency(self):
+        sched = EventScheduler()
+        queue = ServerQueue("S", sched, capacity=1.0, discipline="ps")
+        log = []
+        for index in range(4):
+            sched.spawn(_worker(queue, 5.0, log), at_ms=float(index))
+        sched.run()
+        assert queue.max_depth == 4
+
+    def test_rejects_invalid_configuration(self):
+        sched = EventScheduler()
+        with pytest.raises(ValueError):
+            ServerQueue("S", sched, capacity=0.0)
+        with pytest.raises(ValueError):
+            ServerQueue("S", sched, discipline="lifo")
+        queue = ServerQueue("S", sched)
+        with pytest.raises(ValueError):
+            queue.submit(-1.0, lambda completion: None)
+        with pytest.raises(ValueError):
+            Work(queue, -2.0)
+        with pytest.raises(ValueError):
+            Delay(-1.0)
