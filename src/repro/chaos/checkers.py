@@ -44,7 +44,7 @@ import math
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from ..fed.admission import shed_violations
-from ..sqlengine import rows_close_unordered
+from ..sqlengine import rows_close_unordered, rows_equal_unordered
 from .runner import QueryOutcome, ScenarioRun
 
 CheckerFn = Callable[[ScenarioRun], List[str]]
@@ -125,7 +125,14 @@ def check_oracle_equivalence(run: ScenarioRun) -> List[str]:
             # pure-concurrency overload, legal even without faults.
             # There are no oracle rows to compare against.
             continue
-        if not rows_close_unordered(outcome.rows, reference.rows):
+        # Hedged runs are held to *exact* row equality: a backup replica
+        # must return the same bytes the primary would have — any drift
+        # means the hedge changed the answer, not just the latency.
+        if run.spec.hedge_after_ms is not None:
+            equivalent = rows_equal_unordered(outcome.rows, reference.rows)
+        else:
+            equivalent = rows_close_unordered(outcome.rows, reference.rows)
+        if not equivalent:
             problems.append(
                 f"query #{outcome.index} ({outcome.query_type}) returned "
                 f"{len(outcome.rows)} rows differing from the fault-free "

@@ -334,7 +334,11 @@ def _drive_concurrent(
     registered before the query processes so equal-time ties resolve
     write-before-submit, matching the sequential drive's ordering.
     """
-    runtime = ConcurrentRuntime(integrator, classes=CHAOS_CLASSES)
+    runtime = ConcurrentRuntime(
+        integrator,
+        classes=CHAOS_CLASSES,
+        hedge_after_ms=spec.hedge_after_ms,
+    )
     if manager is not None and with_faults:
         for event in lag_events:
             runtime.scheduler.call_at(

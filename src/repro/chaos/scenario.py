@@ -210,6 +210,10 @@ class ScenarioSpec:
     staleness_tolerance_ms: Optional[float] = None
     #: Open-loop arrival process; None = sequential closed-loop drive.
     arrival: Optional[ArrivalSpec] = None
+    #: Static hedge delay for concurrent scenarios (``repro chaos
+    #: --hedge-after``); None = hedging off.  Never sampled by the
+    #: generator, so default sweeps keep their exact bytes.
+    hedge_after_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.topology not in TOPOLOGY_SERVERS:
@@ -246,7 +250,7 @@ class ScenarioSpec:
         )
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        data: Dict[str, object] = {
             "seed": self.seed,
             "index": self.index,
             "topology": self.topology,
@@ -257,12 +261,19 @@ class ScenarioSpec:
                 None if self.arrival is None else self.arrival.to_dict()
             ),
         }
+        # Conditional key: default (non-hedged) specs keep the exact
+        # canonical bytes they had before hedging existed.
+        if self.hedge_after_ms is not None:
+            data["hedge_after_ms"] = self.hedge_after_ms
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ScenarioSpec":
         tolerance = data.get("staleness_tolerance_ms")
         arrival = data.get("arrival")
+        hedge = data.get("hedge_after_ms")
         return cls(
+            hedge_after_ms=None if hedge is None else float(hedge),
             seed=int(data["seed"]),
             index=int(data["index"]),
             topology=str(data["topology"]),

@@ -299,6 +299,16 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="report failures without minimising their schedules",
     )
+    chaos.add_argument(
+        "--hedge-after",
+        type=float,
+        default=None,
+        metavar="MS",
+        help=(
+            "enable hedged fragment dispatch in concurrent scenarios "
+            "(static hedge delay in virtual ms; default: disabled)"
+        ),
+    )
     loadgen = sub.add_parser(
         "loadgen",
         help=(
@@ -354,6 +364,17 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "write the run header and one verdict JSON line per query "
             "to PATH (byte-deterministic for fixed parameters)"
+        ),
+    )
+    loadgen.add_argument(
+        "--hedge-after",
+        type=float,
+        default=None,
+        metavar="MS",
+        help=(
+            "enable hedged fragment dispatch (static hedge delay in "
+            "virtual ms; per-fragment p95 takes over with history; "
+            "default: disabled)"
         ),
     )
 
@@ -613,6 +634,17 @@ def _cmd_chaos(args) -> int:
         specs = [ScenarioSpec.from_json(args.repro)]
     else:
         specs = generate_scenarios(args.seed, args.runs)
+    if args.hedge_after is not None:
+        # Hedging applies to concurrent scenarios only: the sequential
+        # drive has no event scheduler to race a backup on.
+        from dataclasses import replace as _replace
+
+        specs = [
+            _replace(spec, hedge_after_ms=args.hedge_after)
+            if spec.arrival is not None
+            else spec
+            for spec in specs
+        ]
 
     sink = None
     if args.jsonl:
@@ -714,6 +746,7 @@ def _cmd_loadgen(args) -> int:
         seed=args.seed,
         scale=_SCALES[args.scale],
         discipline=args.discipline,
+        hedge_after_ms=args.hedge_after,
     )
     print(result.render())
     if args.jsonl:

@@ -4,21 +4,33 @@ Two granularities:
 
 * **Fragment level** (4.1): when the plan II selected for a fragment has
   *identical* alternatives on other servers with calibrated costs within
-  a band (default 20%), QCC clusters them and rotates round-robin — but
+  a band (default 20%), QCC clusters them and selects the replica by
+  **rendezvous (HRW) hashing** on ``(fragment_signature, server)`` — but
   only once the fragment's workload (calibrated cost × submission
-  frequency) exceeds a threshold.
+  frequency) exceeds a threshold.  Rendezvous hashing replaces the
+  paper's positional round-robin *within* a cluster: each distinct
+  fragment instance gets a stable, deterministic replica (plan-cache and
+  data-cache locality survive calibration epochs), distinct fragments
+  spread uniformly across the cluster, and membership churn moves only
+  ~1/n of the assignments.  The HRW rank order also names the natural
+  backup replica for hedged dispatch (``repro.fed.hedging``).
 
 * **Global level** (4.2): among enumerated global plans, drop plans
   dominated by a cheaper plan on the same server set, cluster plans
   within the band of the cheapest, and rotate round-robin across the
   cluster — spreading a hot query's load over disjoint server sets.
+
+All per-key state (workload windows, rotation counters, last-cluster
+introspection) is LRU-bounded by ``LoadBalanceConfig.max_tracked`` so a
+workload of millions of distinct statements cannot leak memory.
 """
 
 from __future__ import annotations
 
+import hashlib
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Sequence, Tuple
+from typing import Deque, Dict, List, Sequence, Tuple, TypeVar
 
 from ..fed.decomposer import DecomposedQuery
 from ..fed.global_optimizer import (
@@ -39,19 +51,73 @@ class LoadBalanceConfig:
     workload_threshold: float = 0.0
     #: Sliding window (virtual ms) over which workload is measured.
     window_ms: float = 60_000.0
+    #: LRU bound on distinct keys tracked (workload windows, rotation
+    #: counters, last-cluster introspection).
+    max_tracked: int = 1024
+
+
+_V = TypeVar("_V")
+
+
+def _lru_put(mapping: Dict[str, _V], key: str, value: _V, bound: int) -> None:
+    """Insert ``key`` at the most-recently-used end, evicting the LRU
+    entries beyond ``bound`` (dicts preserve insertion order)."""
+    mapping.pop(key, None)
+    mapping[key] = value
+    while len(mapping) > bound:
+        del mapping[next(iter(mapping))]
+
+
+def hrw_score(fragment_signature: str, server: str) -> int:
+    """Rendezvous weight of *server* for *fragment_signature*.
+
+    A keyed ``blake2b`` digest — deterministic across processes and
+    Python invocations (unlike the salted builtin ``hash``), uniform
+    enough that distinct signatures spread evenly over a cluster.
+    """
+    payload = f"{fragment_signature}\x00{server}".encode("utf-8")
+    return int.from_bytes(
+        hashlib.blake2b(payload, digest_size=8).digest(), "big"
+    )
+
+
+def rank_servers(fragment_signature: str, servers: Sequence[str]) -> List[str]:
+    """Servers ordered by descending rendezvous weight (ties by name).
+
+    The head is the fragment's home replica; the second entry is the
+    canonical hedge backup.  Removing one server from the input moves
+    only the assignments whose head it was (~1/n of fragments).
+    """
+    return sorted(
+        servers, key=lambda s: (-hrw_score(fragment_signature, s), s)
+    )
 
 
 class _WorkloadTracker:
-    """Measures per-key workload: calibrated cost × frequency in a window."""
+    """Measures per-key workload: calibrated cost × frequency in a window.
 
-    def __init__(self, window_ms: float):
+    LRU-bounded: at most ``max_tracked`` keys are retained, evicting the
+    least recently *noted* key first.
+    """
+
+    def __init__(self, window_ms: float, max_tracked: int = 1024):
         self.window_ms = window_ms
+        self.max_tracked = max_tracked
         self._events: Dict[str, Deque[Tuple[float, float]]] = {}
 
+    def __len__(self) -> int:
+        return len(self._events)
+
     def note(self, key: str, cost: float, t_ms: float) -> None:
-        events = self._events.setdefault(key, deque())
+        events = self._events.pop(key, None)
+        if events is None:
+            events = deque()
+        # Re-insert at the MRU end before bounding.
+        self._events[key] = events
         events.append((t_ms, cost))
         self._trim(events, t_ms)
+        while len(self._events) > self.max_tracked:
+            del self._events[next(iter(self._events))]
 
     def workload(self, key: str, t_ms: float) -> float:
         events = self._events.get(key)
@@ -67,13 +133,13 @@ class _WorkloadTracker:
 
 
 class FragmentLoadBalancer:
-    """Round-robin rotation across identical fragment plans (Section 4.1)."""
+    """Rendezvous-hash selection across identical fragment plans (4.1)."""
 
     def __init__(self, config: LoadBalanceConfig = LoadBalanceConfig()):
         self.config = config
-        self._tracker = _WorkloadTracker(config.window_ms)
-        self._counters: Dict[str, int] = {}
-        #: (fragment_signature -> rotation membership) for introspection.
+        self._tracker = _WorkloadTracker(config.window_ms, config.max_tracked)
+        #: (fragment_signature -> cluster membership) for introspection,
+        #: in HRW rank order (head = home replica, second = hedge backup).
         self.last_clusters: Dict[str, List[str]] = {}
 
     def note_execution(
@@ -94,18 +160,40 @@ class FragmentLoadBalancer:
         plans may result in different global processing plans with
         dramatically different costs even [if] they have an identical
         calibrated cost."
+
+        Within the exchangeable cluster the replica is the head of the
+        fragment's HRW rank (:func:`rank_servers`): repeated submissions
+        of the *same* fragment stick to one replica (cache locality),
+        while distinct fragments spread uniformly across the cluster.
         """
         signature = chosen.fragment.signature
         workload = self._tracker.workload(signature, t_ms)
         if workload < self.config.workload_threshold:
             return chosen
+        cluster = self.ranked_cluster(chosen, siblings)
+        _lru_put(
+            self.last_clusters,
+            signature,
+            [o.server for o in cluster],
+            self.config.max_tracked,
+        )
+        return cluster[0]
+
+    def ranked_cluster(
+        self, chosen: FragmentOption, siblings: Sequence[FragmentOption]
+    ) -> List[FragmentOption]:
+        """The exchangeable near-cost cluster, in HRW rank order."""
         cluster = self._cluster(chosen, siblings)
-        self.last_clusters[signature] = [o.server for o in cluster]
-        if len(cluster) < 2:
-            return chosen
-        index = self._counters.get(signature, 0)
-        self._counters[signature] = index + 1
-        return cluster[index % len(cluster)]
+        order = {
+            server: position
+            for position, server in enumerate(
+                rank_servers(
+                    chosen.fragment.signature, [o.server for o in cluster]
+                )
+            )
+        }
+        cluster.sort(key=lambda o: order[o.server])
+        return cluster
 
     def _cluster(
         self, chosen: FragmentOption, siblings: Sequence[FragmentOption]
@@ -121,7 +209,6 @@ class FragmentLoadBalancer:
         cheapest = min(o.calibrated.total for o in matches)
         threshold = cheapest * (1.0 + self.config.band)
         cluster = [o for o in matches if o.calibrated.total <= threshold]
-        # Deterministic rotation order: by server name.
         cluster.sort(key=lambda o: o.server)
         return cluster
 
@@ -131,7 +218,7 @@ class GlobalLoadBalancer:
 
     def __init__(self, config: LoadBalanceConfig = LoadBalanceConfig()):
         self.config = config
-        self._tracker = _WorkloadTracker(config.window_ms)
+        self._tracker = _WorkloadTracker(config.window_ms, config.max_tracked)
         self._counters: Dict[str, int] = {}
         self.last_clusters: Dict[str, List[str]] = {}
 
@@ -145,19 +232,33 @@ class GlobalLoadBalancer:
 
         Below the workload threshold this is simply the cheapest plan;
         above it, rotation over the dominance-pruned near-cost cluster.
+        The workload tracker records the cost of the plan *actually
+        chosen* — rotation may pick a costlier cluster member, and the
+        threshold must reflect the work really sent out.
         """
         if not plans:
             raise ValueError("no plans to recommend from")
         key = decomposed.statement.sql()
         cheapest = plans[0]
-        self._tracker.note(key, cheapest.total_cost, t_ms)
-        if self._tracker.workload(key, t_ms) < self.config.workload_threshold:
-            return cheapest
-        survivors = eliminate_dominated(plans)
-        cluster = cluster_near_cost(survivors, self.config.band)
-        self.last_clusters[key] = [p.plan_id for p in cluster]
-        if len(cluster) < 2:
-            return cheapest
-        index = self._counters.get(key, 0)
-        self._counters[key] = index + 1
-        return cluster[index % len(cluster)]
+        chosen = cheapest
+        # This submission counts toward its own gate (the tracker used
+        # to be fed before the check), but its cost is only known after
+        # the choice — so add the candidate cost to the read instead.
+        workload = self._tracker.workload(key, t_ms) + cheapest.total_cost
+        if workload >= self.config.workload_threshold:
+            survivors = eliminate_dominated(plans)
+            cluster = cluster_near_cost(survivors, self.config.band)
+            _lru_put(
+                self.last_clusters,
+                key,
+                [p.plan_id for p in cluster],
+                self.config.max_tracked,
+            )
+            if len(cluster) >= 2:
+                index = self._counters.get(key, 0)
+                _lru_put(
+                    self._counters, key, index + 1, self.config.max_tracked
+                )
+                chosen = cluster[index % len(cluster)]
+        self._tracker.note(key, chosen.total_cost, t_ms)
+        return chosen

@@ -15,6 +15,7 @@ from .admission import (
     shed_violations,
 )
 from .concurrent import ConcurrentRuntime, QueryHandle
+from .hedging import HedgeConfig, HedgePolicy, make_policy
 from .cursor import BatchInfo, FederatedCursor
 from .decomposer import DecomposedQuery, QueryFragment, decompose
 from .explain import ExplainRecord, ExplainTable
@@ -58,6 +59,8 @@ __all__ = [
     "ExplainRecord",
     "ExplainTable",
     "FederatedResult",
+    "HedgeConfig",
+    "HedgePolicy",
     "FederationError",
     "FixedRouter",
     "FragmentOption",
@@ -90,6 +93,7 @@ __all__ = [
     "enumerate_global_plans",
     "estimate_merge_cost",
     "make_arrivals",
+    "make_policy",
     "parse_class_spec",
     "plan_key",
     "shed_violations",

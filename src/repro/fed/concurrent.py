@@ -40,12 +40,15 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from ..core.load_balance import rank_servers
+from ..core.routing import generalize_signature
 from ..obs import NULL_TRACE, get_obs
 from ..obs.profile import NULL_PROFILER, get_profiler
 from ..sim import (
     AllOf,
     Delay,
     EventScheduler,
+    HedgedWork,
     ServerQueue,
     ServerUnavailable,
     Work,
@@ -57,6 +60,8 @@ from .admission import (
     PriorityClass,
     ShedVerdict,
 )
+from .global_optimizer import FragmentOption
+from .hedging import DEFAULT_DEPTH_CAP, HedgePolicy, make_policy
 from .integrator import (
     FederatedResult,
     FragmentOutcome,
@@ -111,6 +116,12 @@ class ConcurrentRuntime:
     ``ii_capacity`` are service rates (1.0 = the sequential runtime's
     speed).  The runtime owns the integrator's clock via its scheduler
     and disables the integrator's own clock advancement.
+
+    ``hedge_after_ms`` enables hedged fragment dispatch (the static
+    hedge delay; per-signature p95 derivation takes over once latency
+    history accumulates — see :mod:`repro.fed.hedging`).  ``None`` (the
+    default) disables hedging entirely and the runtime is byte-identical
+    to the pre-hedging code path.
     """
 
     def __init__(
@@ -120,8 +131,14 @@ class ConcurrentRuntime:
         discipline: str = "ps",
         server_capacity: float = 1.0,
         ii_capacity: float = 1.0,
+        hedge_after_ms: Optional[float] = None,
+        hedge_depth_cap: int = DEFAULT_DEPTH_CAP,
     ):
         self.integrator = integrator
+        self.hedge_after_ms = hedge_after_ms
+        self.hedging: Optional[HedgePolicy] = make_policy(
+            hedge_after_ms, hedge_depth_cap
+        )
         integrator.advance_clock = False
         self.scheduler = EventScheduler(integrator.clock)
         self.discipline = discipline
@@ -168,6 +185,165 @@ class ConcurrentRuntime:
             self.queues[server] = queue
             self.admission.backlog_sources[server] = queue
         return queue
+
+    # -- hedging ---------------------------------------------------------
+
+    def _backup_option(
+        self, primary: FragmentOption, t_fire: float
+    ) -> Optional[FragmentOption]:
+        """The replica a hedge backup should target, or ``None``.
+
+        Candidates are the fragment's compile-time siblings with an
+        *identical* plan on a different server, near the cluster's
+        cheapest cost (same exchangeability rule as Section 4.1
+        balancing), walked in HRW rank order — the backup is the
+        highest-ranked exchangeable replica that is believed available
+        at the instant the hedge fires.
+        """
+        mw = self.integrator.meta_wrapper
+        qcc = self.integrator.qcc
+        siblings = mw.sibling_options(primary.fragment.signature)
+        matches = [
+            option
+            for option in siblings
+            if option.server != primary.server
+            and option.plan_signature == primary.plan_signature
+            and option.is_viable
+        ]
+        if not matches:
+            return None
+        cheapest = min(
+            [o.calibrated.total for o in matches]
+            + [primary.calibrated.total]
+        )
+        band = self.hedging.config.band if self.hedging else 0.2
+        near = [
+            o for o in matches if o.calibrated.total <= cheapest * (1.0 + band)
+        ]
+        if not near:
+            return None
+        by_server: Dict[str, FragmentOption] = {}
+        for option in near:
+            by_server.setdefault(option.server, option)
+        for server in rank_servers(
+            primary.fragment.signature, sorted(by_server)
+        ):
+            if qcc is not None and not qcc.is_available(server, t_fire):
+                continue
+            return by_server[server]
+        return None
+
+    def _hedged_request(
+        self,
+        slot: int,
+        entry: tuple,
+        t_dispatch: float,
+        trace,
+        backup_slots: Dict[int, tuple],
+    ) -> HedgedWork:
+        """Wrap one executed fragment into a :class:`HedgedWork` race.
+
+        The backup is built lazily at the instant the hedge timer fires:
+        replica choice, availability and the fanout cap all reflect the
+        queue state *then*, and the backup's raw demand is learned by
+        executing the fragment at the backup wrapper at that instant
+        (``report=False`` — a loser must never feed the calibrator).
+        """
+        choice, option, execution, _ = entry
+        policy = self.hedging
+        assert policy is not None
+        obs = get_obs()
+        mw = self.integrator.meta_wrapper
+        general = generalize_signature(option.fragment.signature)
+
+        def backup_factory(t_fire: float) -> Optional[Work]:
+            backup = self._backup_option(option, t_fire)
+            if backup is None:
+                return None
+            queue = self._queue_for(backup.server)
+            if not policy.allow_backup(queue.depth):
+                policy.suppressed += 1
+                obs.metrics.counter(
+                    "hedge_suppressed_total", server=backup.server
+                ).inc()
+                return None
+            try:
+                backup, backup_execution = mw.execute_option(
+                    backup, t_fire, allow_substitution=False, report=False
+                )
+            except ServerUnavailable:
+                return None
+            backup_slots[slot] = (backup, backup_execution)
+            obs.metrics.counter(
+                "hedge_fired_total", server=backup.server
+            ).inc()
+            trace.event(
+                "hedge_fired",
+                t_fire,
+                fragment=choice.fragment.fragment_id,
+                primary=option.server,
+                backup=backup.server,
+            )
+            return Work(queue, backup_execution.observed_ms)
+
+        return HedgedWork(
+            primary=Work(
+                self._queue_for(option.server), execution.observed_ms
+            ),
+            hedge_after_ms=policy.hedge_after(general),
+            backup_factory=backup_factory,
+        )
+
+    def _settle_hedges(
+        self,
+        executed: List[tuple],
+        hedge_results: List,
+        backup_slots: Dict[int, tuple],
+        t_dispatch: float,
+    ) -> List[tuple]:
+        """Resolve each fragment's race to the winning (option,
+        execution, completion) triple and account for the loser."""
+        policy = self.hedging
+        assert policy is not None
+        obs = get_obs()
+        mw = self.integrator.meta_wrapper
+        settled = []
+        for slot, (entry, outcome) in enumerate(
+            zip(executed, hedge_results)
+        ):
+            choice, option, execution, frag_span = entry
+            completion = outcome.completion
+            if outcome.winner == "backup":
+                loser = option
+                option, execution = backup_slots[slot]
+                # The query's real fragment latency includes the hedge
+                # wait before the backup was even fired.
+                effective_ms = completion.finished_ms - t_dispatch
+                obs.metrics.counter(
+                    "hedge_backup_wins_total", server=option.server
+                ).inc()
+                mw.note_hedge_waste(
+                    loser, outcome.wasted_ms, completion.finished_ms
+                )
+            else:
+                effective_ms = completion.sojourn_ms
+                if outcome.hedged:
+                    loser, _ = backup_slots[slot]
+                    mw.note_hedge_waste(
+                        loser, outcome.wasted_ms, completion.finished_ms
+                    )
+            policy.note_outcome(
+                outcome.hedged, outcome.winner, outcome.wasted_ms
+            )
+            policy.observe(
+                generalize_signature(option.fragment.signature),
+                effective_ms,
+            )
+            settled.append(
+                (choice, option, execution, frag_span, completion,
+                 effective_ms, outcome)
+            )
+        return settled
 
     # -- submission ------------------------------------------------------
 
@@ -349,20 +525,44 @@ class ConcurrentRuntime:
 
             # Contend: push each fragment's raw demand through its
             # server's capacity queue; resume when the slowest finishes.
-            completions = yield AllOf(
-                [
-                    Work(self._queue_for(option.server), execution.observed_ms)
-                    for _, option, execution, _ in executed
+            # With hedging enabled each fragment races a timer-armed
+            # backup at the next HRW-ranked replica; only the winner's
+            # execution flows onward (runtime log, calibrator, merge).
+            if self.hedging is None:
+                completions = yield AllOf(
+                    [
+                        Work(self._queue_for(option.server), execution.observed_ms)
+                        for _, option, execution, _ in executed
+                    ]
+                )
+                settled = [
+                    (choice, option, execution, frag_span, completion,
+                     completion.sojourn_ms, None)
+                    for (choice, option, execution, frag_span), completion
+                    in zip(executed, completions)
                 ]
-            )
+            else:
+                backup_slots: Dict[int, tuple] = {}
+                hedge_results = yield AllOf(
+                    [
+                        self._hedged_request(
+                            slot, entry, t_dispatch, trace, backup_slots
+                        )
+                        for slot, entry in enumerate(executed)
+                    ]
+                )
+                settled = self._settle_hedges(
+                    executed, hedge_results, backup_slots, t_dispatch
+                )
 
             outcomes: Dict[str, FragmentOutcome] = {}
             remote_ms = 0.0
-            for (choice, option, execution, frag_span), completion in zip(
-                executed, completions
-            ):
+            for (
+                choice, option, execution, frag_span, completion,
+                effective_ms, hedge,
+            ) in settled:
                 inflated = dataclasses.replace(
-                    execution, observed_ms=completion.sojourn_ms
+                    execution, observed_ms=effective_ms
                 )
                 mw.note_execution(option, inflated, t_dispatch)
                 obs.metrics.histogram(
@@ -372,6 +572,11 @@ class ConcurrentRuntime:
                     "sched_queue_depth", server=option.server
                 ).set(self._queue_for(option.server).depth)
                 estimated = option.estimated.total
+                hedge_tags = (
+                    dict(hedged=True, hedge_winner=hedge.winner)
+                    if hedge is not None and hedge.hedged
+                    else {}
+                )
                 trace.end(
                     frag_span,
                     completion.finished_ms,
@@ -388,11 +593,12 @@ class ConcurrentRuntime:
                     engine=execution.engine,
                     queue_wait_ms=completion.wait_ms,
                     depth_at_arrival=completion.depth_at_arrival,
+                    **hedge_tags,
                 )
                 outcomes[option.fragment.fragment_id] = FragmentOutcome(
                     option=option, execution=inflated
                 )
-                remote_ms = max(remote_ms, completion.sojourn_ms)
+                remote_ms = max(remote_ms, effective_ms)
 
             # II-side merge: computed locally, then charged to the
             # integrator's own capacity queue.

@@ -71,6 +71,11 @@ class LoadGenResult:
     #: Virtual instant the event loop drained.
     makespan_ms: float
     max_queue_depths: Dict[str, int] = field(default_factory=dict)
+    #: Static hedge delay the run used (None = hedging off).
+    hedge_after_ms: Optional[float] = None
+    #: Hedge accounting: fired/suppressed/backup_wins/wasted_ms (empty
+    #: when hedging is off).
+    hedge_stats: Dict[str, float] = field(default_factory=dict)
 
     # -- accounting ------------------------------------------------------
 
@@ -124,7 +129,7 @@ class LoadGenResult:
     # -- serialisation ---------------------------------------------------
 
     def header_record(self) -> Dict[str, object]:
-        return {
+        header: Dict[str, object] = {
             "record": "loadgen-run",
             "arrival": {"process": self.arrival, "rate_qps": self.rate_qps},
             "duration_ms": self.duration_ms,
@@ -150,6 +155,10 @@ class LoadGenResult:
                 for spec in self.classes
             ],
         }
+        # Conditional key: non-hedged runs keep their pre-hedging bytes.
+        if self.hedge_after_ms is not None:
+            header["hedge_after_ms"] = self.hedge_after_ms
+        return header
 
     def verdict_lines(self) -> List[str]:
         """One canonical JSON line per record: a run header (arrival
@@ -197,7 +206,7 @@ class LoadGenResult:
                 "p95_ms": stats.p95 if stats else None,
                 "p99_ms": stats.p99 if stats else None,
             }
-        return {
+        summary: Dict[str, object] = {
             "arrival": {"process": self.arrival, "rate_qps": self.rate_qps},
             "offered": self.offered,
             "completed": len(self.completed),
@@ -209,6 +218,10 @@ class LoadGenResult:
             "max_queue_depths": dict(sorted(self.max_queue_depths.items())),
             "shed_violations": self.shed_violations(),
         }
+        if self.hedge_after_ms is not None:
+            summary["hedge_after_ms"] = self.hedge_after_ms
+            summary["hedge"] = dict(self.hedge_stats)
+        return summary
 
     def render(self) -> str:
         lines = [
@@ -246,6 +259,15 @@ class LoadGenResult:
             for name, depth in sorted(self.max_queue_depths.items())
         )
         lines.append(f"max queue depths: {depths}")
+        if self.hedge_after_ms is not None:
+            stats = self.hedge_stats
+            lines.append(
+                f"hedging: after={self.hedge_after_ms:g}ms "
+                f"fired={stats.get('fired', 0):g} "
+                f"backup_wins={stats.get('backup_wins', 0):g} "
+                f"suppressed={stats.get('suppressed', 0):g} "
+                f"wasted={stats.get('wasted_ms', 0.0):.1f}ms"
+            )
         problems = self.shed_violations()
         if problems:
             lines.append("SHED VIOLATIONS:")
@@ -265,6 +287,7 @@ def run_loadgen(
     prebuilt_databases: Optional[Dict[str, Database]] = None,
     integrator: Optional[InformationIntegrator] = None,
     max_queries: Optional[int] = None,
+    hedge_after_ms: Optional[float] = None,
 ) -> LoadGenResult:
     """Fire one seeded open-loop arrival stream; returns the verdicts.
 
@@ -272,6 +295,8 @@ def run_loadgen(
     ``duration_ms`` is hit first ends submission); ``integrator`` reuses
     an existing federation instead of building one — the benchmark
     passes prebuilt databases to skip the populate step.
+    ``hedge_after_ms`` enables hedged fragment dispatch (None = off; the
+    verdict artifact stays byte-identical to pre-hedging runs).
     """
     if integrator is None:
         deployment = build_federation(
@@ -281,7 +306,10 @@ def run_loadgen(
         )
         integrator = deployment.integrator
     runtime = ConcurrentRuntime(
-        integrator, classes=classes, discipline=discipline
+        integrator,
+        classes=classes,
+        discipline=discipline,
+        hedge_after_ms=hedge_after_ms,
     )
 
     workload_rng = derive_rng(seed, "loadgen", "workload")
@@ -309,6 +337,16 @@ def run_loadgen(
         name: queue.max_depth for name, queue in runtime.queues.items()
     }
     depths[runtime.ii_queue.name] = runtime.ii_queue.max_depth
+    hedge_stats: Dict[str, float] = {}
+    if runtime.hedging is not None:
+        policy = runtime.hedging
+        hedge_stats = {
+            "fired": float(policy.fired),
+            "suppressed": float(policy.suppressed),
+            "backup_wins": float(policy.backup_wins),
+            "primary_wins": float(policy.primary_wins),
+            "wasted_ms": policy.wasted_ms,
+        }
     return LoadGenResult(
         arrival=arrival,
         rate_qps=rate_qps,
@@ -320,4 +358,6 @@ def run_loadgen(
         decisions=list(runtime.admission.decisions),
         makespan_ms=makespan,
         max_queue_depths=depths,
+        hedge_after_ms=hedge_after_ms,
+        hedge_stats=hedge_stats,
     )

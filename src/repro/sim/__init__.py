@@ -30,6 +30,8 @@ from .sched import (
     Completion,
     Delay,
     EventScheduler,
+    HedgedWork,
+    HedgeOutcome,
     ServerQueue,
     Work,
 )
@@ -46,6 +48,8 @@ __all__ = [
     "Delay",
     "ErrorInjector",
     "EventScheduler",
+    "HedgeOutcome",
+    "HedgedWork",
     "InducedLoad",
     "LOCAL_LINK",
     "LoadSchedule",

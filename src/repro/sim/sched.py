@@ -27,6 +27,14 @@ exactly the signal the paper's QCC calibrates against, so contention
 produced by *overlapping queries* feeds the calibrator the same way the
 testbed's real update storms did.
 
+Hedged dispatch (tail-latency insurance) is a first-class request:
+:class:`HedgedWork` submits a primary :class:`Work` item and arms a
+timer; if no completion arrives within ``hedge_after_ms`` a lazily
+constructed backup is fired at a second queue, the first completion of
+the pair wins, and the loser is *cancelled* — its remaining service is
+released back to its :class:`ServerQueue` so hedging never doubles the
+steady-state load.
+
 Determinism: events at equal virtual times fire in scheduling order (a
 monotonic sequence number breaks ties), processor-sharing departures
 break remaining-work ties by arrival order, and nothing here consumes
@@ -80,6 +88,47 @@ class AllOf:
 
     def __init__(self, requests: Sequence[object]):
         object.__setattr__(self, "requests", tuple(requests))
+
+
+@dataclass(frozen=True)
+class HedgedWork:
+    """Primary work plus a timed backup: first completion wins.
+
+    ``backup_factory(t_ms)`` is called at the instant the hedge timer
+    fires (primary still pending) and returns the backup :class:`Work`
+    — or ``None`` to decline (adaptive fanout cap, backup unavailable).
+    Building the backup lazily matters: its demand and target queue are
+    chosen under the conditions that exist *when the hedge fires*, not
+    when the primary was dispatched.
+    """
+
+    primary: "Work"
+    hedge_after_ms: float
+    backup_factory: Callable[[float], Optional["Work"]]
+
+    def __post_init__(self) -> None:
+        if self.hedge_after_ms < 0:
+            raise ValueError(
+                f"negative hedge timeout {self.hedge_after_ms}"
+            )
+
+
+@dataclass(frozen=True)
+class HedgeOutcome:
+    """Resume value of a :class:`HedgedWork` request."""
+
+    #: The winning request's completion.
+    completion: "Completion"
+    #: ``"primary"`` or ``"backup"``.
+    winner: str
+    #: True when the backup was actually fired (timer elapsed and the
+    #: factory produced work).
+    hedged: bool
+    #: Virtual instant the backup was fired (None when not hedged).
+    backup_fired_ms: Optional[float]
+    #: Service the cancelled loser had already consumed (dedicated
+    #: service-time ms) — the price paid for the insurance.
+    wasted_ms: float
 
 
 @dataclass(frozen=True)
@@ -195,10 +244,62 @@ class EventScheduler:
             self.call_later(request.delay_ms, resume, None)
         elif isinstance(request, AllOf):
             self._join(request.requests, resume)
+        elif isinstance(request, HedgedWork):
+            self._hedge(request, resume)
         else:
             raise TypeError(
-                f"process yielded {request!r}; expected Work, Delay or AllOf"
+                f"process yielded {request!r}; "
+                "expected Work, Delay, AllOf or HedgedWork"
             )
+
+    def _hedge(
+        self, request: HedgedWork, resume: Callable[[object], None]
+    ) -> None:
+        """Race the primary against a timer-armed backup (first wins)."""
+        state: dict = {"done": False, "backup": None, "fired_at": None}
+        primary_queue = request.primary.queue
+
+        def finish(winner: str, completion: "Completion") -> None:
+            if state["done"]:
+                return  # the other leg already won
+            state["done"] = True
+            wasted = 0.0
+            if winner == "primary" and state["backup"] is not None:
+                queue, job = state["backup"]
+                wasted = queue.cancel(job)
+            elif winner == "backup":
+                wasted = primary_queue.cancel(state["primary_job"])
+            resume(
+                HedgeOutcome(
+                    completion=completion,
+                    winner=winner,
+                    hedged=state["backup"] is not None,
+                    backup_fired_ms=state["fired_at"],
+                    wasted_ms=wasted,
+                )
+            )
+
+        state["primary_job"] = primary_queue.submit(
+            request.primary.demand_ms,
+            lambda completion: finish("primary", completion),
+        )
+
+        def fire_backup() -> None:
+            if state["done"]:
+                return  # primary completed before the timer
+            backup = request.backup_factory(self.clock.now)
+            if backup is None:
+                return  # declined (fanout cap, no replica, server down)
+            state["fired_at"] = self.clock.now
+            state["backup"] = (
+                backup.queue,
+                backup.queue.submit(
+                    backup.demand_ms,
+                    lambda completion: finish("backup", completion),
+                ),
+            )
+
+        self.call_later(request.hedge_after_ms, fire_backup)
 
     def _join(
         self, requests: Tuple[object, ...], resume: Callable[[object], None]
@@ -247,6 +348,11 @@ class _Job:
     callback: Callable[[Completion], None]
     depth_at_arrival: int = 1
     contended: bool = False
+    #: FIFO: scheduled finish instant (re-derived after a cancellation).
+    finish_ms: float = 0.0
+    #: FIFO: fences completion events armed before a reschedule.
+    token: int = 0
+    cancelled: bool = False
 
 
 class ServerQueue:
@@ -290,6 +396,7 @@ class ServerQueue:
         self.served = 0
         self.busy_ms = 0.0
         self.max_depth = 0
+        self.cancelled_jobs = 0
 
     # -- introspection ---------------------------------------------------
 
@@ -313,9 +420,10 @@ class ServerQueue:
 
     def submit(
         self, demand_ms: float, callback: Callable[[Completion], None]
-    ) -> None:
+    ) -> _Job:
         """Enqueue ``demand_ms`` of service now; ``callback(completion)``
-        fires at the (virtual) instant the work finishes."""
+        fires at the (virtual) instant the work finishes.  Returns an
+        opaque job handle accepted by :meth:`cancel`."""
         if demand_ms < 0:
             raise ValueError(f"negative work demand {demand_ms}")
         now = self.scheduler.now
@@ -333,12 +441,15 @@ class ServerQueue:
                 callback=callback,
                 depth_at_arrival=len(self._jobs) + 1,
                 contended=start > now,
+                finish_ms=finish,
             )
             self._seq += 1
             self._jobs.append(job)
             self.max_depth = max(self.max_depth, len(self._jobs))
-            self.scheduler.call_at(finish, self._complete_fifo, job, finish)
-            return
+            self.scheduler.call_at(
+                finish, self._complete_fifo, job, job.token
+            )
+            return job
         # Processor sharing.
         self._advance_ps(now)
         job = _Job(
@@ -358,10 +469,67 @@ class ServerQueue:
             for resident in self._jobs:
                 resident.contended = True
         self._reschedule_ps()
+        return job
+
+    # -- cancellation ----------------------------------------------------
+
+    def cancel(self, job: _Job) -> float:
+        """Abandon *job*, releasing its unserved demand back to the queue.
+
+        Returns the dedicated-service milliseconds the job had already
+        consumed (0.0 when it never reached the server, or when it had
+        already completed/been cancelled) — the hedging layer reports
+        this as ``hedge_wasted_ms``.
+        """
+        if job.cancelled or job not in self._jobs:
+            return 0.0
+        now = self.scheduler.now
+        job.cancelled = True
+        service = job.demand_ms / self.capacity
+        if self.discipline == "fifo":
+            if job.started_ms <= now:
+                consumed = min(service, now - job.started_ms)
+            else:
+                consumed = 0.0
+            self._jobs.remove(job)
+            self.busy_ms += consumed
+            self.cancelled_jobs += 1
+            # Jobs queued behind the cancelled one move up: walk the
+            # (arrival-ordered) residents, keep the in-service head's
+            # finish, and restack everything that had not yet started.
+            cursor = now
+            for other in self._jobs:
+                if other.started_ms <= now:
+                    cursor = other.finish_ms  # in service: unchanged
+                    continue
+                start = max(cursor, other.queued_ms)
+                finish = start + other.demand_ms / self.capacity
+                cursor = finish
+                if finish == other.finish_ms:
+                    continue  # ahead of the cancelled job: untouched
+                other.started_ms = start
+                other.finish_ms = finish
+                other.contended = start > other.queued_ms
+                other.token += 1
+                self.scheduler.call_at(
+                    finish, self._complete_fifo, other, other.token
+                )
+            self._free_at = cursor
+            return consumed
+        # Processor sharing.
+        self._advance_ps(now)
+        consumed = max(0.0, service - job.remaining_ms)
+        self._jobs.remove(job)
+        self.busy_ms += consumed
+        self.cancelled_jobs += 1
+        self._reschedule_ps()
+        return consumed
 
     # -- FIFO ------------------------------------------------------------
 
-    def _complete_fifo(self, job: _Job, finish_ms: float) -> None:
+    def _complete_fifo(self, job: _Job, token: int) -> None:
+        if job.cancelled or token != job.token:
+            return  # cancelled, or superseded by a post-cancel restack
         self._jobs.remove(job)
         self.served += 1
         self.busy_ms += job.remaining_ms
@@ -370,7 +538,7 @@ class ServerQueue:
                 queue=self.name,
                 queued_ms=job.queued_ms,
                 started_ms=job.started_ms,
-                finished_ms=finish_ms,
+                finished_ms=job.finish_ms,
                 demand_ms=job.demand_ms,
                 service_ms=job.demand_ms / self.capacity,
                 depth_at_arrival=job.depth_at_arrival,

@@ -57,10 +57,15 @@ class OptimizerError(SqlError):
 
 @dataclass(frozen=True)
 class PlanCandidate:
-    """A complete physical plan with its estimated cost."""
+    """A complete physical plan with its estimated cost.
+
+    ``cost`` is ``None`` when the producing wrapper withholds estimation
+    (file sources): an explicit sentinel, so a legitimate zero-cost plan
+    over an empty table is never mistaken for "cost unknown".
+    """
 
     plan: PhysicalPlan
-    cost: PlanCost
+    cost: Optional[PlanCost]
 
     @property
     def signature(self) -> str:

@@ -20,7 +20,6 @@ from ..sqlengine import (
     Database,
     PhysicalPlan,
     PlanCandidate,
-    PlanCost,
     Schema,
 )
 from ..sim import (
@@ -31,8 +30,10 @@ from ..sim import (
     ServerUnavailable,
 )
 
-#: Marker estimate meaning "this wrapper does not cost queries".
-UNKNOWN_COST = PlanCost(first_tuple=0.0, total=0.0, rows=0.0, width_bytes=0.0)
+#: Marker estimate meaning "this wrapper does not cost queries".  An
+#: explicit ``None`` sentinel: a zero-valued ``PlanCost`` is a legal
+#: estimate for an empty table and must not be read as "unknown".
+UNKNOWN_COST = None
 
 
 class FileSource:

@@ -21,14 +21,12 @@ from ..fed.decomposer import QueryFragment
 from ..fed.global_optimizer import FragmentOption
 from .base import Wrapper
 
-#: Estimate substituted when a wrapper withholds cost (file wrapper).
+#: Estimate substituted when a wrapper withholds cost (file wrapper,
+#: signalled by ``PlanCandidate.cost is None``).  A zero-valued cost is
+#: *not* unknown — an empty table legitimately estimates to zero.
 DEFAULT_UNKNOWN_ESTIMATE = PlanCost(
     first_tuple=1.0, total=100.0, rows=1000.0, width_bytes=64.0
 )
-
-
-def _is_unknown(cost: PlanCost) -> bool:
-    return cost.total == 0.0 and cost.rows == 0.0
 
 
 @dataclass(frozen=True)
@@ -114,7 +112,7 @@ class MetaWrapper:
                 continue
             for candidate in candidates:
                 estimated = candidate.cost
-                if _is_unknown(estimated):
+                if estimated is None:
                     estimated = DEFAULT_UNKNOWN_ESTIMATE
                 if self.qcc is not None:
                     calibrated = self.qcc.calibrate(
@@ -255,6 +253,33 @@ class MetaWrapper:
                 observed_ms=result.observed_ms,
                 t_ms=t_ms,
             )
+
+    def note_hedge_waste(
+        self,
+        option: FragmentOption,
+        wasted_ms: float,
+        t_ms: float,
+    ) -> None:
+        """Record the cancelled loser of a hedged dispatch.
+
+        Only the *winning* execution reaches :meth:`note_execution` (and
+        thus the runtime log and the calibrator — a cancelled partial
+        execution would poison the observed/estimated ratio).  The loser
+        leaves just a metric: the dedicated service it consumed before
+        cancellation, i.e. the price of the tail-latency insurance.
+        """
+        obs = get_obs()
+        obs.metrics.counter(
+            "mw_hedge_cancelled_total", server=option.server
+        ).inc()
+        obs.metrics.histogram("mw_hedge_wasted_ms").observe(wasted_ms)
+        obs.trace_event(
+            "hedge_cancelled",
+            t_ms,
+            fragment=option.fragment.fragment_id,
+            server=option.server,
+            wasted_ms=wasted_ms,
+        )
 
     # -- probes ----------------------------------------------------------
 

@@ -86,6 +86,40 @@ def test_rerun_is_byte_identical(sample_databases):
     assert first.admission_decisions == second.admission_decisions
 
 
+def test_hedged_scenario_upholds_every_invariant():
+    """A hedged concurrent replica scenario under a latency fault passes
+    the full checker registry — including the *exact* (not float-
+    tolerant) oracle row equality the hedged branch of
+    ``oracle-equivalence`` demands."""
+    from repro.chaos import ArrivalSpec, FaultEvent, QuerySpec, ScenarioSpec
+
+    base = generate_scenario(42, 0)
+    assert base.arrival is not None  # reuse its sampled query classes
+    spec = ScenarioSpec(
+        seed=42,
+        index=0,
+        topology="replica",
+        queries=tuple(
+            QuerySpec(q.query_type, q.instance_id, q.gap_ms, klass="gold")
+            for q in base.queries
+        ),
+        faults=(
+            FaultEvent(
+                kind="latency",
+                server="S1",
+                start_ms=0.0,
+                end_ms=20_000.0,
+                magnitude=0.8,
+            ),
+        ),
+        arrival=ArrivalSpec(process="poisson", rate_qps=60.0),
+        hedge_after_ms=20.0,
+    )
+    run = run_scenario(spec)
+    assert violations(run_checkers(run)) == []
+    assert run.completed + run.failed + run.shed == len(spec.queries)
+
+
 def test_faults_actually_bite():
     """Across the smoke set, at least one scenario must degrade.
 

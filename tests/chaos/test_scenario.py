@@ -111,6 +111,34 @@ class TestSerialisation:
         with pytest.raises(ValueError):
             ArrivalSpec(process="lockstep", rate_qps=10.0)
 
+    def test_hedge_round_trip(self):
+        spec = ScenarioSpec(
+            seed=1,
+            index=0,
+            topology="replica",
+            queries=(QuerySpec("QT1", 0, 12.5, klass="gold"),),
+            arrival=ArrivalSpec(process="poisson", rate_qps=40.0),
+            hedge_after_ms=75.0,
+        )
+        clone = ScenarioSpec.from_json(spec.canonical_json())
+        assert clone == spec
+        assert clone.hedge_after_ms == 75.0
+
+    def test_hedge_key_absent_when_disabled(self):
+        """hedge_after_ms=None must not appear in the serialised dict at
+        all — pre-hedging verdict JSONL stays byte-identical, and old
+        payloads without the key keep parsing."""
+        spec = generate_scenario(42, 0)
+        assert spec.hedge_after_ms is None
+        payload = spec.to_dict()
+        assert "hedge_after_ms" not in payload
+        assert ScenarioSpec.from_dict(payload).hedge_after_ms is None
+
+    def test_generator_never_samples_hedging(self):
+        # Opt-in only (--hedge-after): sampled sweeps keep exact bytes.
+        for index in range(20):
+            assert generate_scenario(42, index).hedge_after_ms is None
+
 
 class TestValidity:
     @pytest.mark.parametrize("index", range(20))

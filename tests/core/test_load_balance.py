@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core import FragmentLoadBalancer, GlobalLoadBalancer, LoadBalanceConfig
+from repro.core.load_balance import hrw_score, rank_servers
 from repro.fed.decomposer import DecomposedQuery, QueryFragment
 from repro.fed.global_optimizer import FragmentOption, GlobalPlan
 from repro.sqlengine import Column, ColumnType, PlanCost, Schema, SeqScan
@@ -55,16 +56,31 @@ class TestFragmentBalancer:
             LoadBalanceConfig(band=band, workload_threshold=threshold)
         )
 
-    def test_rotates_across_identical_plans(self):
+    def test_stable_affinity_across_identical_plans(self):
+        """Repeated submissions of the same fragment stick to the HRW
+        head of the exchangeable cluster (replica cache locality)."""
         balancer = self._balancer()
         fragment = _fragment()
         chosen = _option("S1", 10.0, fragment)
         siblings = [chosen, _option("R1", 11.0, fragment)]
+        home = rank_servers(fragment.signature, ["R1", "S1"])[0]
         picks = [
             balancer.substitute(chosen, siblings, 0.0).server
             for _ in range(4)
         ]
-        assert picks == ["R1", "S1", "R1", "S1"]
+        assert picks == [home] * 4
+
+    def test_distinct_fragments_spread_over_cluster(self):
+        """HRW spreads distinct fragment instances across the replicas
+        even though each individual instance is sticky."""
+        balancer = self._balancer()
+        homes = set()
+        for i in range(32):
+            fragment = _fragment(f"SELECT a FROM t WHERE t.a = {i}")
+            chosen = _option("S1", 10.0, fragment)
+            siblings = [chosen, _option("R1", 10.0, fragment)]
+            homes.add(balancer.substitute(chosen, siblings, 0.0).server)
+        assert homes == {"S1", "R1"}
 
     def test_non_identical_plans_not_exchangeable(self):
         balancer = self._balancer()
@@ -98,14 +114,12 @@ class TestFragmentBalancer:
         # Accumulate workload beyond the threshold.
         for t in range(200):
             balancer.note_execution(fragment.signature, 10.0, float(t))
-        assert (
-            balancer.substitute(chosen, siblings, 200.0).server in {"S1", "R1"}
-        )
+        home = rank_servers(fragment.signature, ["R1", "S1"])[0]
         picks = {
             balancer.substitute(chosen, siblings, 200.0).server
             for _ in range(4)
         }
-        assert picks == {"S1", "R1"}
+        assert picks == {home}
 
     def test_workload_window_expires(self):
         config = LoadBalanceConfig(workload_threshold=50.0, window_ms=100.0)
@@ -122,7 +136,58 @@ class TestFragmentBalancer:
         fragment = _fragment()
         chosen = _option("S1", 10.0, fragment)
         balancer.substitute(chosen, [chosen, _option("R1", 10.0, fragment)], 0.0)
-        assert balancer.last_clusters[fragment.signature] == ["R1", "S1"]
+        # Recorded in HRW rank order: head = home, second = hedge backup.
+        assert balancer.last_clusters[fragment.signature] == rank_servers(
+            fragment.signature, ["R1", "S1"]
+        )
+
+    def test_last_clusters_lru_bounded(self):
+        balancer = FragmentLoadBalancer(LoadBalanceConfig(max_tracked=8))
+        for i in range(32):
+            fragment = _fragment(f"SELECT a FROM t WHERE t.a = {i}")
+            chosen = _option("S1", 10.0, fragment)
+            balancer.substitute(
+                chosen, [chosen, _option("R1", 10.0, fragment)], 0.0
+            )
+            balancer.note_execution(fragment.signature, 10.0, 0.0)
+        assert len(balancer.last_clusters) <= 8
+        assert len(balancer._tracker) <= 8
+
+
+class TestRendezvousHashing:
+    def test_deterministic_across_calls(self):
+        assert hrw_score("sig", "S1") == hrw_score("sig", "S1")
+        assert rank_servers("sig", ["S1", "R1", "S2"]) == rank_servers(
+            "sig", ["S2", "R1", "S1"]
+        )
+
+    def test_distinct_keys_differ(self):
+        scores = {hrw_score(f"sig-{i}", "S1") for i in range(64)}
+        assert len(scores) == 64
+
+    def test_churn_moves_about_one_nth(self):
+        """Removing one of n servers reassigns only the fragments whose
+        head it was (~1/n) and never disturbs the others."""
+        servers = ["S1", "S2", "S3", "S4"]
+        signatures = [f"SELECT a FROM t WHERE t.a = {i}" for i in range(400)]
+        before = {s: rank_servers(s, servers)[0] for s in signatures}
+        shrunk = [s for s in servers if s != "S2"]
+        after = {s: rank_servers(s, shrunk)[0] for s in signatures}
+        moved = [s for s in signatures if before[s] != after[s]]
+        # Every move is an eviction from the removed server...
+        assert all(before[s] == "S2" for s in moved)
+        # ...and everything previously on S2 moved (nothing else did).
+        assert len(moved) == sum(1 for s in signatures if before[s] == "S2")
+        # Roughly 1/4 of assignments lived on the removed server.
+        assert 0.15 < len(moved) / len(signatures) < 0.35
+
+    def test_spread_is_roughly_uniform(self):
+        servers = ["S1", "S2", "S3", "S4"]
+        counts = {name: 0 for name in servers}
+        for i in range(400):
+            counts[rank_servers(f"frag-{i}", servers)[0]] += 1
+        for name in servers:
+            assert 60 <= counts[name] <= 140
 
 
 def _global_plan(plan_id, servers, total):
@@ -200,6 +265,54 @@ class TestGlobalBalancer:
     def test_empty_plans_rejected(self):
         with pytest.raises(ValueError):
             GlobalLoadBalancer().recommend(_decomposed(), [], 0.0)
+
+    def test_tracker_records_chosen_plan_cost(self):
+        """Regression: rotation may pick a costlier cluster member — the
+        workload tracker must record the *chosen* plan's cost, not the
+        cheapest's."""
+        balancer = GlobalLoadBalancer(LoadBalanceConfig(band=0.2))
+        plans = [
+            _global_plan("p1", ["S1"], 10.0),
+            _global_plan("p2", ["R1"], 11.0),
+        ]
+        decomposed = _decomposed()
+        key = decomposed.statement.sql()
+        chosen_costs = [
+            balancer.recommend(decomposed, plans, 0.0).total_cost
+            for _ in range(4)
+        ]
+        assert set(chosen_costs) == {10.0, 11.0}  # rotation really rotates
+        assert balancer._tracker.workload(key, 0.0) == sum(chosen_costs)
+
+    def test_threshold_counts_current_submission(self):
+        """The submission being decided counts toward its own gate (the
+        tracker used to be fed before the check) — a single submission
+        whose cheapest cost meets the threshold balances immediately."""
+        balancer = GlobalLoadBalancer(
+            LoadBalanceConfig(band=0.2, workload_threshold=10.0)
+        )
+        plans = [
+            _global_plan("p1", ["S1"], 10.0),
+            _global_plan("p2", ["R1"], 10.5),
+        ]
+        decomposed = _decomposed()
+        first = balancer.recommend(decomposed, plans, 0.0)
+        second = balancer.recommend(decomposed, plans, 0.0)
+        assert {first.plan_id, second.plan_id} == {"p1", "p2"}
+
+    def test_counters_and_clusters_lru_bounded(self):
+        balancer = GlobalLoadBalancer(LoadBalanceConfig(max_tracked=8))
+        plans = [
+            _global_plan("p1", ["S1"], 10.0),
+            _global_plan("p2", ["R1"], 10.5),
+        ]
+        for i in range(32):
+            balancer.recommend(
+                _decomposed(f"SELECT a FROM t WHERE a = {i}"), plans, 0.0
+            )
+        assert len(balancer._counters) <= 8
+        assert len(balancer.last_clusters) <= 8
+        assert len(balancer._tracker) <= 8
 
     def test_rotation_keyed_per_statement(self):
         balancer = GlobalLoadBalancer(LoadBalanceConfig(band=0.2))

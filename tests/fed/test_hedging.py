@@ -1,0 +1,240 @@
+"""Hedged fragment dispatch: policy unit tests + runtime equivalence.
+
+The contract under test has two halves.  *Disabled* (``hedge_after_ms is
+None``) the concurrent runtime must be bit-identical to the pre-hedging
+dispatch path — same rows, same times, same calibrator feedback.
+*Enabled*, results stay correct (backup replicas return the same rows)
+and the whole run remains a pure function of the seed.
+"""
+
+import pytest
+
+from repro.fed import ConcurrentRuntime, HedgeConfig, HedgePolicy, make_policy
+from repro.harness import build_replica_federation
+from repro.workload import TEST_SCALE, build_workload
+
+
+@pytest.fixture(scope="module")
+def replica_databases():
+    """Loaded S1/R1/S2/R2 databases, shared across this module."""
+    deployment = build_replica_federation(
+        scale=TEST_SCALE, seed=7, with_qcc=False
+    )
+    return {
+        name: server.database
+        for name, server in deployment.servers.items()
+    }
+
+
+@pytest.fixture()
+def make_deployment(replica_databases):
+    def factory():
+        return build_replica_federation(
+            scale=TEST_SCALE, seed=7, prebuilt_databases=replica_databases
+        )
+
+    return factory
+
+
+def _drive(deployment, hedge_after_ms, depth_cap=4, spacing_ms=1.0):
+    runtime = ConcurrentRuntime(
+        deployment.integrator,
+        hedge_after_ms=hedge_after_ms,
+        hedge_depth_cap=depth_cap,
+    )
+    handles = [
+        runtime.submit_at(index * spacing_ms, instance.sql, klass="gold")
+        for index, instance in enumerate(
+            build_workload(instances_per_type=2)
+        )
+    ]
+    runtime.run()
+    return runtime, handles
+
+
+def _observables(handles):
+    rows = []
+    for handle in handles:
+        result = handle.result
+        assert result is not None, handle.error
+        rows.append(
+            (
+                tuple(result.rows),
+                result.response_ms,
+                result.remote_ms,
+                result.merge_ms,
+                result.retries,
+                result.plan.servers,
+            )
+        )
+    return rows
+
+
+class TestHedgePolicy:
+    def test_static_fallback_until_min_samples(self):
+        policy = HedgePolicy(
+            HedgeConfig(static_after_ms=50.0, min_samples=4)
+        )
+        for latency in (1.0, 2.0, 3.0):
+            policy.observe("sig", latency)
+        assert policy.hedge_after("sig") == 50.0
+        policy.observe("sig", 4.0)
+        assert policy.hedge_after("sig") != 50.0
+
+    def test_quantile_takeover_tracks_tail(self):
+        policy = HedgePolicy(
+            HedgeConfig(static_after_ms=50.0, min_samples=8, quantile=0.95)
+        )
+        # 19 fast observations and one 100ms straggler: p95 of the
+        # sorted window lands on the straggler.
+        for _ in range(19):
+            policy.observe("sig", 10.0)
+        policy.observe("sig", 100.0)
+        assert policy.hedge_after("sig") == 100.0
+        # An unknown signature still gets the static fallback.
+        assert policy.hedge_after("other") == 50.0
+
+    def test_window_is_sliding(self):
+        policy = HedgePolicy(
+            HedgeConfig(static_after_ms=50.0, min_samples=2, window=4)
+        )
+        for latency in (100.0, 100.0, 1.0, 1.0, 1.0, 1.0):
+            policy.observe("sig", latency)
+        # The two 100ms samples have slid out of the 4-wide window.
+        assert policy.hedge_after("sig") == 1.0
+
+    def test_history_is_lru_bounded(self):
+        policy = HedgePolicy(
+            HedgeConfig(static_after_ms=50.0, max_tracked=8)
+        )
+        for index in range(32):
+            policy.observe(f"sig-{index}", 1.0)
+        assert len(policy._history) <= 8
+        # The most recent signatures survive, the oldest are evicted.
+        assert policy.samples("sig-31") == 1
+        assert policy.samples("sig-0") == 0
+
+    def test_depth_cap_gates_backup(self):
+        policy = HedgePolicy(
+            HedgeConfig(static_after_ms=50.0, depth_cap=2)
+        )
+        assert policy.allow_backup(0)
+        assert policy.allow_backup(2)
+        assert not policy.allow_backup(3)
+
+    def test_outcome_bookkeeping(self):
+        policy = HedgePolicy(HedgeConfig(static_after_ms=50.0))
+        policy.note_outcome(hedged=False, winner="primary", wasted_ms=0.0)
+        assert policy.fired == 0
+        policy.note_outcome(hedged=True, winner="backup", wasted_ms=3.0)
+        policy.note_outcome(hedged=True, winner="primary", wasted_ms=2.0)
+        assert policy.fired == 2
+        assert policy.backup_wins == 1
+        assert policy.primary_wins == 1
+        assert policy.wasted_ms == pytest.approx(5.0)
+
+    def test_make_policy_none_disables(self):
+        assert make_policy(None) is None
+        policy = make_policy(25.0, depth_cap=7)
+        assert policy is not None
+        assert policy.config.static_after_ms == 25.0
+        assert policy.config.depth_cap == 7
+
+    def test_rejects_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            HedgeConfig(static_after_ms=-1.0)
+        with pytest.raises(ValueError):
+            HedgeConfig(static_after_ms=1.0, quantile=0.0)
+
+
+class TestDisabledEquivalence:
+    def test_disabled_matches_plain_runtime_bit_for_bit(
+        self, make_deployment
+    ):
+        plain_runtime, plain = _drive(make_deployment(), None)
+        assert plain_runtime.hedging is None
+
+        # hedge_after_ms=None must take the *identical* dispatch path:
+        # every observable, including float residue, matches.
+        _, disabled = _drive(make_deployment(), hedge_after_ms=None)
+        assert _observables(disabled) == _observables(plain)
+
+    def test_unreachable_timeout_matches_disabled(self, make_deployment):
+        """A hedge timer that never fires changes nothing: rows and
+        routing match the disabled run exactly (scheduling floats may
+        carry residue from the wrapped dispatch path, rows may not)."""
+        _, disabled = _drive(make_deployment(), None)
+        runtime, armed = _drive(make_deployment(), hedge_after_ms=1e9)
+        assert runtime.hedging is not None
+        assert runtime.hedging.fired == 0
+        for lazy, eager in zip(
+            _observables(armed), _observables(disabled)
+        ):
+            assert lazy[0] == eager[0]  # rows
+            assert lazy[5] == eager[5]  # chosen servers
+
+    def test_disabled_calibrator_feedback_identical(self, make_deployment):
+        plain_dep = make_deployment()
+        _drive(plain_dep, None)
+        disabled_dep = make_deployment()
+        _drive(disabled_dep, hedge_after_ms=None)
+        key = lambda e: (  # noqa: E731
+            e.server, e.fragment_signature, e.observed_ms, e.estimated_total
+        )
+        assert list(map(key, plain_dep.meta_wrapper.runtime_log)) == list(
+            map(key, disabled_dep.meta_wrapper.runtime_log)
+        )
+
+
+class TestHedgedRuns:
+    def test_aggressive_hedging_preserves_rows(self, make_deployment):
+        """hedge_after_ms=1 fires backups constantly; every query must
+        still return exactly the rows of the unhedged run."""
+        _, plain = _drive(make_deployment(), None)
+        runtime, hedged = _drive(make_deployment(), hedge_after_ms=1.0)
+        assert runtime.hedging is not None
+        assert runtime.hedging.fired > 0
+        for hedged_obs, plain_obs in zip(
+            _observables(hedged), _observables(plain)
+        ):
+            assert hedged_obs[0] == plain_obs[0]
+
+    def test_hedged_run_is_deterministic(self, make_deployment):
+        first_rt, first = _drive(make_deployment(), hedge_after_ms=1.0)
+        second_rt, second = _drive(make_deployment(), hedge_after_ms=1.0)
+        assert _observables(first) == _observables(second)
+        assert first_rt.hedging.fired == second_rt.hedging.fired
+        assert first_rt.hedging.backup_wins == second_rt.hedging.backup_wins
+        assert (
+            first_rt.hedging.wasted_ms == second_rt.hedging.wasted_ms
+        )
+
+    def test_only_winner_reaches_runtime_log(self, make_deployment):
+        """Cancelled losers must not feed the calibrator: the runtime
+        log carries exactly one execution per fragment dispatch, and
+        every loser shows up in the hedge-cancelled counter instead."""
+        deployment = make_deployment()
+        runtime, handles = _drive(deployment, hedge_after_ms=1.0)
+        policy = runtime.hedging
+        assert policy.fired > 0
+
+        fragments = 0
+        for handle in handles:
+            result = handle.result
+            assert result is not None
+            fragments += len(result.plan.servers)
+        assert len(deployment.meta_wrapper.runtime_log) == fragments
+
+    def test_depth_cap_zero_suppresses_every_backup(self, make_deployment):
+        """depth_cap=0 refuses any backup whose queue holds even one
+        in-flight job; under overlapping load that suppresses hedges
+        that a permissive cap would fire."""
+        permissive_rt, _ = _drive(
+            make_deployment(), hedge_after_ms=1.0, depth_cap=100
+        )
+        strict_rt, handles = _drive(
+            make_deployment(), hedge_after_ms=1.0, depth_cap=0
+        )
+        assert strict_rt.hedging.suppressed >= permissive_rt.hedging.suppressed
+        for handle in handles:  # suppression never breaks a query
+            assert handle.result is not None, handle.error

@@ -240,3 +240,181 @@ class TestServerQueue:
             Work(queue, -2.0)
         with pytest.raises(ValueError):
             Delay(-1.0)
+
+
+class TestCancellation:
+    def test_fifo_cancel_queued_job_restacks_tail(self):
+        """Cancelling a queued job moves later arrivals up; their
+        completions fire at the re-derived earlier instants."""
+        sched = EventScheduler()
+        queue = ServerQueue("S", sched, capacity=1.0, discipline="fifo")
+        log = []
+        jobs = {}
+
+        def driver():
+            jobs["a"] = queue.submit(10.0, log.append)
+            jobs["b"] = queue.submit(10.0, log.append)
+            jobs["c"] = queue.submit(10.0, log.append)
+            yield Delay(2.0)
+            wasted = queue.cancel(jobs["b"])
+            assert wasted == 0.0  # never reached the server
+
+        sched.spawn(driver())
+        sched.run()
+        assert [c.finished_ms for c in log] == [10.0, 20.0]
+        assert queue.served == 2
+        assert queue.cancelled_jobs == 1
+        assert queue.depth == 0
+
+    def test_fifo_cancel_in_service_releases_capacity(self):
+        """Cancelling the job *in service* frees the server immediately:
+        the next job starts at the cancel instant, and the wasted time
+        equals the service already consumed."""
+        sched = EventScheduler()
+        queue = ServerQueue("S", sched, capacity=1.0, discipline="fifo")
+        log = []
+        jobs = {}
+
+        def driver():
+            jobs["a"] = queue.submit(10.0, log.append)
+            jobs["b"] = queue.submit(5.0, log.append)
+            yield Delay(4.0)
+            wasted = queue.cancel(jobs["a"])
+            assert wasted == 4.0
+
+        sched.spawn(driver())
+        sched.run()
+        assert len(log) == 1
+        # b starts at the cancel instant (t=4) and runs 5ms.
+        assert log[0].finished_ms == 9.0
+        assert queue.backlog_ms(sched.now) == 0.0
+
+    def test_ps_cancel_speeds_up_survivor(self):
+        """Removing one of two PS residents doubles the survivor's rate."""
+        sched = EventScheduler()
+        queue = ServerQueue("S", sched, capacity=1.0, discipline="ps")
+        log = []
+        jobs = {}
+
+        def driver():
+            jobs["a"] = queue.submit(10.0, log.append)
+            jobs["b"] = queue.submit(10.0, log.append)
+            yield Delay(4.0)
+            # Both have burned 2ms of service (rate 1/2 each).
+            wasted = queue.cancel(jobs["b"])
+            assert wasted == pytest.approx(2.0)
+
+        sched.spawn(driver())
+        sched.run()
+        assert len(log) == 1
+        # Survivor: 2ms done at t=4, 8ms left at full rate -> t=12.
+        assert log[0].finished_ms == pytest.approx(12.0)
+
+    def test_cancel_completed_or_cancelled_job_is_noop(self):
+        sched = EventScheduler()
+        queue = ServerQueue("S", sched, capacity=1.0, discipline="fifo")
+        done = []
+        job = queue.submit(5.0, done.append)
+        sched.run()
+        assert len(done) == 1
+        assert queue.cancel(job) == 0.0  # already completed
+        job2 = queue.submit(5.0, done.append)
+        queue.cancel(job2)
+        assert queue.cancel(job2) == 0.0  # already cancelled
+        sched.run()
+        assert len(done) == 1
+
+
+class TestHedgedWork:
+    def _hedge(self, sched, primary_queue, backup_queue, primary_ms,
+               backup_ms, after_ms, outcomes, decline=False):
+        from repro.sim.sched import HedgedWork
+
+        def factory(t_fire):
+            if decline:
+                return None
+            return Work(backup_queue, backup_ms)
+
+        def process():
+            outcome = yield HedgedWork(
+                primary=Work(primary_queue, primary_ms),
+                hedge_after_ms=after_ms,
+                backup_factory=factory,
+            )
+            outcomes.append(outcome)
+
+        sched.spawn(process())
+
+    def test_backup_fires_only_after_timeout(self):
+        """A fast primary completes before the timer: no hedge, and the
+        completion is bit-identical to a plain Work submission."""
+        sched = EventScheduler()
+        fast = ServerQueue("S1", sched, capacity=1.0)
+        backup = ServerQueue("S2", sched, capacity=1.0)
+        outcomes = []
+        self._hedge(sched, fast, backup, 5.0, 5.0, 10.0, outcomes)
+        sched.run()
+        (outcome,) = outcomes
+        assert outcome.winner == "primary"
+        assert not outcome.hedged
+        assert outcome.backup_fired_ms is None
+        assert outcome.wasted_ms == 0.0
+        assert backup.served == 0 and backup.max_depth == 0
+        assert outcome.completion.sojourn_ms == 5.0
+
+    def test_backup_wins_when_primary_stalls(self):
+        """Primary queued behind a long backlog: the hedge fires at the
+        timeout, the idle backup wins, and the primary's unstarted work
+        is released (zero waste)."""
+        sched = EventScheduler()
+        slow = ServerQueue("S1", sched, capacity=1.0, discipline="fifo")
+        backup = ServerQueue("S2", sched, capacity=1.0, discipline="fifo")
+        blocker = []
+        slow.submit(100.0, blocker.append)  # pre-existing backlog
+        outcomes = []
+        self._hedge(sched, slow, backup, 10.0, 10.0, 20.0, outcomes)
+        sched.run()
+        (outcome,) = outcomes
+        assert outcome.winner == "backup"
+        assert outcome.hedged
+        assert outcome.backup_fired_ms == 20.0
+        assert outcome.completion.finished_ms == 30.0
+        assert outcome.wasted_ms == 0.0  # primary never started
+        assert slow.cancelled_jobs == 1
+        # The blocker still completes normally.
+        assert blocker and blocker[0].finished_ms == 100.0
+
+    def test_losing_backup_is_cancelled_and_capacity_released(self):
+        """Primary finishes first after the hedge fired: the backup is
+        cancelled and its queue drains immediately."""
+        sched = EventScheduler()
+        primary = ServerQueue("S1", sched, capacity=1.0, discipline="fifo")
+        backup = ServerQueue("S2", sched, capacity=1.0, discipline="fifo")
+        outcomes = []
+        # Primary takes 30ms; hedge fires at 20ms; backup would take
+        # 50ms, so the primary wins at t=30 and the backup (10ms into
+        # its service) is cancelled.
+        self._hedge(sched, primary, backup, 30.0, 50.0, 20.0, outcomes)
+        sched.run()
+        (outcome,) = outcomes
+        assert outcome.winner == "primary"
+        assert outcome.hedged
+        assert outcome.wasted_ms == pytest.approx(10.0)
+        assert backup.cancelled_jobs == 1
+        assert backup.depth == 0
+        assert backup.backlog_ms(sched.now) == 0.0
+
+    def test_declined_factory_leaves_primary_untouched(self):
+        sched = EventScheduler()
+        primary = ServerQueue("S1", sched, capacity=1.0)
+        backup = ServerQueue("S2", sched, capacity=1.0)
+        outcomes = []
+        self._hedge(
+            sched, primary, backup, 30.0, 10.0, 5.0, outcomes, decline=True
+        )
+        sched.run()
+        (outcome,) = outcomes
+        assert outcome.winner == "primary"
+        assert not outcome.hedged
+        assert outcome.completion.sojourn_ms == 30.0
+        assert backup.served == 0

@@ -143,6 +143,79 @@ class TestUnknownCostSubstitution:
         assert len(options) == 1
         assert options[0].estimated == DEFAULT_UNKNOWN_ESTIMATE
 
+    def test_zero_cost_estimate_is_not_unknown(self, deployment):
+        """Regression: only ``cost is None`` means "the wrapper withheld
+        its estimate".  A zero-valued PlanCost — what an empty table
+        legitimately estimates to — must pass through untouched instead
+        of being inflated to the 100ms unknown default."""
+        from repro.sqlengine import PlanCost
+        from repro.fed import NicknameRegistry
+
+        zero = PlanCost(
+            first_tuple=0.0, total=0.0, rows=0.0, width_bytes=0.0
+        )
+        relational = deployment.meta_wrapper.wrappers["S1"]
+        reference = relational.plans("SELECT COUNT(*) FROM customer", 0.0)[0]
+
+        class ZeroCostWrapper:
+            source_type = "relational"
+            server_name = "Z1"
+
+            def plans(self, fragment_sql, t_ms):
+                from repro.sqlengine import PlanCandidate
+
+                return [PlanCandidate(plan=reference.plan, cost=zero)]
+
+        registry = NicknameRegistry()
+        registry.register(
+            "customer",
+            "Z1",
+            table_def=deployment.servers["S1"].database.catalog.lookup(
+                "customer"
+            ),
+        )
+        mw = MetaWrapper({"Z1": ZeroCostWrapper()})
+        decomposed = decompose("SELECT COUNT(*) FROM customer", registry)
+        options = mw.compile_fragment(decomposed.fragments[0], 0.0)
+        assert len(options) == 1
+        assert options[0].estimated == zero
+        assert options[0].estimated != DEFAULT_UNKNOWN_ESTIMATE
+
+    def test_empty_table_estimate_survives(self):
+        """An empty relational table estimates to a tiny (near-zero)
+        cost with ``rows == 0``; the old zero-heuristic would have been
+        one startup-cost tweak away from misreading it as unknown."""
+        from repro.fed import NicknameRegistry
+        from repro.sim.server import RemoteServer
+        from repro.sqlengine import (
+            ColumnType,
+            Database,
+            Serial,
+            TableSpec,
+            populate,
+        )
+        from repro.wrappers import RelationalWrapper
+
+        spec = TableSpec(
+            "events",
+            (("id", ColumnType.INT, Serial()),),
+            row_count=0,
+        )
+        database = Database()
+        populate(database, (spec,), seed=1)
+        server = RemoteServer("E1", database)
+        registry = NicknameRegistry()
+        registry.register(
+            "events", "E1", table_def=database.catalog.lookup("events")
+        )
+        mw = MetaWrapper({"E1": RelationalWrapper(server)})
+        decomposed = decompose("SELECT id FROM events", registry)
+        options = mw.compile_fragment(decomposed.fragments[0], 0.0)
+        assert len(options) == 1
+        assert options[0].estimated.rows == 0.0
+        assert options[0].estimated != DEFAULT_UNKNOWN_ESTIMATE
+        assert options[0].estimated.total < 1.0
+
 
 class TestProbes:
     def test_probe_unknown_server(self, deployment):
