@@ -1,41 +1,64 @@
-"""Row vs vector engine: wall-clock speedup and differential check.
+"""Row vs vector vs columnar engine: speedups and differential checks.
 
 The vectorized engine exists purely for throughput: every operator
 processes ``RowBatch`` slices through compiled batch kernels instead of
-pulling one tuple at a time through Python generators.  Correctness is
-non-negotiable — the response-time simulation and QCC calibration are
-driven by ``WorkMeter`` totals, so both engines must produce identical
-rows *and* bit-identical metered work (docs/execution.md).
+pulling one tuple at a time through Python generators.  The columnar
+engine goes one step further: typed column arrays with validity
+bitmaps, dictionary-encoded strings, and selection vectors instead of
+copies (docs/execution.md).  Correctness is non-negotiable — the
+response-time simulation and QCC calibration are driven by
+``WorkMeter`` totals, so all three engines must produce identical rows
+*and* bit-identical metered work on every shape here.
 
-This bench runs the canonical scan / filter / join / aggregate shapes
-at BENCH_SCALE through both engines, asserts the differential
-invariant on every shape, and requires a composite wall-clock speedup
-of at least ``REPRO_BENCH_ENGINE_MIN`` (default 3x; CI's smoke job
-relaxes to 1.5x for noisy shared runners).  Per-shape rows/sec land in
-the JSON artifact for trend tracking (see BENCH_engine.json for the
-committed baseline).
+Two composite gates, each a total-wall-clock ratio over its suite:
+
+* ``SHAPES`` (numeric scan / filter / join / aggregate — the original
+  acceptance shapes): row over vector must reach
+  ``REPRO_BENCH_ENGINE_MIN`` (default 3x).  The columnar engine is
+  timed on these too and reported, but not gated — both batch engines
+  share the final tuple-materialisation boundary, which caps numeric
+  col/vec around 1.6-1.9x (see docs/execution.md).
+* ``COLUMNAR_SHAPES`` (dictionary predicates, grouping, DISTINCT —
+  where dict codes and selection vectors change the algorithm, not
+  just the constant): vector over columnar must reach
+  ``REPRO_BENCH_ENGINE_COL_MIN`` (default 3x).
+
+Per-shape timings, rows/sec, and per-batch memory (columnar
+``storage_bytes`` vs a deep ``getsizeof`` of the same rows as tuples)
+land in the JSON artifact for trend tracking (see BENCH_engine.json
+for the committed baseline).  CI's smoke job relaxes both gates for
+noisy shared runners.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import random
+import resource
 import time
+from sys import getsizeof
 
 import pytest
 
 from repro.sqlengine import Database, execute_plan, populate
+from repro.sqlengine.types import Column, ColumnType, Schema
 from repro.workload import BENCH_SCALE
 from repro.workload.schema import table_specs
 
-#: Composite row/vector speedup the bench must demonstrate.
+#: Composite row/vector speedup the numeric suite must demonstrate.
 MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_ENGINE_MIN", "3.0"))
+#: Composite vector/columnar speedup the columnar suite must demonstrate.
+COL_MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_ENGINE_COL_MIN", "3.0"))
 #: Timing repetitions per (shape, engine); best-of is reported.
 REPS = int(os.environ.get("REPRO_BENCH_ENGINE_REPS", "7"))
 #: Optional path for the standalone JSON artifact.
 ARTIFACT = os.environ.get("REPRO_BENCH_ENGINE_JSON", "")
 
-#: The scan-filter-join-aggregate shapes of the acceptance criterion.
+ENGINES = ("row", "vector", "columnar")
+
+#: The scan-filter-join-aggregate shapes of the original acceptance
+#: criterion — numeric columns, unselective scans, tuple-heavy output.
 SHAPES = (
     (
         "scan-filter",
@@ -67,11 +90,84 @@ SHAPES = (
     ),
 )
 
+#: Shapes where the columnar layout changes the algorithm: LIKE / IN
+#: evaluated once per dictionary entry instead of once per row,
+#: grouping and DISTINCT over integer codes, COUNT(*) histograms.
+#: These run over the bench-local ``tags`` table (the workload's
+#: string columns only exist on the small tables) plus the workload's
+#: own grouping / DISTINCT shapes.
+COLUMNAR_SHAPES = (
+    (
+        "dict-like-agg",
+        "SELECT COUNT(*), SUM(val), AVG(val) FROM tags "
+        "WHERE tag LIKE '%1%'",
+    ),
+    (
+        "dict-multi-like",
+        "SELECT COUNT(*), AVG(val) FROM tags WHERE label LIKE '%1%' "
+        "AND label NOT LIKE '%13%' AND tag LIKE 'tag%'",
+    ),
+    (
+        "dict-complex-like",
+        "SELECT id FROM tags WHERE label LIKE '%ab%0%4%'",
+    ),
+    (
+        "dict-group",
+        "SELECT tag, COUNT(*), SUM(val), MAX(val) FROM tags GROUP BY tag",
+    ),
+    (
+        "count-group",
+        "SELECT l.prodkey, COUNT(*) FROM lineitem l GROUP BY l.prodkey",
+    ),
+    (
+        "dict-count-group",
+        "SELECT tag, COUNT(*) FROM tags GROUP BY tag",
+    ),
+    (
+        "distinct",
+        "SELECT DISTINCT o.custkey FROM orders o",
+    ),
+    (
+        "dict-distinct",
+        "SELECT DISTINCT label FROM tags",
+    ),
+)
+
 
 @pytest.fixture(scope="module")
 def engine_db():
     database = Database(name="bench-engine")
     populate(database, table_specs(BENCH_SCALE), seed=7)
+
+    # Bench-local string table: a large dictionary-encodable workload
+    # (24 tags, 200 labels over BENCH_SCALE.large_rows rows).
+    rng = random.Random(11)
+    tags = [f"tag_{i:02d}" for i in range(24)]
+    labels = [f"label_{i:04d}" for i in range(200)]
+    database.create_table(
+        "tags",
+        Schema(
+            [
+                Column("id", ColumnType.INT),
+                Column("tag", ColumnType.STR),
+                Column("label", ColumnType.STR),
+                Column("val", ColumnType.FLOAT),
+            ]
+        ),
+    )
+    database.load_rows(
+        "tags",
+        [
+            (
+                i,
+                rng.choice(tags),
+                rng.choice(labels),
+                round(rng.uniform(0, 100), 2),
+            )
+            for i in range(BENCH_SCALE.large_rows)
+        ],
+    )
+    database.analyze()
     return database
 
 
@@ -87,35 +183,103 @@ def _best_time(database, plan, engine):
     return best, result
 
 
-def _measure(database):
-    shapes = {}
-    total_row = total_vec = 0.0
-    for name, sql in SHAPES:
+def _measure_suite(database, shapes):
+    """Time every shape on all three engines; assert the differential."""
+    out = {}
+    totals = dict.fromkeys(ENGINES, 0.0)
+    for name, sql in shapes:
         plan = database.explain(sql)[0].plan
-        row_s, row_result = _best_time(database, plan, "row")
-        vec_s, vec_result = _best_time(database, plan, "vector")
+        times, results = {}, {}
+        for engine in ENGINES:
+            times[engine], results[engine] = _best_time(
+                database, plan, engine
+            )
+            totals[engine] += times[engine]
 
-        # Differential invariant: identical rows, bit-identical meters.
-        assert row_result.rows == vec_result.rows, name
-        rm, vm = row_result.meter, vec_result.meter
-        assert (rm.cpu_ms, rm.io_ms, rm.tuples_out) == (
-            vm.cpu_ms,
-            vm.io_ms,
-            vm.tuples_out,
-        ), name
+        # Differential invariant: identical rows, bit-identical meters,
+        # across all three engines (none of these shapes has a LIMIT,
+        # the one construct where the row engine meters less work).
+        reference = results["vector"]
+        ref_meter = reference.meter
+        for engine in ("row", "columnar"):
+            assert results[engine].rows == reference.rows, (name, engine)
+            meter = results[engine].meter
+            assert (meter.cpu_ms, meter.io_ms, meter.tuples_out) == (
+                ref_meter.cpu_ms,
+                ref_meter.io_ms,
+                ref_meter.tuples_out,
+            ), (name, engine)
 
-        total_row += row_s
-        total_vec += vec_s
-        n = len(row_result.rows)
-        shapes[name] = {
+        n = len(reference.rows)
+        row_s, vec_s, col_s = (
+            times["row"],
+            times["vector"],
+            times["columnar"],
+        )
+        out[name] = {
             "rows": n,
             "row_s": row_s,
             "vector_s": vec_s,
+            "columnar_s": col_s,
             "row_rows_per_sec": n / row_s if row_s > 0 else None,
             "vector_rows_per_sec": n / vec_s if vec_s > 0 else None,
+            "columnar_rows_per_sec": n / col_s if col_s > 0 else None,
             "speedup": row_s / vec_s if vec_s > 0 else None,
+            "columnar_speedup": vec_s / col_s if col_s > 0 else None,
+            "columnar_over_row": row_s / col_s if col_s > 0 else None,
         }
-    composite = total_row / total_vec if total_vec > 0 else float("inf")
+    return out, totals
+
+
+def _deep_row_bytes(rows):
+    """Deep ``getsizeof`` of a row batch: list + tuples + boxed values."""
+    total = getsizeof(rows)
+    seen = set()
+    for row in rows:
+        total += getsizeof(row)
+        for value in row:
+            if id(value) not in seen:
+                seen.add(id(value))
+                total += getsizeof(value)
+    return total
+
+
+def _memory_metrics(database, batch_size=1024):
+    """Per-batch memory: columnar storage vs the same rows as tuples."""
+    metrics = {}
+    for table_name in ("lineitem", "tags"):
+        table = database.storage.table(table_name)
+        columns = table.columnar()
+        count = min(batch_size, columns.n_rows)
+        batch = columns.batch(0, count)
+        rows = batch.materialize()
+        col_bytes = batch.storage_bytes()
+        row_bytes = _deep_row_bytes(rows)
+        metrics[table_name] = {
+            "batch_rows": count,
+            "columnar_bytes": col_bytes,
+            "row_bytes": row_bytes,
+            "bytes_ratio": row_bytes / col_bytes if col_bytes else None,
+        }
+    metrics["ru_maxrss_kb"] = resource.getrusage(
+        resource.RUSAGE_SELF
+    ).ru_maxrss
+    return metrics
+
+
+def _measure(database):
+    shapes, totals = _measure_suite(database, SHAPES)
+    col_shapes, col_totals = _measure_suite(database, COLUMNAR_SHAPES)
+    composite = (
+        totals["row"] / totals["vector"]
+        if totals["vector"] > 0
+        else float("inf")
+    )
+    col_composite = (
+        col_totals["vector"] / col_totals["columnar"]
+        if col_totals["columnar"] > 0
+        else float("inf")
+    )
     return {
         "scale": {
             "large_rows": BENCH_SCALE.large_rows,
@@ -123,26 +287,58 @@ def _measure(database):
         },
         "reps": REPS,
         "shapes": shapes,
+        "columnar_shapes": col_shapes,
+        "memory": _memory_metrics(database),
         "composite_speedup": composite,
+        "columnar_composite_speedup": col_composite,
     }
 
 
-def test_engine_vector_speedup(benchmark, engine_db):
+def _print_suite(title, shapes):
+    print(f"\n=== {title} ===")
+    for name, shape in shapes.items():
+        print(
+            f"{name:17s} rows={shape['rows']:6d} "
+            f"row={shape['row_s'] * 1e3:7.1f}ms "
+            f"vec={shape['vector_s'] * 1e3:7.1f}ms "
+            f"col={shape['columnar_s'] * 1e3:7.1f}ms "
+            f"row/vec={shape['speedup']:5.2f}x "
+            f"vec/col={shape['columnar_speedup']:5.2f}x"
+        )
+
+
+def test_engine_speedups(benchmark, engine_db):
     results = benchmark.pedantic(
         _measure, args=(engine_db,), rounds=1, iterations=1
     )
     benchmark.extra_info.update(results)
 
-    print("\n=== Engine benchmark: row vs vector (BENCH_SCALE) ===")
-    for name, shape in results["shapes"].items():
+    _print_suite(
+        "Engine benchmark: numeric shapes (BENCH_SCALE)",
+        results["shapes"],
+    )
+    print(
+        f"composite row/vector speedup: "
+        f"{results['composite_speedup']:.2f}x "
+        f"(required: {MIN_SPEEDUP:.1f}x)"
+    )
+    _print_suite(
+        "Engine benchmark: columnar shapes (BENCH_SCALE)",
+        results["columnar_shapes"],
+    )
+    print(
+        f"composite vector/columnar speedup: "
+        f"{results['columnar_composite_speedup']:.2f}x "
+        f"(required: {COL_MIN_SPEEDUP:.1f}x)"
+    )
+    for table_name in ("lineitem", "tags"):
+        mem = results["memory"][table_name]
         print(
-            f"{name:13s} rows={shape['rows']:6d} "
-            f"row={shape['row_s'] * 1e3:7.1f}ms "
-            f"vec={shape['vector_s'] * 1e3:7.1f}ms "
-            f"speedup={shape['speedup']:.2f}x"
+            f"memory per {mem['batch_rows']}-row {table_name} batch: "
+            f"columnar={mem['columnar_bytes']} bytes "
+            f"rows={mem['row_bytes']} bytes "
+            f"({mem['bytes_ratio']:.1f}x smaller)"
         )
-    print(f"composite speedup: {results['composite_speedup']:.2f}x "
-          f"(required: {MIN_SPEEDUP:.1f}x)")
 
     if ARTIFACT:
         with open(ARTIFACT, "w") as handle:
@@ -150,3 +346,11 @@ def test_engine_vector_speedup(benchmark, engine_db):
         print(f"artifact written to {ARTIFACT}")
 
     assert results["composite_speedup"] >= MIN_SPEEDUP, results
+    assert (
+        results["columnar_composite_speedup"] >= COL_MIN_SPEEDUP
+    ), results
+    # The columnar layout must also be smaller per batch, not just
+    # faster: typed arrays + dict codes vs boxed tuples.
+    for table_name in ("lineitem", "tags"):
+        mem = results["memory"][table_name]
+        assert mem["columnar_bytes"] < mem["row_bytes"], mem

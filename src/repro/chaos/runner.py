@@ -194,7 +194,7 @@ def replica_databases() -> Dict[str, Database]:
 
 def _build_deployment(
     spec: ScenarioSpec,
-    engine: str,
+    engine: Optional[str],
     with_faults: bool,
     databases: Optional[Dict[str, Database]],
 ) -> Tuple[Deployment, Optional[ReplicaManager]]:
@@ -415,7 +415,7 @@ def _drive_concurrent(
 
 def _execute(
     spec: ScenarioSpec,
-    engine: str,
+    engine: Optional[str],
     with_faults: bool,
     databases: Optional[Dict[str, Database]],
     run: Optional[ScenarioRun] = None,
@@ -536,15 +536,20 @@ def run_scenario(
     session-scoped fixtures).  The oracle and row-engine reruns can be
     disabled individually — the shrinker does so for checkers that don't
     need them.
+
+    The primary pass and the oracle run on the process-default engine
+    (``REPRO_ENGINE``, normally vector) so the chaos sweep exercises
+    whichever batch engine CI selects; the differential rerun is always
+    the row engine, the simplest independent implementation.
     """
     run = ScenarioRun(spec=spec, outcomes=[])
     run.outcomes = _execute(
-        spec, "vector", with_faults=True, databases=databases, run=run
+        spec, None, with_faults=True, databases=databases, run=run
     )
     if with_oracle:
         run.oracle = _execute(
             spec.without_faults(),
-            "vector",
+            None,
             with_faults=False,
             databases=databases,
         )

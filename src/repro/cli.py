@@ -386,7 +386,9 @@ def build_parser() -> argparse.ArgumentParser:
             choices=ENGINES,
             default=None,
             help=(
-                "SQL execution engine for every server and the merge "
+                "SQL execution engine for every server and the merge: "
+                "vector = batched row tuples, columnar = typed column "
+                "arrays with selection vectors, row = tuple-at-a-time "
                 f"(default: {DEFAULT_ENGINE}, or REPRO_ENGINE)"
             ),
         )

@@ -36,7 +36,14 @@ from typing import Callable, Dict, Iterator, List, Optional, Tuple
 class OperatorStats:
     """Cumulative execution counters for one physical operator node."""
 
-    __slots__ = ("invocations", "rows_out", "batches", "wall_s", "meter_ms")
+    __slots__ = (
+        "invocations",
+        "rows_out",
+        "batches",
+        "phys_rows",
+        "wall_s",
+        "meter_ms",
+    )
 
     def __init__(self) -> None:
         #: number of times the node's stream was opened
@@ -45,19 +52,38 @@ class OperatorStats:
         self.rows_out = 0
         #: batches emitted (0 when only the row engine ran the node)
         self.batches = 0
+        #: physical slot count under the emitted selection vectors
+        #: (columnar engine only; equals rows_out when nothing narrowed)
+        self.phys_rows = 0
         #: inclusive wall-clock seconds inside next()/close()
         self.wall_s = 0.0
         #: inclusive virtual (WorkMeter) milliseconds accrued while open
         self.meter_ms = 0.0
 
+    @property
+    def selectivity(self) -> Optional[float]:
+        """Fraction of physical batch slots the selection kept.
+
+        ``None`` unless the columnar engine ran the node (phys_rows is
+        only counted by ``profile_columnar``).
+        """
+        if not self.phys_rows:
+            return None
+        return self.rows_out / self.phys_rows
+
     def to_dict(self) -> Dict[str, float]:
-        return {
+        payload = {
             "invocations": self.invocations,
             "rows_out": self.rows_out,
             "batches": self.batches,
             "wall_ms": self.wall_s * 1e3,
             "meter_ms": self.meter_ms,
         }
+        selectivity = self.selectivity
+        if selectivity is not None:
+            payload["phys_rows"] = self.phys_rows
+            payload["selectivity"] = selectivity
+        return payload
 
 
 class PlanProfile:
@@ -259,6 +285,47 @@ class OperatorProfiler:
             stats.wall_s += wall
             stats.meter_ms += virtual
 
+    def profile_columnar(self, node: object, ctx: object) -> Iterator:
+        stats = self.stats_for(node)
+        stats.invocations += 1
+        meter = ctx.meter
+        perf = time.perf_counter
+        it = node._rows_columnar(ctx)
+        rows_out = 0
+        phys_rows = 0
+        batches = 0
+        wall = 0.0
+        virtual = 0.0
+        try:
+            while True:
+                m0 = meter.total_ms
+                t0 = perf()
+                try:
+                    batch = next(it)
+                except StopIteration:
+                    wall += perf() - t0
+                    virtual += meter.total_ms - m0
+                    break
+                wall += perf() - t0
+                virtual += meter.total_ms - m0
+                batches += 1
+                rows_out += len(batch)
+                phys_rows += batch.n_rows
+                yield batch
+        finally:
+            close = getattr(it, "close", None)
+            if close is not None:
+                m0 = meter.total_ms
+                t0 = perf()
+                close()
+                wall += perf() - t0
+                virtual += meter.total_ms - m0
+            stats.rows_out += rows_out
+            stats.batches += batches
+            stats.phys_rows += phys_rows
+            stats.wall_s += wall
+            stats.meter_ms += virtual
+
 
 class NullProfiler(OperatorProfiler):
     """The disabled profiler.
@@ -273,6 +340,9 @@ class NullProfiler(OperatorProfiler):
 
     def profile_batches(self, node: object, ctx: object) -> Iterator:
         return node._rows_batched(ctx)
+
+    def profile_columnar(self, node: object, ctx: object) -> Iterator:
+        return node._rows_columnar(ctx)
 
 
 NULL_PROFILER = NullProfiler()
@@ -342,8 +412,13 @@ def render_analyzed_plan(
                 )
         stats = profile.stats_for(node)
         if stats is not None:
+            selectivity = stats.selectivity
+            sel_part = (
+                f" sel={selectivity:.3f}" if selectivity is not None else ""
+            )
             parts.append(
-                f"(actual rows={stats.rows_out} batches={stats.batches} "
+                f"(actual rows={stats.rows_out} batches={stats.batches}"
+                f"{sel_part} "
                 f"loops={stats.invocations} time={stats.meter_ms:.2f}ms "
                 f"self={profile.self_meter_ms(node):.2f}ms "
                 f"wall={stats.wall_s * 1e3:.3f}ms)"

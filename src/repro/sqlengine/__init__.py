@@ -7,6 +7,15 @@ execution.  See :class:`repro.sqlengine.database.Database` for the facade.
 """
 
 from .catalog import Catalog, CatalogError, ColumnStats, IndexDef, TableDef, TableStats, collect_stats
+from .columnar import (
+    ColumnBatch,
+    ColumnData,
+    DictColumn,
+    FloatColumn,
+    IntColumn,
+    TableColumns,
+    ValueColumn,
+)
 from .cost import (
     CostParameters,
     DEFAULT_COST_PARAMETERS,
@@ -109,8 +118,10 @@ from .types import (
 
 __all__ = [
     "AggregateCall", "And", "Arithmetic", "BindError", "Catalog",
-    "CatalogError", "Choice", "Column", "ColumnGen", "ColumnRef",
+    "CatalogError", "Choice", "Column", "ColumnBatch", "ColumnData",
+    "ColumnGen", "ColumnRef",
     "ColumnStats", "ColumnType", "Comparison", "CostParameters",
+    "DictColumn", "FloatColumn", "IntColumn", "TableColumns", "ValueColumn",
     "Database", "DEFAULT_BATCH_SIZE", "DEFAULT_CONFIG",
     "DEFAULT_COST_PARAMETERS", "DEFAULT_ENGINE", "ENGINES",
     "DeleteStatement", "Distinct", "DmlError", "DmlResult",

@@ -1,0 +1,512 @@
+"""Columnar batch representation for the columnar execution engine.
+
+A :class:`ColumnBatch` is the unit of data flow on the ``"columnar"``
+engine: one :class:`ColumnData` per schema column plus an explicit
+*selection vector* — a sorted list of physical row indices that are
+logically present.  Filters, index-scan residuals and hash-join
+residuals never copy rows; they produce a new batch sharing the same
+column objects with a narrower selection (:meth:`ColumnBatch.with_sel`).
+
+Column storage is typed:
+
+* ``IntColumn`` / ``FloatColumn`` — ``array('q')`` / ``array('d')``
+  compact storage (8 bytes per value, no per-value boxing at rest) with
+  an optional validity bytearray marking NULL slots;
+* ``DictColumn`` — dictionary-encoded strings: an ``array('q')`` of
+  codes (−1 = NULL) plus a shared dictionary/encode map, so equality
+  predicates, hash-join probes and group-by keys can work on integer
+  codes instead of string values;
+* ``ValueColumn`` — plain Python list fallback (BOOL columns, integers
+  outside the 64-bit range, operator intermediates);
+* ``SliceColumn`` / ``TakeColumn`` / ``GatherColumn`` — lazy views used
+  for scan batching, index-scan rid fetches and join output.  They
+  decode (materialise boxed Python values) only when a kernel actually
+  pulls the column, which is what gives the engine late
+  materialisation: row tuples exist only at ``Project`` output, fragment
+  serialisation and the integrator merge boundary.
+
+Decoded value lists are cached per column object, so repeated kernels
+over the same batch (or repeated queries over the same table projection)
+decode once.
+"""
+
+from __future__ import annotations
+
+from array import array
+from sys import getsizeof
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .types import ColumnType, Row, Schema
+
+#: Dictionary code marking a NULL string slot.
+NULL_CODE = -1
+
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+
+
+class ColumnData:
+    """Base class of all column representations.
+
+    ``values()`` returns the full *physical*-length Python value list
+    (``None`` for NULL slots) and caches it on the column object; all
+    other accessors are derived views.
+    """
+
+    __slots__ = ()
+
+    def values(self) -> List[Any]:
+        raise NotImplementedError
+
+    def has_nulls(self) -> bool:
+        """May the column contain NULLs?  Conservative True is allowed;
+        False promises the decoded list is None-free (enables the
+        null-check-free kernel fast paths)."""
+        return True
+
+    def dict_view(self) -> Optional[Tuple[List[int], List[str], Dict[str, int]]]:
+        """``(codes, dictionary, encode)`` when dictionary-encoded, else
+        None.  ``codes`` is a plain int list aligned to physical rows."""
+        return None
+
+    def slice(self, start: int, stop: int) -> "ColumnData":
+        return SliceColumn(self, start, stop)
+
+    def take(self, indices: List[int]) -> "ColumnData":
+        return TakeColumn(self, indices)
+
+    def storage_bytes(self) -> int:
+        """Approximate resident bytes of the compact backing storage."""
+        return getsizeof(self.values())
+
+
+class IntColumn(ColumnData):
+    """64-bit integer column: ``array('q')`` plus optional validity."""
+
+    __slots__ = ("data", "validity", "_values")
+
+    def __init__(self, data: array, validity: Optional[bytearray] = None):
+        self.data = data
+        self.validity = validity
+        self._values: Optional[List[Any]] = None
+
+    def values(self) -> List[Any]:
+        vals = self._values
+        if vals is None:
+            raw = self.data.tolist()
+            validity = self.validity
+            if validity is not None:
+                raw = [v if ok else None for v, ok in zip(raw, validity)]
+            vals = self._values = raw
+        return vals
+
+    def has_nulls(self) -> bool:
+        return self.validity is not None
+
+    def storage_bytes(self) -> int:
+        total = getsizeof(self.data)
+        if self.validity is not None:
+            total += getsizeof(self.validity)
+        return total
+
+
+class FloatColumn(ColumnData):
+    """Float column: ``array('d')`` plus optional validity."""
+
+    __slots__ = ("data", "validity", "_values")
+
+    def __init__(self, data: array, validity: Optional[bytearray] = None):
+        self.data = data
+        self.validity = validity
+        self._values: Optional[List[Any]] = None
+
+    def values(self) -> List[Any]:
+        vals = self._values
+        if vals is None:
+            raw = self.data.tolist()
+            validity = self.validity
+            if validity is not None:
+                raw = [v if ok else None for v, ok in zip(raw, validity)]
+            vals = self._values = raw
+        return vals
+
+    def has_nulls(self) -> bool:
+        return self.validity is not None
+
+    def storage_bytes(self) -> int:
+        total = getsizeof(self.data)
+        if self.validity is not None:
+            total += getsizeof(self.validity)
+        return total
+
+
+class DictColumn(ColumnData):
+    """Dictionary-encoded string column.
+
+    ``codes[i]`` indexes ``dictionary`` (or is :data:`NULL_CODE`);
+    ``encode`` maps string -> code for O(1) literal translation.  The
+    dictionary and encode map are shared by every slice of the column,
+    which is what makes per-batch dictionary reuse free.
+    """
+
+    __slots__ = ("codes", "dictionary", "encode", "_nullable", "_codes_list", "_values")
+
+    def __init__(
+        self,
+        codes: array,
+        dictionary: List[str],
+        encode: Dict[str, int],
+        nullable: bool,
+    ):
+        self.codes = codes
+        self.dictionary = dictionary
+        self.encode = encode
+        self._nullable = nullable
+        self._codes_list: Optional[List[int]] = None
+        self._values: Optional[List[Any]] = None
+
+    def codes_list(self) -> List[int]:
+        lst = self._codes_list
+        if lst is None:
+            lst = self._codes_list = self.codes.tolist()
+        return lst
+
+    def values(self) -> List[Any]:
+        vals = self._values
+        if vals is None:
+            d = self.dictionary
+            if self._nullable:
+                vals = [d[c] if c >= 0 else None for c in self.codes_list()]
+            else:
+                vals = [d[c] for c in self.codes_list()]
+            self._values = vals
+        return vals
+
+    def has_nulls(self) -> bool:
+        return self._nullable
+
+    def dict_view(self) -> Tuple[List[int], List[str], Dict[str, int]]:
+        return (self.codes_list(), self.dictionary, self.encode)
+
+    def storage_bytes(self) -> int:
+        total = getsizeof(self.codes)
+        total += getsizeof(self.dictionary)
+        total += sum(getsizeof(s) for s in self.dictionary)
+        total += getsizeof(self.encode)
+        return total
+
+
+class ValueColumn(ColumnData):
+    """Plain Python value list (fallback and operator intermediates)."""
+
+    __slots__ = ("_vals", "_nullable")
+
+    def __init__(self, values: List[Any], nullable: Optional[bool] = None):
+        self._vals = values
+        self._nullable = nullable
+
+    def values(self) -> List[Any]:
+        return self._vals
+
+    def has_nulls(self) -> bool:
+        nullable = self._nullable
+        if nullable is None:
+            nullable = self._nullable = None in self._vals
+        return nullable
+
+    def storage_bytes(self) -> int:
+        return getsizeof(self._vals)
+
+
+class LazyColumn(ColumnData):
+    """Column whose physical values are produced by a thunk on demand."""
+
+    __slots__ = ("_thunk", "_values")
+
+    def __init__(self, thunk: Callable[[], List[Any]]):
+        self._thunk = thunk
+        self._values: Optional[List[Any]] = None
+
+    def values(self) -> List[Any]:
+        vals = self._values
+        if vals is None:
+            vals = self._values = self._thunk()
+        return vals
+
+
+class SliceColumn(ColumnData):
+    """A contiguous physical window over a parent column.
+
+    Decoding reuses the parent's cached value list (one C-level list
+    slice), so scanning a table in batches decodes each table column at
+    most once per table version, not once per batch per query.
+    """
+
+    __slots__ = ("parent", "start", "stop", "_values")
+
+    def __init__(self, parent: ColumnData, start: int, stop: int):
+        self.parent = parent
+        self.start = start
+        self.stop = stop
+        self._values: Optional[List[Any]] = None
+
+    def values(self) -> List[Any]:
+        vals = self._values
+        if vals is None:
+            vals = self._values = self.parent.values()[self.start : self.stop]
+        return vals
+
+    def has_nulls(self) -> bool:
+        return self.parent.has_nulls()
+
+    def dict_view(self) -> Optional[Tuple[List[int], List[str], Dict[str, int]]]:
+        pv = self.parent.dict_view()
+        if pv is None:
+            return None
+        codes, dictionary, encode = pv
+        return (codes[self.start : self.stop], dictionary, encode)
+
+
+class TakeColumn(ColumnData):
+    """A gather of arbitrary (valid) physical indices from a parent."""
+
+    __slots__ = ("parent", "indices", "_values")
+
+    def __init__(self, parent: ColumnData, indices: List[int]):
+        self.parent = parent
+        self.indices = indices
+        self._values: Optional[List[Any]] = None
+
+    def values(self) -> List[Any]:
+        vals = self._values
+        if vals is None:
+            src = self.parent.values()
+            vals = self._values = [src[i] for i in self.indices]
+        return vals
+
+    def has_nulls(self) -> bool:
+        return self.parent.has_nulls()
+
+    def dict_view(self) -> Optional[Tuple[List[int], List[str], Dict[str, int]]]:
+        pv = self.parent.dict_view()
+        if pv is None:
+            return None
+        codes, dictionary, encode = pv
+        return ([codes[i] for i in self.indices], dictionary, encode)
+
+
+class GatherColumn(ColumnData):
+    """Lazy join-output column: gathers from a value provider.
+
+    ``provider`` yields the source value list on first use (e.g. the
+    lazily concatenated build side of a hash join); ``indices`` may
+    contain ``None`` when ``padded`` — an outer join's NULL padding.
+    """
+
+    __slots__ = ("provider", "indices", "padded", "_values")
+
+    def __init__(
+        self,
+        provider: Callable[[], List[Any]],
+        indices: List[Optional[int]],
+        padded: bool = False,
+    ):
+        self.provider = provider
+        self.indices = indices
+        self.padded = padded
+        self._values: Optional[List[Any]] = None
+
+    def values(self) -> List[Any]:
+        vals = self._values
+        if vals is None:
+            src = self.provider()
+            if self.padded:
+                vals = [None if i is None else src[i] for i in self.indices]
+            else:
+                vals = [src[i] for i in self.indices]
+            self._values = vals
+        return vals
+
+
+class ColumnBatch:
+    """One batch of columnar data: columns + physical count + selection.
+
+    ``sel`` is either ``None`` (every physical row is selected) or a
+    sorted list of physical row indices.  ``len(batch)`` is the
+    *logical* row count — what downstream operators and the profiler
+    see — while ``n_rows`` is the physical slot count the selection
+    indexes into.
+    """
+
+    __slots__ = ("cols", "n_rows", "sel", "_selected")
+
+    def __init__(
+        self,
+        cols: Sequence[ColumnData],
+        n_rows: int,
+        sel: Optional[List[int]] = None,
+    ):
+        self.cols = cols
+        self.n_rows = n_rows
+        self.sel = sel
+        self._selected: Optional[List[int]] = None
+
+    def __len__(self) -> int:
+        sel = self.sel
+        return len(sel) if sel is not None else self.n_rows
+
+    def selected(self) -> List[int]:
+        """The selection as an explicit (cached) index list."""
+        if self.sel is not None:
+            return self.sel
+        indices = self._selected
+        if indices is None:
+            indices = self._selected = list(range(self.n_rows))
+        return indices
+
+    def with_sel(self, sel: List[int]) -> "ColumnBatch":
+        """Narrow to *sel* (sorted physical indices) — shares columns."""
+        return ColumnBatch(self.cols, self.n_rows, sel)
+
+    def first_n(self, count: int) -> "ColumnBatch":
+        """The first *count* logical rows (LIMIT support)."""
+        return ColumnBatch(self.cols, self.n_rows, self.selected()[:count])
+
+    def column_values(self, idx: int) -> List[Any]:
+        """Column *idx* decoded and aligned to the selection.
+
+        With no selection this is the column's (shared, cached) physical
+        value list — callers must treat it as read-only.
+        """
+        vals = self.cols[idx].values()
+        sel = self.sel
+        if sel is None:
+            return vals
+        return [vals[i] for i in sel]
+
+    def materialize(self) -> List[Row]:
+        """Build row tuples — the late-materialisation boundary."""
+        n = len(self)
+        if not self.cols:
+            return [()] * n
+        return list(zip(*(self.column_values(j) for j in range(len(self.cols)))))
+
+    def storage_bytes(self) -> int:
+        total = sum(col.storage_bytes() for col in self.cols)
+        if self.sel is not None:
+            total += getsizeof(self.sel)
+        return total
+
+    @staticmethod
+    def from_rows(rows: Sequence[Row], width: int) -> "ColumnBatch":
+        """Transpose a row batch (adapter boundary for non-native ops)."""
+        n = len(rows)
+        if width == 0 or n == 0:
+            return ColumnBatch((), n, None)
+        return ColumnBatch(
+            tuple(ValueColumn(list(col)) for col in zip(*rows)), n, None
+        )
+
+
+class TableColumns:
+    """The columnar projection of one heap table (all physical rows)."""
+
+    __slots__ = ("cols", "n_rows", "_slices")
+
+    def __init__(self, cols: Tuple[ColumnData, ...], n_rows: int):
+        self.cols = cols
+        self.n_rows = n_rows
+        # Slice-column tuples memoised per (start, stop): batch
+        # boundaries are fixed by batch_size, so every scan of this
+        # table version hits the same windows and reuses the slice
+        # columns' decoded-value caches instead of redecoding.
+        self._slices: Dict[Tuple[int, int], Tuple[ColumnData, ...]] = {}
+
+    def batch(self, start: int, stop: int) -> ColumnBatch:
+        """A zero-copy slice batch over rows [start, stop)."""
+        key = (start, stop)
+        cols = self._slices.get(key)
+        if cols is None:
+            cols = tuple(col.slice(start, stop) for col in self.cols)
+            self._slices[key] = cols
+        return ColumnBatch(cols, stop - start, None)
+
+    def take_batch(self, indices: List[int]) -> ColumnBatch:
+        """A gather batch over arbitrary physical row ids."""
+        return ColumnBatch(
+            tuple(col.take(indices) for col in self.cols),
+            len(indices),
+            None,
+        )
+
+    def storage_bytes(self) -> int:
+        return sum(col.storage_bytes() for col in self.cols)
+
+
+def _build_numeric(
+    raw: List[Any], typecode: str
+) -> ColumnData:
+    """Typed-array column from a raw value list, NULLs via validity."""
+    cls = IntColumn if typecode == "q" else FloatColumn
+    if None in raw:
+        validity = bytearray(1 for _ in raw)
+        dense = list(raw)
+        for i, v in enumerate(raw):
+            if v is None:
+                validity[i] = 0
+                dense[i] = 0
+        col = cls(array(typecode, dense), validity)
+    else:
+        col = cls(array(typecode, raw), None)
+    # Cache the already-boxed originals: decoding would only rebuild them.
+    col._values = raw
+    return col
+
+
+def _build_dict(raw: List[Any]) -> DictColumn:
+    dictionary: List[str] = []
+    encode: Dict[str, int] = {}
+    codes = array("q")
+    append = codes.append
+    nullable = False
+    for v in raw:
+        if v is None:
+            append(NULL_CODE)
+            nullable = True
+        else:
+            code = encode.get(v)
+            if code is None:
+                code = encode[v] = len(dictionary)
+                dictionary.append(v)
+            append(code)
+    col = DictColumn(codes, dictionary, encode, nullable)
+    col._values = raw
+    return col
+
+
+def build_table_columns(rows: Sequence[Row], schema: Schema) -> TableColumns:
+    """Columnarise a heap table's rows against its schema.
+
+    INT columns fall back to :class:`ValueColumn` when any value is
+    outside the signed 64-bit range; BOOL columns always use the value
+    fallback (a 1-byte validity-style encoding would save little here).
+    """
+    n = len(rows)
+    cols: List[ColumnData] = []
+    for idx, column in enumerate(schema.columns):
+        raw = [row[idx] for row in rows]
+        ctype = column.ctype
+        if ctype is ColumnType.INT:
+            if all(
+                v is None or (_INT64_MIN <= v <= _INT64_MAX) for v in raw
+            ):
+                cols.append(_build_numeric(raw, "q"))
+            else:
+                cols.append(ValueColumn(raw))
+        elif ctype is ColumnType.FLOAT:
+            cols.append(_build_numeric(raw, "d"))
+        elif ctype is ColumnType.STR:
+            cols.append(_build_dict(raw))
+        else:
+            cols.append(ValueColumn(raw))
+    return TableColumns(tuple(cols), n)

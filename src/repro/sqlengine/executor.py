@@ -1,14 +1,17 @@
 """Plan execution entry points.
 
-Two engines run the same physical plan:
+Three engines run the same physical plan:
 
 * ``"vector"`` (default) — batch-at-a-time via ``rows_batched()`` and
-  compiled batch kernels;
+  compiled batch kernels over lists of row tuples;
+* ``"columnar"`` — batch-at-a-time via ``rows_columnar()`` over typed
+  column arrays with selection vectors (dict-encoded strings, validity
+  bitmaps, late materialisation at the output boundary);
 * ``"row"`` — the legacy tuple-at-a-time iterators.
 
-Both produce identical rows *and* identical ``WorkMeter`` totals (see
-docs/execution.md), so the choice is purely a wall-clock/throughput
-knob.  The process-wide default can be overridden with the
+All produce identical rows *and* identical ``WorkMeter`` totals (see
+docs/execution.md), so the choice is purely a wall-clock/throughput and
+memory knob.  The process-wide default can be overridden with the
 ``REPRO_ENGINE`` environment variable.
 """
 
@@ -30,7 +33,7 @@ from .physical import (
 from .storage import StorageManager
 from .types import Row, Schema, SqlError
 
-ENGINES = ("vector", "row")
+ENGINES = ("vector", "columnar", "row")
 
 #: Process-wide default engine; "vector" unless overridden via env.
 DEFAULT_ENGINE = os.environ.get("REPRO_ENGINE", "vector")
@@ -89,6 +92,15 @@ def execute_plan(
         for batch in plan.rows_batched(ctx):
             batches += 1
             extend(batch)
+    elif chosen == "columnar":
+        # Late materialisation: row tuples exist only here, at the
+        # result boundary.
+        rows = []
+        extend = rows.extend
+        batches = 0
+        for cbatch in plan.rows_columnar(ctx):
+            batches += 1
+            extend(cbatch.materialize())
     else:
         rows = list(plan.rows(ctx))
         batches = 0
@@ -96,7 +108,7 @@ def execute_plan(
     ctx.meter.tuples_out = len(rows)
 
     obs = get_obs()
-    if chosen == "vector":
+    if chosen != "row":
         obs.metrics.counter("engine_batches_total", engine=chosen).inc(
             batches
         )

@@ -16,15 +16,46 @@ execution engine runs on.  A kernel must return exactly the values the
 per-row evaluator would — same Python objects semantics, same SQL
 three-valued logic, same error classes — so the two engines are
 interchangeable.
+
+The columnar engine adds two more compilation targets:
+
+* :meth:`Expression.compile_columnar` — ``ColumnBatch`` -> value list
+  aligned to the batch's selection.  Column-wise: operand columns are
+  decoded lists, no row tuples exist, and null checks are skipped
+  entirely when a column's validity metadata proves it None-free.
+* :meth:`Expression.compile_filter_columnar` — ``ColumnBatch`` -> a
+  *narrowed selection vector* (sorted physical indices where the
+  predicate is True).  AND chains narrow the selection conjunct by
+  conjunct; OR unions two sorted selections; equality against a string
+  literal on a dictionary-encoded column compares integer codes, never
+  strings.
+
+Columnar kernels obey the same contract as batch kernels: identical
+values/selections, identical three-valued logic and identical error
+classes and messages as the row evaluator.
 """
 
 from __future__ import annotations
 
 import operator as _operator
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from .types import ColumnType, Row, Schema, SqlError, TypeMismatchError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .columnar import ColumnBatch
 
 
 class ExpressionError(SqlError):
@@ -34,6 +65,12 @@ class ExpressionError(SqlError):
 Evaluator = Callable[[Row], Any]
 
 BatchEvaluator = Callable[[List[Row]], List[Any]]
+
+#: ColumnBatch -> list of values aligned with the batch's selection.
+ColumnarEvaluator = Callable[["ColumnBatch"], List[Any]]
+
+#: ColumnBatch -> narrowed selection (sorted physical indices, True rows).
+SelectionKernel = Callable[["ColumnBatch"], List[int]]
 
 #: Comparison operators in SQL surface syntax.
 COMPARISON_OPS = ("=", "!=", "<>", "<", "<=", ">", ">=")
@@ -60,6 +97,41 @@ class Expression:
         """
         evaluate = self.compile(schema)
         return lambda rows: [evaluate(row) for row in rows]
+
+    def compile_columnar(self, schema: Schema) -> ColumnarEvaluator:
+        """Compile into a columnar kernel (ColumnBatch -> value list).
+
+        Results are aligned with the batch's selection vector: one value
+        per *selected* row, in selection order.  The default adapter
+        materialises row tuples and reuses the per-row closure; nodes
+        with a column-wise shape override it.
+        """
+        evaluate = self.compile(schema)
+
+        def evaluate_columnar(batch: "ColumnBatch") -> List[Any]:
+            return [evaluate(row) for row in batch.materialize()]
+
+        return evaluate_columnar
+
+    def compile_filter_columnar(self, schema: Schema) -> SelectionKernel:
+        """Compile into a selection kernel (ColumnBatch -> narrowed sel).
+
+        Returns the sorted physical indices of rows where this predicate
+        evaluates to exactly ``True`` (SQL three-valued logic: ``False``
+        and ``NULL`` rows are dropped).  The default adapter evaluates
+        the value kernel and keeps ``is True`` survivors; predicates
+        with a cheap native selection shape override it.
+        """
+        evaluate = self.compile_columnar(schema)
+
+        def filter_columnar(batch: "ColumnBatch") -> List[int]:
+            vals = evaluate(batch)
+            sel = batch.sel
+            if sel is None:
+                return [i for i, v in enumerate(vals) if v is True]
+            return [i for i, v in zip(sel, vals) if v is True]
+
+        return filter_columnar
 
     def columns(self) -> Iterator[str]:
         """Yield every column name referenced by this expression."""
@@ -106,6 +178,17 @@ class Literal(Expression):
         value = self.value
         return lambda rows: [value] * len(rows)
 
+    def compile_columnar(self, schema: Schema) -> ColumnarEvaluator:
+        value = self.value
+        return lambda batch: [value] * len(batch)
+
+    def compile_filter_columnar(self, schema: Schema) -> SelectionKernel:
+        # A constant predicate either keeps every selected row (shared,
+        # read-only selection list) or none.
+        if self.value is True:
+            return lambda batch: batch.selected()
+        return lambda batch: []
+
     def result_type(self, schema: Schema) -> ColumnType:
         if isinstance(self.value, bool):
             return ColumnType.BOOL
@@ -139,6 +222,12 @@ class ColumnRef(Expression):
     def compile_batch(self, schema: Schema) -> BatchEvaluator:
         idx = schema.index_of(self.name)
         return lambda rows: [row[idx] for row in rows]
+
+    def compile_columnar(self, schema: Schema) -> ColumnarEvaluator:
+        idx = schema.index_of(self.name)
+        # column_values() is the batch's cached, selection-aligned view;
+        # callers must treat it as read-only.
+        return lambda batch: batch.column_values(idx)
 
     def columns(self) -> Iterator[str]:
         yield self.name
@@ -281,6 +370,113 @@ class Comparison(Expression):
 
         return evaluate_batch
 
+    def compile_columnar(self, schema: Schema) -> ColumnarEvaluator:
+        op = "!=" if self.op == "<>" else self.op
+        cmp = _COMPARATORS[op]
+
+        if isinstance(self.right, Literal):
+            rv = self.right.value
+            if rv is None:
+                return lambda batch: [None] * len(batch)
+            lf = self.left.compile_columnar(schema)
+
+            def evaluate_right_literal(batch: "ColumnBatch") -> List[Any]:
+                lvs = lf(batch)
+                try:
+                    return [
+                        None if a is None else cmp(a, rv) for a in lvs
+                    ]
+                except TypeError:
+                    pass
+                for a in lvs:
+                    if a is None:
+                        continue
+                    try:
+                        cmp(a, rv)
+                    except TypeError as exc:
+                        raise TypeMismatchError(
+                            f"cannot compare {a!r} {op} {rv!r}"
+                        ) from exc
+                raise AssertionError("unreachable")  # pragma: no cover
+
+            return evaluate_right_literal
+        if isinstance(self.left, Literal):
+            lv = self.left.value
+            if lv is None:
+                return lambda batch: [None] * len(batch)
+            rf = self.right.compile_columnar(schema)
+
+            def evaluate_left_literal(batch: "ColumnBatch") -> List[Any]:
+                rvs = rf(batch)
+                try:
+                    return [
+                        None if b is None else cmp(lv, b) for b in rvs
+                    ]
+                except TypeError:
+                    pass
+                for b in rvs:
+                    if b is None:
+                        continue
+                    try:
+                        cmp(lv, b)
+                    except TypeError as exc:
+                        raise TypeMismatchError(
+                            f"cannot compare {lv!r} {op} {b!r}"
+                        ) from exc
+                raise AssertionError("unreachable")  # pragma: no cover
+
+            return evaluate_left_literal
+
+        lf = self.left.compile_columnar(schema)
+        rf = self.right.compile_columnar(schema)
+
+        def evaluate_columnar(batch: "ColumnBatch") -> List[Any]:
+            lvs = lf(batch)
+            rvs = rf(batch)
+            try:
+                return [
+                    None if a is None or b is None else cmp(a, b)
+                    for a, b in zip(lvs, rvs)
+                ]
+            except TypeError:
+                pass
+            for a, b in zip(lvs, rvs):
+                if a is None or b is None:
+                    continue
+                try:
+                    cmp(a, b)
+                except TypeError as exc:
+                    raise TypeMismatchError(
+                        f"cannot compare {a!r} {op} {b!r}"
+                    ) from exc
+            raise AssertionError("unreachable")  # pragma: no cover
+
+        return evaluate_columnar
+
+    def compile_filter_columnar(self, schema: Schema) -> SelectionKernel:
+        op = "!=" if self.op == "<>" else self.op
+        cmp = _COMPARATORS[op]
+
+        # Column-vs-literal: the dominant predicate shape.  Works on the
+        # raw physical column (no gather), narrowing the selection with
+        # a single C-level loop; equality against a string literal on a
+        # dictionary-encoded column compares integer codes.
+        if isinstance(self.left, ColumnRef) and isinstance(self.right, Literal):
+            rv = self.right.value
+            if rv is None:
+                return lambda batch: []
+            idx = schema.index_of(self.left.name)
+            return _compile_literal_filter(idx, op, cmp, rv, literal_left=False)
+        if isinstance(self.right, ColumnRef) and isinstance(self.left, Literal):
+            lv = self.left.value
+            if lv is None:
+                return lambda batch: []
+            idx = schema.index_of(self.right.name)
+            return _compile_literal_filter(
+                idx, op, cmp, lv, literal_left=True
+            )
+        return Expression.compile_filter_columnar(self, schema)
+
     def columns(self) -> Iterator[str]:
         yield from self.left.columns()
         yield from self.right.columns()
@@ -292,6 +488,72 @@ class Comparison(Expression):
         return f"{self.left.sql()} {self.op} {self.right.sql()}"
 
 
+def _compile_literal_filter(
+    idx: int,
+    op: str,
+    cmp: Callable[[Any, Any], bool],
+    lit: Any,
+    literal_left: bool,
+) -> SelectionKernel:
+    """Selection kernel for ``col op lit`` (or ``lit op col``).
+
+    The literal side is folded into the loop; ``lit op col`` runs the
+    reflected operator so both shapes share the same six loop bodies.
+    Error reporting still uses the original operand order so messages
+    match the row engine exactly.
+    """
+    loop_op = _REFLECTED_OPS[op] if literal_left else op
+    loop = _FILTER_LOOPS[loop_op]
+    loop_nn = _FILTER_LOOPS_NN[loop_op]
+    eq_like = loop_op in ("=", "!=")
+    str_literal = isinstance(lit, str)
+
+    def filter_literal(batch: "ColumnBatch") -> List[int]:
+        col = batch.cols[idx]
+        sel = batch.sel
+        if eq_like:
+            view = col.dict_view()
+            if view is not None:
+                codes, _dictionary, encode = view
+                # A literal of another type never equals a string, and
+                # ``!=`` keeps every non-NULL string; -2 is an
+                # impossible code (NULL is -1, real codes are >= 0).
+                code = encode.get(lit, -2) if str_literal else -2
+                if loop_op == "=":
+                    if sel is None:
+                        return [i for i, c in enumerate(codes) if c == code]
+                    return [i for i in sel if codes[i] == code]
+                if sel is None:
+                    return [
+                        i for i, c in enumerate(codes) if c >= 0 and c != code
+                    ]
+                return [
+                    i for i in sel if (c := codes[i]) >= 0 and c != code
+                ]
+        vals = col.values()
+        use = loop_nn if loop_op == "=" or not col.has_nulls() else loop
+        try:
+            return use(vals, lit, sel)
+        except TypeError:
+            pass
+        # Slow path only to raise the same error as the row engine.
+        for i in range(len(vals)) if sel is None else sel:
+            v = vals[i]
+            if v is None:
+                continue
+            try:
+                cmp(lit, v) if literal_left else cmp(v, lit)
+            except TypeError as exc:
+                if literal_left:
+                    message = f"cannot compare {lit!r} {op} {v!r}"
+                else:
+                    message = f"cannot compare {v!r} {op} {lit!r}"
+                raise TypeMismatchError(message) from exc
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    return filter_literal
+
+
 _COMPARATORS: Dict[str, Callable[[Any, Any], bool]] = {
     "=": _operator.eq,
     "!=": _operator.ne,
@@ -299,6 +561,111 @@ _COMPARATORS: Dict[str, Callable[[Any, Any], bool]] = {
     "<=": _operator.le,
     ">": _operator.gt,
     ">=": _operator.ge,
+}
+
+#: ``lit op col`` rewritten as ``col reflected(op) lit``.
+_REFLECTED_OPS: Dict[str, str] = {
+    "=": "=",
+    "!=": "!=",
+    "<": ">",
+    "<=": ">=",
+    ">": "<",
+    ">=": "<=",
+}
+
+
+# Columnar column-vs-literal filter loops.  Six operators, each in a
+# null-checking and a null-free variant; *vals* is the column's full
+# physical value list and *sel* the batch's selection (None = all rows).
+# Explicit functions (not closures over an operator) keep the comparison
+# a single bytecode op inside the C-level list-comprehension loop.
+#
+# ``=`` needs no null variant: ``None == lit`` is False for any non-None
+# literal, so NULL rows drop out of the comparison itself.
+
+
+def _filter_eq(vals: List[Any], rv: Any, sel: Optional[List[int]]) -> List[int]:
+    if sel is None:
+        return [i for i, v in enumerate(vals) if v == rv]
+    return [i for i in sel if vals[i] == rv]
+
+
+def _filter_ne(vals: List[Any], rv: Any, sel: Optional[List[int]]) -> List[int]:
+    if sel is None:
+        return [i for i, v in enumerate(vals) if v is not None and v != rv]
+    return [i for i in sel if (v := vals[i]) is not None and v != rv]
+
+
+def _filter_ne_nn(vals: List[Any], rv: Any, sel: Optional[List[int]]) -> List[int]:
+    if sel is None:
+        return [i for i, v in enumerate(vals) if v != rv]
+    return [i for i in sel if vals[i] != rv]
+
+
+def _filter_lt(vals: List[Any], rv: Any, sel: Optional[List[int]]) -> List[int]:
+    if sel is None:
+        return [i for i, v in enumerate(vals) if v is not None and v < rv]
+    return [i for i in sel if (v := vals[i]) is not None and v < rv]
+
+
+def _filter_lt_nn(vals: List[Any], rv: Any, sel: Optional[List[int]]) -> List[int]:
+    if sel is None:
+        return [i for i, v in enumerate(vals) if v < rv]
+    return [i for i in sel if vals[i] < rv]
+
+
+def _filter_le(vals: List[Any], rv: Any, sel: Optional[List[int]]) -> List[int]:
+    if sel is None:
+        return [i for i, v in enumerate(vals) if v is not None and v <= rv]
+    return [i for i in sel if (v := vals[i]) is not None and v <= rv]
+
+
+def _filter_le_nn(vals: List[Any], rv: Any, sel: Optional[List[int]]) -> List[int]:
+    if sel is None:
+        return [i for i, v in enumerate(vals) if v <= rv]
+    return [i for i in sel if vals[i] <= rv]
+
+
+def _filter_gt(vals: List[Any], rv: Any, sel: Optional[List[int]]) -> List[int]:
+    if sel is None:
+        return [i for i, v in enumerate(vals) if v is not None and v > rv]
+    return [i for i in sel if (v := vals[i]) is not None and v > rv]
+
+
+def _filter_gt_nn(vals: List[Any], rv: Any, sel: Optional[List[int]]) -> List[int]:
+    if sel is None:
+        return [i for i, v in enumerate(vals) if v > rv]
+    return [i for i in sel if vals[i] > rv]
+
+
+def _filter_ge(vals: List[Any], rv: Any, sel: Optional[List[int]]) -> List[int]:
+    if sel is None:
+        return [i for i, v in enumerate(vals) if v is not None and v >= rv]
+    return [i for i in sel if (v := vals[i]) is not None and v >= rv]
+
+
+def _filter_ge_nn(vals: List[Any], rv: Any, sel: Optional[List[int]]) -> List[int]:
+    if sel is None:
+        return [i for i, v in enumerate(vals) if v >= rv]
+    return [i for i in sel if vals[i] >= rv]
+
+
+_FILTER_LOOPS: Dict[str, Callable[..., List[int]]] = {
+    "=": _filter_eq,
+    "!=": _filter_ne,
+    "<": _filter_lt,
+    "<=": _filter_le,
+    ">": _filter_gt,
+    ">=": _filter_ge,
+}
+
+_FILTER_LOOPS_NN: Dict[str, Callable[..., List[int]]] = {
+    "=": _filter_eq,
+    "!=": _filter_ne_nn,
+    "<": _filter_lt_nn,
+    "<=": _filter_le_nn,
+    ">": _filter_gt_nn,
+    ">=": _filter_ge_nn,
 }
 
 
@@ -348,6 +715,41 @@ class And(Expression):
             return out
 
         return evaluate_batch
+
+    def compile_columnar(self, schema: Schema) -> ColumnarEvaluator:
+        lf = self.left.compile_columnar(schema)
+        rf = self.right.compile_columnar(schema)
+
+        def evaluate_columnar(batch: "ColumnBatch") -> List[Any]:
+            lvs = lf(batch)
+            sel = batch.selected()
+            # Same short-circuit as the batch kernel, expressed on the
+            # selection: the right side only sees rows the left did not
+            # already decide (is False).
+            need_pos = [p for p, lv in enumerate(lvs) if lv is not False]
+            out: List[Any] = [False] * len(lvs)
+            if not need_pos:
+                return out
+            rvs = rf(batch.with_sel([sel[p] for p in need_pos]))
+            for p, rv in zip(need_pos, rvs):
+                if rv is False:
+                    continue
+                out[p] = None if (lvs[p] is None or rv is None) else True
+            return out
+
+        return evaluate_columnar
+
+    def compile_filter_columnar(self, schema: Schema) -> SelectionKernel:
+        lf = self.left.compile_filter_columnar(schema)
+        rf = self.right.compile_filter_columnar(schema)
+
+        def filter_columnar(batch: "ColumnBatch") -> List[int]:
+            sel = lf(batch)
+            if not sel:
+                return sel
+            return rf(batch.with_sel(sel))
+
+        return filter_columnar
 
     def columns(self) -> Iterator[str]:
         yield from self.left.columns()
@@ -404,6 +806,52 @@ class Or(Expression):
 
         return evaluate_batch
 
+    def compile_columnar(self, schema: Schema) -> ColumnarEvaluator:
+        lf = self.left.compile_columnar(schema)
+        rf = self.right.compile_columnar(schema)
+
+        def evaluate_columnar(batch: "ColumnBatch") -> List[Any]:
+            lvs = lf(batch)
+            sel = batch.selected()
+            need_pos = [p for p, lv in enumerate(lvs) if lv is not True]
+            out: List[Any] = [True] * len(lvs)
+            if not need_pos:
+                return out
+            rvs = rf(batch.with_sel([sel[p] for p in need_pos]))
+            for p, rv in zip(need_pos, rvs):
+                if rv is True:
+                    continue
+                out[p] = None if (lvs[p] is None or rv is None) else False
+            return out
+
+        return evaluate_columnar
+
+    def compile_filter_columnar(self, schema: Schema) -> SelectionKernel:
+        # Value kernels (not sub-filters) so both sides observe exactly
+        # the rows the batch kernel would show them — this preserves
+        # error behaviour: the right side never sees rows the left
+        # already proved True.
+        lf = self.left.compile_columnar(schema)
+        rf = self.right.compile_columnar(schema)
+
+        def filter_columnar(batch: "ColumnBatch") -> List[int]:
+            lvs = lf(batch)
+            sel = batch.selected()
+            true_sel = [i for i, v in zip(sel, lvs) if v is True]
+            rest = [i for i, v in zip(sel, lvs) if v is not True]
+            if not rest:
+                return true_sel
+            rvs = rf(batch.with_sel(rest))
+            rtrue = [i for i, v in zip(rest, rvs) if v is True]
+            if not true_sel:
+                return rtrue
+            if not rtrue:
+                return true_sel
+            # Union of two ascending runs; Timsort merges them in O(n).
+            return sorted(true_sel + rtrue)
+
+        return filter_columnar
+
     def columns(self) -> Iterator[str]:
         yield from self.left.columns()
         yield from self.right.columns()
@@ -437,6 +885,10 @@ class Not(Expression):
         f = self.operand.compile_batch(schema)
         return lambda rows: [None if v is None else not v for v in f(rows)]
 
+    def compile_columnar(self, schema: Schema) -> ColumnarEvaluator:
+        f = self.operand.compile_columnar(schema)
+        return lambda batch: [None if v is None else not v for v in f(batch)]
+
     def columns(self) -> Iterator[str]:
         yield from self.operand.columns()
 
@@ -466,6 +918,35 @@ class IsNull(Expression):
         if self.negated:
             return lambda rows: [v is not None for v in f(rows)]
         return lambda rows: [v is None for v in f(rows)]
+
+    def compile_columnar(self, schema: Schema) -> ColumnarEvaluator:
+        f = self.operand.compile_columnar(schema)
+        if self.negated:
+            return lambda batch: [v is not None for v in f(batch)]
+        return lambda batch: [v is None for v in f(batch)]
+
+    def compile_filter_columnar(self, schema: Schema) -> SelectionKernel:
+        if not isinstance(self.operand, ColumnRef):
+            return Expression.compile_filter_columnar(self, schema)
+        idx = schema.index_of(self.operand.name)
+        negated = self.negated
+
+        def filter_columnar(batch: "ColumnBatch") -> List[int]:
+            col = batch.cols[idx]
+            sel = batch.sel
+            if not col.has_nulls():
+                # Validity metadata proves the column None-free.
+                return batch.selected() if negated else []
+            vals = col.values()
+            if negated:
+                if sel is None:
+                    return [i for i, v in enumerate(vals) if v is not None]
+                return [i for i in sel if vals[i] is not None]
+            if sel is None:
+                return [i for i, v in enumerate(vals) if v is None]
+            return [i for i in sel if vals[i] is None]
+
+        return filter_columnar
 
     def columns(self) -> Iterator[str]:
         yield from self.operand.columns()
@@ -542,6 +1023,106 @@ class Like(Expression):
 
         return evaluate_batch
 
+    def _dict_matcher(self) -> Callable[[Tuple[str, ...]], frozenset]:
+        """Per-dictionary evaluation: pattern-match each distinct string
+        once and return the set of codes whose final answer is True.
+
+        The dictionary tuple is stable for a table version, so the match
+        set is computed once per dictionary object and reused across
+        batches and queries (cache validated by identity, not id alone).
+        """
+        match = self._regex().match
+        negated = self.negated
+        cache: Dict[int, Tuple[Any, frozenset]] = {}
+
+        def codes_matching(dictionary: Tuple[str, ...]) -> frozenset:
+            key = id(dictionary)
+            hit = cache.get(key)
+            if hit is not None and hit[0] is dictionary:
+                return hit[1]
+            if negated:
+                codes = frozenset(
+                    c
+                    for c, entry in enumerate(dictionary)
+                    if match(entry) is None
+                )
+            else:
+                codes = frozenset(
+                    c
+                    for c, entry in enumerate(dictionary)
+                    if match(entry) is not None
+                )
+            cache[key] = (dictionary, codes)
+            return codes
+
+        return codes_matching
+
+    def compile_columnar(self, schema: Schema) -> ColumnarEvaluator:
+        f = self.operand.compile_columnar(schema)
+        match = self._regex().match
+        negated = self.negated
+
+        def evaluate_values(values: List[Any]) -> List[Any]:
+            out: List[Any] = []
+            append = out.append
+            for value in values:
+                if value is None:
+                    append(None)
+                elif not isinstance(value, str):
+                    raise TypeMismatchError(
+                        f"LIKE requires a string, got {value!r}"
+                    )
+                else:
+                    matched = match(value) is not None
+                    append((not matched) if negated else matched)
+            return out
+
+        if not isinstance(self.operand, ColumnRef):
+            return lambda batch: evaluate_values(f(batch))
+
+        idx = schema.index_of(self.operand.name)
+        codes_matching = self._dict_matcher()
+
+        def evaluate_columnar(batch: "ColumnBatch") -> List[Any]:
+            view = batch.cols[idx].dict_view()
+            if view is None:
+                return evaluate_values(f(batch))
+            codes, dictionary, _encode = view
+            true_codes = codes_matching(dictionary)
+            sel = batch.sel
+            if sel is None:
+                return [None if c < 0 else c in true_codes for c in codes]
+            return [
+                None if (c := codes[i]) < 0 else c in true_codes
+                for i in sel
+            ]
+
+        return evaluate_columnar
+
+    def compile_filter_columnar(self, schema: Schema) -> SelectionKernel:
+        if not isinstance(self.operand, ColumnRef):
+            return Expression.compile_filter_columnar(self, schema)
+        idx = schema.index_of(self.operand.name)
+        codes_matching = self._dict_matcher()
+        fallback = Expression.compile_filter_columnar(self, schema)
+
+        def filter_columnar(batch: "ColumnBatch") -> List[int]:
+            view = batch.cols[idx].dict_view()
+            if view is None:
+                return fallback(batch)
+            codes, dictionary, _encode = view
+            # NULL codes are -1 and never in the set, so membership alone
+            # implements three-valued logic.
+            true_codes = codes_matching(dictionary)
+            sel = batch.sel
+            if sel is None:
+                return [
+                    i for i, c in enumerate(codes) if c in true_codes
+                ]
+            return [i for i in sel if codes[i] in true_codes]
+
+        return filter_columnar
+
     def columns(self) -> Iterator[str]:
         yield from self.operand.columns()
 
@@ -602,6 +1183,98 @@ class InList(Expression):
             return out
 
         return evaluate_batch
+
+    def _dict_matcher(self) -> Callable[[Tuple[str, ...]], frozenset]:
+        """Set of dictionary codes whose final IN answer is True, cached
+        per dictionary object (see Like._dict_matcher)."""
+        members = set(self.values)
+        negated = self.negated
+        cache: Dict[int, Tuple[Any, frozenset]] = {}
+
+        def codes_matching(dictionary: Tuple[str, ...]) -> frozenset:
+            key = id(dictionary)
+            hit = cache.get(key)
+            if hit is not None and hit[0] is dictionary:
+                return hit[1]
+            if negated:
+                codes = frozenset(
+                    c
+                    for c, entry in enumerate(dictionary)
+                    if entry not in members
+                )
+            else:
+                codes = frozenset(
+                    c
+                    for c, entry in enumerate(dictionary)
+                    if entry in members
+                )
+            cache[key] = (dictionary, codes)
+            return codes
+
+        return codes_matching
+
+    def compile_columnar(self, schema: Schema) -> ColumnarEvaluator:
+        f = self.operand.compile_columnar(schema)
+        members = set(self.values)
+        negated = self.negated
+
+        def evaluate_values(values: List[Any]) -> List[Any]:
+            out: List[Any] = []
+            append = out.append
+            for value in values:
+                if value is None:
+                    append(None)
+                    continue
+                try:
+                    matched = value in members
+                except TypeError as exc:
+                    raise TypeMismatchError(str(exc)) from exc
+                append((not matched) if negated else matched)
+            return out
+
+        if not isinstance(self.operand, ColumnRef):
+            return lambda batch: evaluate_values(f(batch))
+
+        idx = schema.index_of(self.operand.name)
+        codes_matching = self._dict_matcher()
+
+        def evaluate_columnar(batch: "ColumnBatch") -> List[Any]:
+            view = batch.cols[idx].dict_view()
+            if view is None:
+                return evaluate_values(f(batch))
+            codes, dictionary, _encode = view
+            true_codes = codes_matching(dictionary)
+            sel = batch.sel
+            if sel is None:
+                return [None if c < 0 else c in true_codes for c in codes]
+            return [
+                None if (c := codes[i]) < 0 else c in true_codes
+                for i in sel
+            ]
+
+        return evaluate_columnar
+
+    def compile_filter_columnar(self, schema: Schema) -> SelectionKernel:
+        if not isinstance(self.operand, ColumnRef):
+            return Expression.compile_filter_columnar(self, schema)
+        idx = schema.index_of(self.operand.name)
+        codes_matching = self._dict_matcher()
+        fallback = Expression.compile_filter_columnar(self, schema)
+
+        def filter_columnar(batch: "ColumnBatch") -> List[int]:
+            view = batch.cols[idx].dict_view()
+            if view is None:
+                return fallback(batch)
+            codes, dictionary, _encode = view
+            true_codes = codes_matching(dictionary)
+            sel = batch.sel
+            if sel is None:
+                return [
+                    i for i, c in enumerate(codes) if c in true_codes
+                ]
+            return [i for i in sel if codes[i] in true_codes]
+
+        return filter_columnar
 
     def columns(self) -> Iterator[str]:
         yield from self.operand.columns()
@@ -714,6 +1387,89 @@ class Arithmetic(Expression):
 
         return evaluate_batch
 
+    def compile_columnar(self, schema: Schema) -> ColumnarEvaluator:
+        fn = _ARITHMETIC_FUNCS[self.op]
+        op_sql = self.op
+
+        if isinstance(self.right, Literal):
+            rv = self.right.value
+            if rv is None:
+                return lambda batch: [None] * len(batch)
+            lf = self.left.compile_columnar(schema)
+            lit_loop = _ARITH_LIT_LOOPS[self.op]
+            li = (
+                schema.index_of(self.left.name)
+                if isinstance(self.left, ColumnRef)
+                else -1
+            )
+
+            def evaluate_right_literal(batch: "ColumnBatch") -> List[Any]:
+                lvs = lf(batch)
+                try:
+                    if li >= 0 and not batch.cols[li].has_nulls():
+                        return lit_loop(lvs, rv)
+                    return [None if a is None else fn(a, rv) for a in lvs]
+                except (ZeroDivisionError, TypeError):
+                    pass
+                out: List[Any] = []
+                for a in lvs:
+                    if a is None:
+                        out.append(None)
+                        continue
+                    try:
+                        out.append(fn(a, rv))
+                    except ZeroDivisionError:
+                        out.append(None)
+                    except TypeError as exc:
+                        raise TypeMismatchError(
+                            f"cannot compute {a!r} {op_sql} {rv!r}"
+                        ) from exc
+                return out
+
+            return evaluate_right_literal
+
+        lf = self.left.compile_columnar(schema)
+        rf = self.right.compile_columnar(schema)
+        # Two plain column refs over None-free columns skip the per-pair
+        # null checks entirely (the common ``price * quantity`` shape).
+        refs = isinstance(self.left, ColumnRef) and isinstance(
+            self.right, ColumnRef
+        )
+        li = schema.index_of(self.left.name) if refs else -1
+        ri = schema.index_of(self.right.name) if refs else -1
+        pair_loop = _ARITH_PAIR_LOOPS[self.op]
+
+        def evaluate_columnar(batch: "ColumnBatch") -> List[Any]:
+            lvs = lf(batch)
+            rvs = rf(batch)
+            try:
+                if refs and not (
+                    batch.cols[li].has_nulls() or batch.cols[ri].has_nulls()
+                ):
+                    return pair_loop(lvs, rvs)
+                return [
+                    None if a is None or b is None else fn(a, b)
+                    for a, b in zip(lvs, rvs)
+                ]
+            except (ZeroDivisionError, TypeError):
+                pass
+            out: List[Any] = []
+            for a, b in zip(lvs, rvs):
+                if a is None or b is None:
+                    out.append(None)
+                    continue
+                try:
+                    out.append(fn(a, b))
+                except ZeroDivisionError:
+                    out.append(None)
+                except TypeError as exc:
+                    raise TypeMismatchError(
+                        f"cannot compute {a!r} {op_sql} {b!r}"
+                    ) from exc
+            return out
+
+        return evaluate_columnar
+
     def columns(self) -> Iterator[str]:
         yield from self.left.columns()
         yield from self.right.columns()
@@ -737,6 +1493,70 @@ _ARITHMETIC_FUNCS: Dict[str, Callable[[Any, Any], Any]] = {
     "*": _operator.mul,
     "/": _operator.truediv,
     "%": _operator.mod,
+}
+
+
+# Columnar arithmetic loops for null-free operands.  Like the filter
+# loops above, explicit functions keep the operator a single bytecode op
+# instead of a closure call per element; the null-checking and error
+# paths stay on the generic ``fn``-based loops.
+
+
+def _arith_add_lit(vals: List[Any], rv: Any) -> List[Any]:
+    return [a + rv for a in vals]
+
+
+def _arith_sub_lit(vals: List[Any], rv: Any) -> List[Any]:
+    return [a - rv for a in vals]
+
+
+def _arith_mul_lit(vals: List[Any], rv: Any) -> List[Any]:
+    return [a * rv for a in vals]
+
+
+def _arith_div_lit(vals: List[Any], rv: Any) -> List[Any]:
+    return [a / rv for a in vals]
+
+
+def _arith_mod_lit(vals: List[Any], rv: Any) -> List[Any]:
+    return [a % rv for a in vals]
+
+
+_ARITH_LIT_LOOPS: Dict[str, Callable[..., List[Any]]] = {
+    "+": _arith_add_lit,
+    "-": _arith_sub_lit,
+    "*": _arith_mul_lit,
+    "/": _arith_div_lit,
+    "%": _arith_mod_lit,
+}
+
+
+def _arith_add_pair(lvs: List[Any], rvs: List[Any]) -> List[Any]:
+    return [a + b for a, b in zip(lvs, rvs)]
+
+
+def _arith_sub_pair(lvs: List[Any], rvs: List[Any]) -> List[Any]:
+    return [a - b for a, b in zip(lvs, rvs)]
+
+
+def _arith_mul_pair(lvs: List[Any], rvs: List[Any]) -> List[Any]:
+    return [a * b for a, b in zip(lvs, rvs)]
+
+
+def _arith_div_pair(lvs: List[Any], rvs: List[Any]) -> List[Any]:
+    return [a / b for a, b in zip(lvs, rvs)]
+
+
+def _arith_mod_pair(lvs: List[Any], rvs: List[Any]) -> List[Any]:
+    return [a % b for a, b in zip(lvs, rvs)]
+
+
+_ARITH_PAIR_LOOPS: Dict[str, Callable[..., List[Any]]] = {
+    "+": _arith_add_pair,
+    "-": _arith_sub_pair,
+    "*": _arith_mul_pair,
+    "/": _arith_div_pair,
+    "%": _arith_mod_pair,
 }
 
 
@@ -770,6 +1590,11 @@ class FuncCall(Expression):
         f = self.arg.compile_batch(schema)
         func = _SCALAR_FUNCS[self.name.upper()]
         return lambda rows: [None if v is None else func(v) for v in f(rows)]
+
+    def compile_columnar(self, schema: Schema) -> ColumnarEvaluator:
+        f = self.arg.compile_columnar(schema)
+        func = _SCALAR_FUNCS[self.name.upper()]
+        return lambda batch: [None if v is None else func(v) for v in f(batch)]
 
     def columns(self) -> Iterator[str]:
         yield from self.arg.columns()

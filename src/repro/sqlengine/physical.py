@@ -13,14 +13,23 @@ Every operator supports two independent uses:
   row tuples.  The base class provides an adapter over ``rows()``; the
   hot operators override it with genuine batch implementations driven by
   :meth:`~repro.sqlengine.expressions.Expression.compile_batch` kernels.
+* ``rows_columnar(ctx)`` — columnar execution yielding
+  :class:`~repro.sqlengine.columnar.ColumnBatch` objects (typed column
+  arrays + selection vector).  The base class adapts the batched row
+  stream by transposition; the hot operators override it with kernels
+  that narrow selections instead of copying rows and defer tuple
+  construction to the ``Project``/serialisation boundary
+  (``compile_columnar`` / ``compile_filter_columnar`` kernels).
 
 Metering is charged per *lifecycle event* (stream start, build/
 materialize phase end, stream end) as ``count * unit_cost`` with integer
-counts accumulated locally, in both engines, in the same order — so the
-row and vector engines produce bit-for-bit identical ``WorkMeter``
-totals for any plan that runs to completion (see docs/execution.md; a
-``Limit`` that abandons its input early is the one documented
-exception, since the vector engine scans in batch granularity).
+counts accumulated locally, in all engines, in the same order — so the
+row, vector and columnar engines produce bit-for-bit identical
+``WorkMeter`` totals for any plan that runs to completion (see
+docs/execution.md; a ``Limit`` that abandons its input early is the one
+documented exception, since the batched engines scan in batch
+granularity — vector and columnar share batch boundaries and therefore
+still meter identically to each other).
 
 Operators are immutable; a plan tree is shared freely between the
 optimizer, the explain table, QCC's records and the executor.
@@ -29,11 +38,20 @@ optimizer, the explain table, QCC's records and the executor.
 from __future__ import annotations
 
 import math
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..obs.profile import NULL_PROFILER, OperatorProfiler, get_profiler
 from .catalog import TableDef
+from .columnar import (
+    ColumnBatch,
+    ColumnData,
+    GatherColumn,
+    LazyColumn,
+    TakeColumn,
+    ValueColumn,
+)
 from .cost import (
     CostParameters,
     PlanCost,
@@ -96,9 +114,9 @@ class WorkMeter:
 class ExecutionContext:
     """Everything an operator needs at run time.
 
-    ``engine`` records which execution path drives this context ("row"
-    or "vector"); ``batch_size`` is the row count per batch on the
-    vectorized path.  ``profiler`` is captured from the process-global
+    ``engine`` records which execution path drives this context ("row",
+    "vector" or "columnar"); ``batch_size`` is the row count per batch
+    on the batched paths.  ``profiler`` is captured from the process-global
     profiling state at construction time (``NULL_PROFILER`` unless
     ``repro.obs.profile.enable_profiling()`` is active), so every
     operator dispatch is one attribute load plus one identity check.
@@ -157,6 +175,13 @@ class PhysicalPlan:
             return self._rows_batched(ctx)
         return profiler.profile_batches(self, ctx)
 
+    def rows_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+        """Columnar execution (dispatch; operators implement ``_rows_columnar``)."""
+        profiler = ctx.profiler
+        if profiler is NULL_PROFILER:
+            return self._rows_columnar(ctx)
+        return profiler.profile_columnar(self, ctx)
+
     def _rows(self, ctx: ExecutionContext) -> Iterator[Row]:
         raise NotImplementedError
 
@@ -181,6 +206,18 @@ class PhysicalPlan:
                 append = batch.append
         if batch:
             yield batch
+
+    def _rows_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+        """Columnar execution; yields non-empty :class:`ColumnBatch`es.
+
+        The default adapter transposes the batched row stream, so any
+        operator without a native columnar implementation is
+        automatically correct on the columnar path — batch boundaries
+        (and therefore metering) are exactly the vector engine's.
+        """
+        width = len(self.output_schema)
+        for batch in self._rows_batched(ctx):
+            yield ColumnBatch.from_rows(batch, width)
 
     def describe(self) -> str:
         """One-line operator description (also the plan signature leaf)."""
@@ -330,6 +367,45 @@ class SeqScan(PhysicalPlan):
             meter.cpu_ms += scanned * per_row
             meter.tuples_out += emitted
 
+    def _rows_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+        heap = ctx.storage.table(self.table.name)
+        params = ctx.params
+        meter = ctx.meter
+        width = self.output_schema.row_width_bytes()
+        meter.io_ms += pages_for(len(heap), width) * params.seq_page_cost
+        kernels = (
+            [
+                c.compile_filter_columnar(self.output_schema)
+                for c in conjuncts(self.predicate)
+            ]
+            if self.predicate is not None
+            else []
+        )
+        ops = _count_operators(self.predicate)
+        per_row = params.cpu_tuple_cost + ops * params.cpu_operator_cost
+        table_cols = heap.columnar()
+        n = table_cols.n_rows
+        size = ctx.batch_size
+        scanned = 0
+        emitted = 0
+        try:
+            for start in range(0, n, size):
+                stop = min(start + size, n)
+                batch: Optional[ColumnBatch] = table_cols.batch(start, stop)
+                scanned += stop - start
+                for kernel in kernels:
+                    sel = kernel(batch)
+                    if not sel:
+                        batch = None
+                        break
+                    batch = batch.with_sel(sel)
+                if batch is not None:
+                    emitted += len(batch)
+                    yield batch
+        finally:
+            meter.cpu_ms += scanned * per_row
+            meter.tuples_out += emitted
+
     def describe(self) -> str:
         pred = _predicate_sql(self.predicate)
         suffix = f" WHERE {pred}" if pred else ""
@@ -450,6 +526,49 @@ class IndexScan(PhysicalPlan):
             meter.cpu_ms += matched * per_row
             meter.tuples_out += emitted
 
+    def _rows_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+        heap = ctx.storage.table(self.table.name)
+        index = heap.index_on(self.column)
+        if index is None:
+            raise ExecutionError(
+                f"no index on {self.table.name}.{self.column}"
+            )
+        params = ctx.params
+        meter = ctx.meter
+        meter.io_ms += params.index_probe_cost
+        kernels = (
+            [
+                c.compile_filter_columnar(self.output_schema)
+                for c in conjuncts(self.residual)
+            ]
+            if self.residual is not None
+            else []
+        )
+        ops = _count_operators(self.residual)
+        per_row = params.cpu_tuple_cost + ops * params.cpu_operator_cost
+        rids = index.lookup(self.value.value)
+        table_cols = heap.columnar()
+        size = ctx.batch_size
+        matched = 0
+        emitted = 0
+        try:
+            for start in range(0, len(rids), size):
+                chunk = list(rids[start : start + size])
+                batch: Optional[ColumnBatch] = table_cols.take_batch(chunk)
+                matched += len(chunk)
+                for kernel in kernels:
+                    sel = kernel(batch)
+                    if not sel:
+                        batch = None
+                        break
+                    batch = batch.with_sel(sel)
+                if batch is not None:
+                    emitted += len(batch)
+                    yield batch
+        finally:
+            meter.cpu_ms += matched * per_row
+            meter.tuples_out += emitted
+
     def describe(self) -> str:
         parts = [f"{self.table.name} AS {self.binding}", f"{self.column}={self.value.sql()}"]
         if self.residual is not None:
@@ -528,6 +647,33 @@ class Filter(PhysicalPlan):
         finally:
             meter.cpu_ms += seen * per_row
 
+    def _rows_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+        # Selection-vector filtering: conjuncts narrow the selection in
+        # turn; no row is ever copied, surviving batches share their
+        # parent's column objects.
+        kernels = [
+            c.compile_filter_columnar(self.output_schema)
+            for c in conjuncts(self.predicate)
+        ]
+        ops = _count_operators(self.predicate)
+        per_row = ops * ctx.params.cpu_operator_cost
+        meter = ctx.meter
+        seen = 0
+        try:
+            for in_batch in self.child.rows_columnar(ctx):
+                seen += len(in_batch)
+                batch: Optional[ColumnBatch] = in_batch
+                for kernel in kernels:
+                    sel = kernel(batch)
+                    if not sel:
+                        batch = None
+                        break
+                    batch = batch.with_sel(sel)
+                if batch is not None:
+                    yield batch
+        finally:
+            meter.cpu_ms += seen * per_row
+
     def describe(self) -> str:
         return f"Filter({self.predicate.sql()})"
 
@@ -596,6 +742,43 @@ class Project(PhysicalPlan):
                     yield list(zip(*(k(batch) for k in kernels)))
                 else:
                     yield [()] * len(batch)
+        finally:
+            meter.cpu_ms += seen * per_row
+
+    def _rows_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+        # Plain column references pass the underlying column straight
+        # through (narrowed to the selection, dict encoding preserved);
+        # computed items run a columnar kernel into a value column.
+        child_schema = self.child.output_schema
+        plans: List[Tuple[int, Optional[Any]]] = []
+        for item in self.items:
+            if item.expr is None:
+                continue
+            if isinstance(item.expr, ColumnRef):
+                plans.append((child_schema.index_of(item.expr.name), None))
+            else:
+                plans.append((-1, item.expr.compile_columnar(child_schema)))
+        per_row = len(plans) * ctx.params.cpu_operator_cost
+        meter = ctx.meter
+        seen = 0
+        try:
+            for batch in self.child.rows_columnar(ctx):
+                n = len(batch)
+                seen += n
+                if not plans:
+                    yield ColumnBatch((), n, None)
+                    continue
+                sel = batch.sel
+                cols: List[ColumnData] = []
+                for idx, kernel in plans:
+                    if kernel is None:
+                        col = batch.cols[idx]
+                        cols.append(
+                            col if sel is None else TakeColumn(col, sel)
+                        )
+                    else:
+                        cols.append(ValueColumn(kernel(batch)))
+                yield ColumnBatch(tuple(cols), n, None)
         finally:
             meter.cpu_ms += seen * per_row
 
@@ -940,6 +1123,234 @@ class HashJoin(PhysicalPlan):
             meter.cpu_ms += probed * params.hash_probe_cost
             meter.cpu_ms += examined * params.cpu_tuple_cost
 
+    def _rows_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+        params = ctx.params
+        meter = ctx.meter
+        right_schema = self.right.output_schema
+        left_schema = self.left.output_schema
+        right_idx = [right_schema.index_of(k) for k in self.right_keys]
+        left_idx = [left_schema.index_of(k) for k in self.left_keys]
+        single = len(right_idx) == 1
+        right_width = len(right_schema)
+
+        # Build: bucket *global build row ids* (not row tuples) — the
+        # build side stays columnar and its payload columns are only
+        # gathered lazily, per output column, when something downstream
+        # actually reads them.
+        build_batches: List[ColumnBatch] = []
+        buckets: Dict[Any, List[int]] = {}
+        setdefault = buckets.setdefault
+        built = 0
+        base = 0
+        if single:
+            ri = right_idx[0]
+            for right_batch in self.right.rows_columnar(ctx):
+                build_batches.append(right_batch)
+                keys = right_batch.column_values(ri)
+                built += len(keys)
+                for off, key in enumerate(keys):
+                    if key is not None:
+                        setdefault(key, []).append(base + off)
+                base += len(keys)
+        else:
+            for right_batch in self.right.rows_columnar(ctx):
+                build_batches.append(right_batch)
+                key_cols = [right_batch.column_values(i) for i in right_idx]
+                count = len(right_batch)
+                built += count
+                for off, key in enumerate(zip(*key_cols)):
+                    if not any(v is None for v in key):
+                        setdefault(key, []).append(base + off)
+                base += count
+        meter.cpu_ms += built * params.hash_build_cost
+
+        # A unique build side (every key appears at most once — the
+        # FK→PK shape) lets the probe skip per-row bucket walks: the
+        # per-row match list *is* the right-side gather list, and a
+        # C-level ``count(None)`` decides whether any filtering is
+        # needed at all.
+        unique_build = all(len(ids) == 1 for ids in buckets.values())
+        singles: Dict[Any, int] = (
+            {k: ids[0] for k, ids in buckets.items()}
+            if unique_build
+            else {}
+        )
+
+        # Lazily concatenated build-side columns, one list per column,
+        # shared by every GatherColumn the probe loop emits.
+        right_cache: Dict[int, List[Any]] = {}
+
+        def right_values(j: int) -> List[Any]:
+            vals = right_cache.get(j)
+            if vals is None:
+                if len(build_batches) == 1:
+                    vals = build_batches[0].column_values(j)
+                else:
+                    vals = []
+                    for rb in build_batches:
+                        vals.extend(rb.column_values(j))
+                right_cache[j] = vals
+            return vals
+
+        def right_getter(j: int) -> Callable[[], List[Any]]:
+            return lambda: right_values(j)
+
+        kernel = (
+            self.residual.compile_columnar(self.output_schema)
+            if self.residual is not None
+            else None
+        )
+        outer = self.outer
+        use_fast = kernel is None and unique_build
+        get = singles.get if use_fast else buckets.get
+        li = left_idx[0] if single else -1
+        # Dict-aware probe: when the probe key column is dictionary
+        # encoded, translate each dictionary *entry* to its bucket once
+        # and probe by integer code.  Cached per dictionary object (one
+        # dictionary is shared by every slice of a table column).
+        trans_cache: Dict[int, Tuple[List[str], List[Any]]] = {}
+
+        def probe_translation(dictionary: List[str]) -> List[Any]:
+            entry = trans_cache.get(id(dictionary))
+            if entry is None:
+                entry = (dictionary, [get(s) for s in dictionary])
+                trans_cache[id(dictionary)] = entry
+            return entry[1]
+
+        probed = 0
+        examined = 0
+        try:
+            for batch in self.left.rows_columnar(ctx):
+                probed += len(batch)
+                psel = batch.selected()
+                # Per selected probe row, the matching build-id bucket
+                # (or None on miss / NULL key).
+                if single:
+                    view = batch.cols[li].dict_view()
+                    if view is not None:
+                        codes, dictionary, _encode = view
+                        trans = probe_translation(dictionary)
+                        sel = batch.sel
+                        if sel is None:
+                            matches = [
+                                trans[c] if c >= 0 else None for c in codes
+                            ]
+                        else:
+                            matches = [
+                                trans[c] if (c := codes[i]) >= 0 else None
+                                for i in sel
+                            ]
+                    else:
+                        # ``map`` keeps the per-key lookup loop in C.
+                        matches = list(map(get, batch.column_values(li)))
+                else:
+                    key_cols = [batch.column_values(i) for i in left_idx]
+                    matches = list(map(get, zip(*key_cols)))
+
+                if use_fast:
+                    # ``matches`` holds one build row id (or None) per
+                    # probe row, already aligned with ``psel``.
+                    hits = len(matches) - matches.count(None)
+                    examined += hits
+                    if outer or hits == len(matches):
+                        gl = psel
+                        gr = matches
+                    elif hits:
+                        gl = [
+                            pos
+                            for pos, m in zip(psel, matches)
+                            if m is not None
+                        ]
+                        gr = [m for m in matches if m is not None]
+                    else:
+                        continue
+                    if batch.sel is None and gl is psel:
+                        # Full passthrough: every probe row survives in
+                        # physical order, so the left columns are reused
+                        # as-is (no per-column copy).
+                        out_cols = list(batch.cols)
+                    else:
+                        out_cols = [
+                            TakeColumn(col, gl) for col in batch.cols
+                        ]
+                    out_cols.extend(
+                        GatherColumn(right_getter(j), gr, padded=outer)
+                        for j in range(right_width)
+                    )
+                    yield ColumnBatch(tuple(out_cols), len(gl), None)
+                    continue
+                gl = []
+                gr = []
+                if kernel is None:
+                    for pos, rights in zip(psel, matches):
+                        if rights:
+                            examined += len(rights)
+                            if len(rights) == 1:
+                                gl.append(pos)
+                                gr.append(rights[0])
+                            else:
+                                gl.extend([pos] * len(rights))
+                                gr.extend(rights)
+                        elif outer:
+                            gl.append(pos)
+                            gr.append(None)
+                else:
+                    # Residual: gather candidates for the whole batch,
+                    # evaluate the residual kernel once, then reassemble
+                    # in probe-row order (with outer padding).
+                    cgl: List[int] = []
+                    cgr: List[int] = []
+                    counts: List[int] = []
+                    for pos, rights in zip(psel, matches):
+                        if rights:
+                            examined += len(rights)
+                            counts.append(len(rights))
+                            if len(rights) == 1:
+                                cgl.append(pos)
+                                cgr.append(rights[0])
+                            else:
+                                cgl.extend([pos] * len(rights))
+                                cgr.extend(rights)
+                        else:
+                            counts.append(0)
+                    if cgl:
+                        cand_cols: List[ColumnData] = [
+                            TakeColumn(col, cgl) for col in batch.cols
+                        ]
+                        cand_cols.extend(
+                            GatherColumn(right_getter(j), cgr)
+                            for j in range(right_width)
+                        )
+                        keep = kernel(
+                            ColumnBatch(tuple(cand_cols), len(cgl), None)
+                        )
+                    else:
+                        keep = []
+                    k = 0
+                    for pos, count in zip(psel, counts):
+                        matched = False
+                        for t in range(k, k + count):
+                            if keep[t] is True:
+                                matched = True
+                                gl.append(cgl[t])
+                                gr.append(cgr[t])
+                        k += count
+                        if outer and not matched:
+                            gl.append(pos)
+                            gr.append(None)
+                if gl:
+                    out_cols: List[ColumnData] = [
+                        TakeColumn(col, gl) for col in batch.cols
+                    ]
+                    out_cols.extend(
+                        GatherColumn(right_getter(j), gr, padded=outer)
+                        for j in range(right_width)
+                    )
+                    yield ColumnBatch(tuple(out_cols), len(gl), None)
+        finally:
+            meter.cpu_ms += probed * params.hash_probe_cost
+            meter.cpu_ms += examined * params.cpu_tuple_cost
+
     def describe(self) -> str:
         keys = ", ".join(
             f"{l}={r}" for l, r in zip(self.left_keys, self.right_keys)
@@ -1173,6 +1584,51 @@ def _fold_agg(state: _AggState, values: Sequence[Any]) -> None:
     update = state.update
     for v in values:
         update(v)
+
+
+def _fold_agg_dense(state: _AggState, values: Sequence[Any]) -> None:
+    """Fold a *null-free* column slice into *state* using C-level
+    reductions.  Bit-exact with ``_fold_agg``: ``sum(values, start)`` is
+    the same left-to-right fold (no reassociation), and ``min``/``max``
+    return the first extremum, matching the strict-inequality loop's
+    keep-the-earlier-value tie behaviour.  DISTINCT, empty slices and
+    non-numeric SUM/AVG operands fall back to the generic fold."""
+    if not values:
+        return
+    if state.seen is not None:
+        _fold_agg(state, values)
+        return
+    name = state.name
+    if name == "COUNT":
+        state.count += len(values)
+        return
+    if name in ("SUM", "AVG"):
+        first = values[0]
+        if isinstance(first, (int, float)):
+            total = state.total
+            if total is None:
+                # Seed with the first element (``0 + v`` would perturb
+                # signed zeros), then fold the rest in order.
+                state.total = sum(values[1:], first)
+            else:
+                state.total = sum(values, total)
+            state.count += len(values)
+            return
+        _fold_agg(state, values)
+        return
+    if name == "MIN":
+        best = min(values)
+        if state.min is None or best < state.min:
+            state.min = best
+        state.count += len(values)
+        return
+    if name == "MAX":
+        best = max(values)
+        if state.max is None or best > state.max:
+            state.max = best
+        state.count += len(values)
+        return
+    _fold_agg(state, values)
 
 
 def _rewrite_over_internal(
@@ -1462,6 +1918,264 @@ class HashAggregate(PhysicalPlan):
         for start in range(0, len(out), size):
             yield out[start : start + size]
 
+    def _rows_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+        params = ctx.params
+        meter = ctx.meter
+        child_schema = self.child.output_schema
+        key_kernels = [
+            e.compile_columnar(child_schema) for e in self.group_by
+        ]
+        agg_specs = [
+            (call.name.upper(), call.distinct) for call in self._agg_calls
+        ]
+        # Per-slot fold kind, so the dense per-group loop below can
+        # dispatch without re-deriving it from the state every time:
+        # "C" count, "S" sum/avg, "<" min, ">" max, "" generic fold.
+        fold_kinds: List[str] = []
+        for name, distinct in agg_specs:
+            if distinct:
+                fold_kinds.append("")
+            elif name == "COUNT":
+                fold_kinds.append("C")
+            elif name in ("SUM", "AVG"):
+                fold_kinds.append("S")
+            elif name == "MIN":
+                fold_kinds.append("<")
+            elif name == "MAX":
+                fold_kinds.append(">")
+            else:
+                fold_kinds.append("")
+        # Shared-argument dedup, exactly as the vector engine: each
+        # distinct argument expression is evaluated once per batch.
+        arg_keys: List[Optional[int]] = []
+        unique_kernels: List[Any] = []
+        # Per unique argument: the child column index when the argument
+        # is a bare column reference (so denseness can be read off the
+        # column's validity metadata), else -1.
+        unique_ref_idx: List[int] = []
+        seen_args: Dict[str, int] = {}
+        for call in self._agg_calls:
+            if call.arg is None:
+                arg_keys.append(None)
+                continue
+            sql = call.arg.sql()
+            pos = seen_args.get(sql)
+            if pos is None:
+                pos = len(unique_kernels)
+                seen_args[sql] = pos
+                unique_kernels.append(call.arg.compile_columnar(child_schema))
+                unique_ref_idx.append(
+                    child_schema.index_of(call.arg.name)
+                    if isinstance(call.arg, ColumnRef)
+                    else -1
+                )
+            arg_keys.append(pos)
+
+        # COUNT(*)-only grouping degenerates to a histogram: Counter
+        # runs the whole per-batch bucket-and-count at C speed (it
+        # preserves first-occurrence order, like the dict loop below).
+        count_only = (
+            bool(key_kernels)
+            and all(ak is None for ak in arg_keys)
+            and not any(distinct for _name, distinct in agg_specs)
+        )
+
+        # Dict-aware grouping: a single plain column-reference key over
+        # a dictionary-encoded column buckets by integer code and only
+        # decodes one string per *group* (code<->value is a bijection,
+        # so first-occurrence group order is unchanged).
+        single_ref_idx = -1
+        if len(self.group_by) == 1 and isinstance(self.group_by[0], ColumnRef):
+            single_ref_idx = child_schema.index_of(self.group_by[0].name)
+
+        groups: Dict[Tuple[Any, ...], List[_AggState]] = {}
+        get_group = groups.get
+        single = len(key_kernels) == 1
+        count_totals: Counter = Counter()
+        per_row = max(len(self._agg_calls), 1) * params.agg_update_cost
+        consumed = 0
+        for batch in self.child.rows_columnar(ctx):
+            n = len(batch)
+            consumed += n
+            cols = [k(batch) for k in unique_kernels]
+            # Null-free argument columns take the dense C-reduction fold;
+            # validity metadata proves it for plain references, a single
+            # identity-based ``in`` scan decides for computed arguments.
+            dense = [
+                (ri >= 0 and not batch.cols[ri].has_nulls())
+                or None not in c
+                for ri, c in zip(unique_ref_idx, cols)
+            ]
+            if not key_kernels:
+                states = get_group(())
+                if states is None:
+                    states = groups[()] = [
+                        _AggState(name, distinct)
+                        for name, distinct in agg_specs
+                    ]
+                for state, ak in zip(states, arg_keys):
+                    if ak is None:
+                        state.count += n
+                    elif dense[ak]:
+                        _fold_agg_dense(state, cols[ak])
+                    else:
+                        _fold_agg(state, cols[ak])
+                continue
+            dictionary = None
+            if single_ref_idx >= 0:
+                view = batch.cols[single_ref_idx].dict_view()
+                if view is not None:
+                    codes, dictionary, _encode = view
+                    sel = batch.sel
+                    key_col: Sequence[Any] = (
+                        codes if sel is None else [codes[i] for i in sel]
+                    )
+                else:
+                    key_col = key_kernels[0](batch)
+            elif single:
+                key_col = key_kernels[0](batch)
+            else:
+                key_col = list(zip(*[k(batch) for k in key_kernels]))
+            if count_only:
+                # Accumulate counts only; group states are built once,
+                # after the stream (Counter preserves first-occurrence
+                # order across updates, like the dict loop below).
+                if dictionary is not None:
+                    # Count integer codes at C speed, decode per batch
+                    # (dictionaries are per-batch state, the decoded
+                    # value is the stable key).
+                    for code, cnt in Counter(key_col).items():
+                        kv = dictionary[code] if code >= 0 else None
+                        count_totals[kv] += cnt
+                else:
+                    count_totals.update(key_col)
+                continue
+            index_lists: Dict[Any, List[int]] = {}
+            get_list = index_lists.get
+            for ri, kv in enumerate(key_col):
+                lst = get_list(kv)
+                if lst is None:
+                    index_lists[kv] = [ri]
+                else:
+                    lst.append(ri)
+            for kv, idxs in index_lists.items():
+                if dictionary is not None:
+                    kv = dictionary[kv] if kv >= 0 else None
+                key = (kv,) if single else kv
+                states = get_group(key)
+                if states is None:
+                    states = groups[key] = [
+                        _AggState(name, distinct)
+                        for name, distinct in agg_specs
+                    ]
+                # One gather per distinct argument per group, shared by
+                # every aggregate folding that argument; dense folds are
+                # inlined (same reductions as ``_fold_agg_dense``) so the
+                # per-group-per-aggregate cost is one C reduction, not a
+                # dispatching function call.
+                n_idx = len(idxs)
+                gathered: List[Optional[List[Any]]] = [None] * len(cols)
+                for state, ak, kind in zip(states, arg_keys, fold_kinds):
+                    if ak is None:
+                        state.count += n_idx
+                        continue
+                    if not kind or not dense[ak]:
+                        vals = gathered[ak]
+                        if vals is None:
+                            col = cols[ak]
+                            vals = gathered[ak] = [col[i] for i in idxs]
+                        _fold_agg(state, vals)
+                        continue
+                    if kind == "C":
+                        # Dense COUNT(arg) needs no gather at all.
+                        state.count += n_idx
+                        continue
+                    vals = gathered[ak]
+                    if vals is None:
+                        col = cols[ak]
+                        vals = gathered[ak] = [col[i] for i in idxs]
+                    if kind == "S":
+                        first = vals[0]
+                        if not isinstance(first, (int, float)):
+                            _fold_agg(state, vals)
+                            continue
+                        total = state.total
+                        state.total = (
+                            sum(vals[1:], first)
+                            if total is None
+                            else sum(vals, total)
+                        )
+                        state.count += n_idx
+                    elif kind == "<":
+                        best = min(vals)
+                        if state.min is None or best < state.min:
+                            state.min = best
+                        state.count += n_idx
+                    else:
+                        best = max(vals)
+                        if state.max is None or best > state.max:
+                            state.max = best
+                        state.count += n_idx
+        meter.cpu_ms += consumed * per_row
+
+        if count_totals:
+            for kv, cnt in count_totals.items():
+                states = [
+                    _AggState(name, distinct) for name, distinct in agg_specs
+                ]
+                for state in states:
+                    state.count += cnt
+                groups[(kv,) if single else kv] = states
+
+        if not groups and not self.group_by:
+            groups[()] = [
+                _AggState(name, distinct) for name, distinct in agg_specs
+            ]
+
+        internal_schema = self._internal_schema()
+        group_map = {e.sql(): i for i, e in enumerate(self.group_by)}
+        item_kernels = [
+            _rewrite_over_internal(
+                item.expr, group_map, self._agg_positions, self._agg_calls
+            ).compile_batch(internal_schema)
+            for item in self.items
+            if item.expr is not None
+        ]
+        having_kernel = None
+        if self.having is not None:
+            having_kernel = _rewrite_over_internal(
+                self.having, group_map, self._agg_positions, self._agg_calls
+            ).compile_batch(internal_schema)
+
+        per_group = len(self.items) * params.cpu_operator_cost
+        meter.cpu_ms += len(groups) * per_group
+        internal_rows: RowBatch = [
+            key + tuple(s.result() for s in states)
+            for key, states in groups.items()
+        ]
+        if having_kernel is not None:
+            keep = having_kernel(internal_rows)
+            internal_rows = [
+                r for r, k in zip(internal_rows, keep) if k is True
+            ]
+        if not internal_rows:
+            return
+        size = ctx.batch_size
+        total = len(internal_rows)
+        if item_kernels:
+            # Emit output groups column-wise — no row tuples.
+            out_cols = [k(internal_rows) for k in item_kernels]
+            for start in range(0, total, size):
+                stop = min(start + size, total)
+                yield ColumnBatch(
+                    tuple(ValueColumn(c[start:stop]) for c in out_cols),
+                    stop - start,
+                    None,
+                )
+        else:
+            for start in range(0, total, size):
+                yield ColumnBatch((), min(size, total - start), None)
+
     def describe(self) -> str:
         keys = ", ".join(e.sql() for e in self.group_by) or "<global>"
         aggs = ", ".join(c.sql() for c in self._agg_calls) or "<none>"
@@ -1544,6 +2258,58 @@ class Sort(PhysicalPlan):
         for start in range(0, len(data), size):
             yield data[start : start + size]
 
+    def _rows_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+        params = ctx.params
+        meter = ctx.meter
+        schema = self.child.output_schema
+        batches = list(self.child.rows_columnar(ctx))
+        total = sum(len(b) for b in batches)
+        n = max(total, 1)
+        meter.cpu_ms += n * math.log2(n + 1.0) * params.sort_compare_cost
+        if not total:
+            return
+        width = len(schema)
+
+        # One combined (lazily concatenated) batch over the whole input;
+        # only columns the sort keys actually touch get decoded before
+        # the output gather.
+        def concat(j: int) -> Callable[[], List[Any]]:
+            def thunk() -> List[Any]:
+                if len(batches) == 1:
+                    return batches[0].column_values(j)
+                out: List[Any] = []
+                for b in batches:
+                    out.extend(b.column_values(j))
+                return out
+
+            return thunk
+
+        combined = ColumnBatch(
+            tuple(LazyColumn(concat(j)) for j in range(width)), total, None
+        )
+        # Same stable right-to-left multi-pass as the other engines, but
+        # the data never moves: an index permutation is threaded through
+        # the passes (key values depend only on row content, so sorting
+        # a permutation composes identically to sorting the rows).
+        order = list(range(total))
+        for o in reversed(self.order_by):
+            col = o.expr.compile_columnar(schema)(combined)
+            decorated = [(col[i] is None, col[i]) for i in order]
+            perm = sorted(
+                range(total),
+                key=decorated.__getitem__,
+                reverse=not o.ascending,
+            )
+            order = [order[p] for p in perm]
+        size = ctx.batch_size
+        for start in range(0, total, size):
+            idxs = order[start : start + size]
+            yield ColumnBatch(
+                tuple(TakeColumn(c, idxs) for c in combined.cols),
+                len(idxs),
+                None,
+            )
+
     def describe(self) -> str:
         keys = ", ".join(o.sql() for o in self.order_by)
         return f"Sort({keys})"
@@ -1598,6 +2364,18 @@ class Limit(PhysicalPlan):
                 yield batch[:remaining]
                 return
             remaining -= len(batch)
+            yield batch
+
+    def _rows_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+        remaining = self.count
+        if remaining == 0:
+            return
+        for batch in self.child.rows_columnar(ctx):
+            n = len(batch)
+            if n >= remaining:
+                yield batch.first_n(remaining)
+                return
+            remaining -= n
             yield batch
 
     def describe(self) -> str:
@@ -1659,6 +2437,41 @@ class Distinct(PhysicalPlan):
                         out.append(row)
                 if out:
                     yield out
+        finally:
+            meter.cpu_ms += consumed * params.hash_build_cost
+
+    def _rows_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+        params = ctx.params
+        meter = ctx.meter
+        seen = set()
+        add = seen.add
+        consumed = 0
+        # Over a single column the raw value is its own distinct key
+        # (``(v is None, v)`` wrapping partitions values identically), so
+        # no row tuples and no per-row key tuples are built at all.
+        single = len(self.output_schema) == 1
+        try:
+            for batch in self.child.rows_columnar(ctx):
+                consumed += len(batch)
+                psel = batch.selected()
+                sel_out: List[int] = []
+                if single:
+                    for pos, v in zip(psel, batch.column_values(0)):
+                        if v not in seen:
+                            add(v)
+                            sel_out.append(pos)
+                else:
+                    # Distinct keys span the whole row, so this is a
+                    # genuine materialisation point; survivors are
+                    # re-expressed as a narrowed selection over the
+                    # input columns.
+                    for pos, row in zip(psel, batch.materialize()):
+                        key = tuple((v is None, v) for v in row)
+                        if key not in seen:
+                            add(key)
+                            sel_out.append(pos)
+                if sel_out:
+                    yield batch.with_sel(sel_out)
         finally:
             meter.cpu_ms += consumed * params.hash_build_cost
 

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from .catalog import Catalog, IndexDef, TableDef, collect_stats
+from .columnar import TableColumns, build_table_columns
 from .types import Row, Schema, SqlError
 
 
@@ -49,13 +50,32 @@ class HeapTable:
         self.schema = schema
         self.rows: List[Row] = []
         self._indexes: Dict[str, HashIndex] = {}
+        # Data version for the columnar projection cache: bumped on any
+        # mutation, so a cached TableColumns is valid iff versions match.
+        self._version = 0
+        self._columnar: Optional[Tuple[int, TableColumns]] = None
 
     def insert(self, row: Sequence[Any]) -> None:
         validated = self.schema.validate_row(row)
         rid = len(self.rows)
         self.rows.append(validated)
+        self._version += 1
         for index in self._indexes.values():
             index._insert(rid, validated)
+
+    def columnar(self) -> TableColumns:
+        """The columnar projection of this table, cached per version.
+
+        Typed arrays and string dictionaries are built on first columnar
+        access after a mutation; every later scan (any query, any batch)
+        reuses them, so table columns decode at most once per version.
+        """
+        cached = self._columnar
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        columns = build_table_columns(self.rows, self.schema)
+        self._columnar = (self._version, columns)
+        return columns
 
     def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
         count = 0
@@ -90,6 +110,7 @@ class HeapTable:
                 self.rows[rid] = self.schema.validate_row(assign(row))
                 changed += 1
         if changed:
+            self._version += 1
             self._rebuild_indexes()
         return changed
 
@@ -104,6 +125,7 @@ class HeapTable:
             ]
         deleted = before - len(self.rows)
         if deleted:
+            self._version += 1
             self._rebuild_indexes()
         return deleted
 

@@ -1,14 +1,15 @@
-"""Differential harness: vector engine == row engine, bit for bit.
+"""Differential harness: row, vector and columnar engines, bit for bit.
 
-The vectorized engine is only allowed to change wall-clock time.  For
+The batch engines are only allowed to change wall-clock time.  For
 every query — the full paper workload plus randomized filter / join /
-aggregate shapes — both engines must return identical row lists *and*
-identical ``WorkMeter`` totals, because metered work drives the
+aggregate shapes — all three engines must return identical row lists
+*and* identical ``WorkMeter`` totals, because metered work drives the
 response-time simulation and QCC calibration (docs/execution.md).
 
-The single documented exception is LIMIT under the vector engine: early
-termination happens at batch granularity, so the vector engine may
-meter slightly more scanned work.  Rows must still match exactly.
+The single documented exception is LIMIT under a batch engine: early
+termination happens at batch granularity, so vector and columnar may
+meter slightly more scanned work than the row engine (they still agree
+with *each other* bit for bit).  Rows must always match exactly.
 """
 
 from __future__ import annotations
@@ -21,6 +22,8 @@ from repro.workload import TEST_SCALE
 from repro.workload.queries import EXTENDED_QUERY_TYPES
 from repro.workload.schema import table_specs
 
+ENGINES = ("row", "vector", "columnar")
+
 
 @pytest.fixture(scope="module")
 def workload_db():
@@ -29,23 +32,36 @@ def workload_db():
     return database
 
 
-def run_both(database, sql):
+def run_all(database, sql):
     plan = database.explain(sql)[0].plan
-    row = execute_plan(plan, database.storage, database.params, engine="row")
-    vec = execute_plan(
-        plan, database.storage, database.params, engine="vector"
-    )
-    return row, vec
+    return {
+        engine: execute_plan(
+            plan, database.storage, database.params, engine=engine
+        )
+        for engine in ENGINES
+    }
 
 
 def assert_equivalent(database, sql, check_meter=True):
-    row, vec = run_both(database, sql)
-    assert row.engine == "row" and vec.engine == "vector"
-    assert row.rows == vec.rows, sql
-    if check_meter:
-        assert row.meter.cpu_ms == vec.meter.cpu_ms, sql
-        assert row.meter.io_ms == vec.meter.io_ms, sql
-        assert row.meter.tuples_out == vec.meter.tuples_out, sql
+    results = run_all(database, sql)
+    reference = results["vector"]
+    for engine in ENGINES:
+        result = results[engine]
+        assert result.engine == engine
+        assert result.rows == reference.rows, (sql, engine)
+        if check_meter:
+            assert result.meter.cpu_ms == reference.meter.cpu_ms, (sql, engine)
+            assert result.meter.io_ms == reference.meter.io_ms, (sql, engine)
+            assert result.meter.tuples_out == reference.meter.tuples_out, (
+                sql,
+                engine,
+            )
+    # Vector and columnar agree bit-for-bit even when the row engine is
+    # exempt (LIMIT): both terminate at the same batch boundaries.
+    columnar = results["columnar"]
+    assert columnar.meter.cpu_ms == reference.meter.cpu_ms, sql
+    assert columnar.meter.io_ms == reference.meter.io_ms, sql
+    assert columnar.meter.tuples_out == reference.meter.tuples_out, sql
 
 
 # -- the paper workload -----------------------------------------------------
@@ -147,8 +163,10 @@ def test_order_by_distinct_bit_identical(workload_db):
 
 
 def test_limit_rows_identical_meter_exempt(workload_db):
-    # LIMIT is the documented meter exception: the vector engine scans
-    # to the batch boundary, so only the rows are asserted.
+    # LIMIT is the documented meter exception: the batch engines scan
+    # to the batch boundary, so the row engine's meter is exempt.  Rows
+    # match on all three and vector==columnar meters are still asserted
+    # inside the helper.
     assert_equivalent(
         workload_db,
         "SELECT l.linekey FROM lineitem l "

@@ -1,0 +1,394 @@
+"""Unit tests for the columnar engine's storage and operator fast paths.
+
+Covers the typed column representations (validity bitmaps, dictionary
+encoding), the selection-vector contract (filters narrow, never copy),
+the pinned LIMIT meter exception, the operator fast paths (unique-build
+hash join, COUNT(*)-only grouping, single-column DISTINCT), and the
+observability surface (per-operator selectivity in EXPLAIN ANALYZE,
+engine metrics).
+"""
+
+from __future__ import annotations
+
+from array import array
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.profile import profiling, render_analyzed_plan
+from repro.sqlengine import (
+    Column,
+    ColumnBatch,
+    ColumnType,
+    Database,
+    DictColumn,
+    FloatColumn,
+    IntColumn,
+    Schema,
+    ValueColumn,
+    execute_plan,
+)
+from repro.sqlengine.columnar import NULL_CODE
+
+ENGINES = ("row", "vector", "columnar")
+
+
+def meter_tuple(result):
+    meter = result.meter
+    return (meter.cpu_ms, meter.io_ms, meter.tuples_out)
+
+
+def run_engines(database, sql, batch_size=4):
+    plan = database.explain(sql)[0].plan
+    return plan, {
+        engine: execute_plan(
+            plan,
+            database.storage,
+            database.params,
+            engine=engine,
+            batch_size=batch_size,
+        )
+        for engine in ENGINES
+    }
+
+
+def assert_all_equivalent(database, sql, batch_size=4):
+    _plan, results = run_engines(database, sql, batch_size)
+    reference = results["vector"]
+    for engine in ENGINES:
+        assert results[engine].rows == reference.rows, (sql, engine)
+        assert meter_tuple(results[engine]) == meter_tuple(reference), (
+            sql,
+            engine,
+        )
+    return results
+
+
+# -- typed columns ----------------------------------------------------------
+
+
+class TestColumnData:
+    def test_int_column_dense(self):
+        col = IntColumn(array("q", [3, 1, 4]))
+        assert col.values() == [3, 1, 4]
+        assert not col.has_nulls()
+
+    def test_int_column_validity(self):
+        col = IntColumn(array("q", [3, 0, 4]), bytearray([1, 0, 1]))
+        assert col.values() == [3, None, 4]
+        assert col.has_nulls()
+
+    def test_float_column_validity(self):
+        col = FloatColumn(array("d", [1.5, 0.0]), bytearray([1, 0]))
+        assert col.values() == [1.5, None]
+
+    def test_dict_column_decode_and_view(self):
+        dictionary = ["lo", "hi"]
+        encode = {"lo": 0, "hi": 1}
+        col = DictColumn(
+            array("q", [1, NULL_CODE, 0, 1]), dictionary, encode, True
+        )
+        assert col.values() == ["hi", None, "lo", "hi"]
+        codes, d, enc = col.dict_view()
+        assert codes == [1, NULL_CODE, 0, 1]
+        assert d is dictionary and enc is encode
+
+    def test_value_column_lazy_nullability(self):
+        assert ValueColumn([1, None]).has_nulls()
+        assert not ValueColumn([1, 2]).has_nulls()
+        assert not ValueColumn([1, None], nullable=False).has_nulls()
+
+    def test_typed_storage_is_compact(self):
+        from sys import getsizeof
+
+        raw = list(range(1024))
+        typed = IntColumn(array("q", raw))
+        # A boxed row representation pays the list of pointers plus one
+        # Python int object per value; the typed array pays 8 bytes per
+        # value.
+        boxed_bytes = getsizeof(raw) + sum(getsizeof(v) for v in raw)
+        assert typed.storage_bytes() < boxed_bytes / 3
+
+    def test_table_storage_dictionary_encodes_strings(self):
+        database = Database("cols")
+        database.create_table(
+            "t",
+            Schema(
+                [Column("x", ColumnType.INT), Column("s", ColumnType.STR)]
+            ),
+        )
+        database.load_rows("t", [(1, "a"), (2, None), (3, "a")])
+        columns = database.storage.table("t").columnar()
+        assert isinstance(columns.cols[0], IntColumn)
+        assert isinstance(columns.cols[1], DictColumn)
+        assert columns.cols[1].values() == ["a", None, "a"]
+
+
+# -- selection vectors ------------------------------------------------------
+
+
+class TestSelectionVectors:
+    def batch(self):
+        return ColumnBatch(
+            (
+                IntColumn(array("q", [10, 11, 12, 13])),
+                ValueColumn(["a", "b", "c", "d"]),
+            ),
+            4,
+            None,
+        )
+
+    def test_with_sel_shares_columns(self):
+        batch = self.batch()
+        narrowed = batch.with_sel([1, 3])
+        assert narrowed.cols is batch.cols  # no copy, only the selection
+        assert len(narrowed) == 2
+        assert narrowed.n_rows == 4
+        assert narrowed.materialize() == [(11, "b"), (13, "d")]
+
+    def test_first_n_narrows_selection(self):
+        batch = self.batch().with_sel([0, 2, 3])
+        assert batch.first_n(2).materialize() == [(10, "a"), (12, "c")]
+
+    def test_column_values_respect_selection(self):
+        batch = self.batch().with_sel([2])
+        assert batch.column_values(1) == ["c"]
+
+    def test_empty_batch(self):
+        empty = ColumnBatch((), 3, None)
+        assert empty.materialize() == [(), (), ()]
+
+
+# -- the pinned LIMIT meter exception ---------------------------------------
+
+
+class TestLimitMeters:
+    @pytest.fixture()
+    def tiny_db(self):
+        database = Database("limit")
+        database.create_table(
+            "t", Schema([Column("x", ColumnType.INT)])
+        )
+        database.load_rows("t", [(i,) for i in range(10)])
+        database.analyze()
+        return database
+
+    def test_limit_scans_to_batch_boundary(self, tiny_db):
+        # 10-row table, batch_size=4, LIMIT 6: the row engine stops
+        # after metering exactly 6 rows; the batch engines finish the
+        # second batch and meter 8.  This is the one documented meter
+        # divergence (docs/execution.md).
+        _plan, full = run_engines(tiny_db, "SELECT x FROM t")
+        per_row = full["row"].meter.cpu_ms / 10
+        _plan, limited = run_engines(tiny_db, "SELECT x FROM t LIMIT 6")
+
+        reference = limited["vector"]
+        for engine in ENGINES:
+            assert limited[engine].rows == reference.rows
+            assert limited[engine].meter.tuples_out == 6
+            assert limited[engine].meter.io_ms == reference.meter.io_ms
+
+        scanned = {
+            engine: round(limited[engine].meter.cpu_ms / per_row)
+            for engine in ENGINES
+        }
+        assert scanned == {"row": 6, "vector": 8, "columnar": 8}
+        # The two batch engines agree bit for bit even under LIMIT.
+        assert meter_tuple(limited["columnar"]) == meter_tuple(reference)
+
+
+# -- operator fast paths ----------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def ops_db():
+    database = Database("ops")
+    database.create_table(
+        "dim",
+        Schema(
+            [
+                Column("k", ColumnType.INT),
+                Column("name", ColumnType.STR),
+            ]
+        ),
+    )
+    # Unique build keys (one row per k).
+    database.load_rows(
+        "dim", [(i, f"name_{i % 3}") for i in range(8)]
+    )
+    database.create_table(
+        "fact",
+        Schema(
+            [
+                Column("k", ColumnType.INT),
+                Column("v", ColumnType.FLOAT),
+                Column("tag", ColumnType.STR),
+            ]
+        ),
+    )
+    database.load_rows(
+        "fact",
+        [
+            (i % 10, float(i), ["x", "y", None][i % 3])
+            for i in range(40)
+        ],
+    )
+    database.analyze()
+    return database
+
+
+class TestOperatorFastPaths:
+    def test_unique_build_join_full_match(self, ops_db):
+        # Every fact row with k < 8 matches exactly one dim row: the
+        # passthrough gather path.
+        assert_all_equivalent(
+            ops_db,
+            "SELECT f.v, d.name FROM fact f, dim d "
+            "WHERE f.k = d.k AND f.k < 8",
+        )
+
+    def test_unique_build_join_partial_match(self, ops_db):
+        # k in {8, 9} has no dim row: probe misses interleave with hits.
+        assert_all_equivalent(
+            ops_db,
+            "SELECT f.v, d.name FROM fact f, dim d WHERE f.k = d.k",
+        )
+
+    def test_unique_build_outer_join_padding(self, ops_db):
+        results = assert_all_equivalent(
+            ops_db,
+            "SELECT f.v, d.name FROM fact f "
+            "LEFT JOIN dim d ON f.k = d.k",
+        )
+        assert any(
+            name is None for _v, name in results["columnar"].rows
+        )
+
+    def test_non_unique_build_join(self, ops_db):
+        # dim.name repeats: the general multi-match probe path.
+        assert_all_equivalent(
+            ops_db,
+            "SELECT d1.k, d2.k FROM dim d1, dim d2 "
+            "WHERE d1.name = d2.name",
+        )
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT f.k, COUNT(*) FROM fact f GROUP BY f.k",
+            "SELECT f.tag, COUNT(*) FROM fact f GROUP BY f.tag",
+            "SELECT f.k, f.tag, COUNT(*) FROM fact f GROUP BY f.k, f.tag",
+        ],
+        ids=["int-key", "dict-key", "multi-key"],
+    )
+    def test_count_only_grouping(self, ops_db, sql):
+        assert_all_equivalent(ops_db, sql)
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT DISTINCT f.k FROM fact f",
+            "SELECT DISTINCT f.tag FROM fact f",
+            "SELECT DISTINCT f.v FROM fact f",
+            "SELECT DISTINCT f.k, f.tag FROM fact f",
+        ],
+        ids=["int", "dict-with-null", "float", "multi"],
+    )
+    def test_distinct_paths(self, ops_db, sql):
+        assert_all_equivalent(ops_db, sql)
+
+    def test_dict_aware_like_and_in(self, ops_db):
+        assert_all_equivalent(
+            ops_db,
+            "SELECT f.v FROM fact f WHERE f.tag LIKE 'x%'",
+        )
+        assert_all_equivalent(
+            ops_db,
+            "SELECT f.v FROM fact f WHERE f.tag NOT IN ('y')",
+        )
+
+
+# -- profiler and metrics ---------------------------------------------------
+
+
+class TestObservability:
+    SQL = (
+        "SELECT f.v, d.name FROM fact f, dim d "
+        "WHERE f.k = d.k AND f.v > 10.0"
+    )
+
+    def profiles(self, database, sql):
+        plan = database.explain(sql)[0].plan
+        captured = {}
+        for engine in ENGINES:
+            with profiling() as profiler:
+                execute_plan(
+                    plan,
+                    database.storage,
+                    database.params,
+                    engine=engine,
+                    batch_size=8,
+                )
+            captured[engine] = profiler.capture()
+        return plan, captured
+
+    def test_profiled_row_counts_identical_across_engines(self, ops_db):
+        plan, captured = self.profiles(ops_db, self.SQL)
+        nodes = [plan]
+        while nodes:
+            node = nodes.pop()
+            counts = {
+                engine: captured[engine].stats_for(node).rows_out
+                for engine in ENGINES
+            }
+            assert len(set(counts.values())) == 1, (
+                node.describe(),
+                counts,
+            )
+            nodes.extend(node.children())
+
+    def test_columnar_selectivity_recorded(self, ops_db):
+        plan, captured = self.profiles(ops_db, self.SQL)
+        profile = captured["columnar"]
+        selectivities = [
+            stats.selectivity
+            for _node, stats in profile.operators()
+            if stats.selectivity is not None
+        ]
+        # The filtered scan keeps a strict subset of its physical slots.
+        assert selectivities
+        assert any(s < 1.0 for s in selectivities)
+        assert all(0.0 <= s <= 1.0 for s in selectivities)
+        rendered = render_analyzed_plan(plan, profile)
+        assert "sel=" in rendered
+        # The row-engine profile never fabricates a selectivity.
+        assert all(
+            stats.selectivity is None
+            for _node, stats in captured["row"].operators()
+        )
+
+    def test_engine_metrics_emitted(self, ops_db):
+        plan = ops_db.explain(self.SQL)[0].plan
+        sink = obs.configure(log_level=None)
+        try:
+            execute_plan(
+                plan,
+                ops_db.storage,
+                ops_db.params,
+                engine="columnar",
+                batch_size=8,
+            )
+            assert (
+                sink.metrics.counter_value(
+                    "engine_batches_total", engine="columnar"
+                )
+                > 0
+            )
+            assert (
+                sink.metrics.histogram(
+                    "engine_rows_per_sec", engine="columnar"
+                ).count
+                >= 1
+            )
+        finally:
+            obs.disable()

@@ -255,7 +255,8 @@ class TestEngineMachinery:
     def test_resolve_engine_validates(self):
         assert resolve_engine("row") == "row"
         assert resolve_engine("vector") == "vector"
-        assert resolve_engine(None) in ("row", "vector")
+        assert resolve_engine("columnar") == "columnar"
+        assert resolve_engine(None) in ("row", "vector", "columnar")
         with pytest.raises(SqlError):
             resolve_engine("turbo")
 
