@@ -15,6 +15,16 @@ on, and enforces disabled ≤ ``REPRO_BENCH_OBS_MAX`` × baseline
 (default 1.03, i.e. a 3% budget).  ``REPRO_BENCH_OBS_JSON`` writes the
 measurements as a JSON artifact; ``REPRO_BENCH_OBS_REPS`` sets the
 min-of-N repeat count.
+
+The third bench applies the same discipline to the scheduler's queue
+hooks: every :class:`~repro.sim.sched.ServerQueue` lifecycle emission
+site is guarded by one ``self.events is not NULL_QUEUE_EVENTS``
+identity check.  It times a synthetic fifo+ps workload (submissions,
+completions, hedge-style cancellations) against patched-in pre-hook
+method copies — the queue exactly as it was before the span layer — and
+gates the default (hooks present, null observer) under the same
+``REPRO_BENCH_OBS_MAX`` budget.  ``REPRO_BENCH_SCHED_JSON`` writes that
+bench's artifact.
 """
 
 from __future__ import annotations
@@ -27,6 +37,13 @@ from contextlib import contextmanager
 import repro.obs as obs
 from repro.obs.profile import disable_profiling, enable_profiling
 from repro.harness import ascii_table, build_federation
+from repro.sim.sched import (
+    Completion,
+    EventScheduler,
+    QueueEvents,
+    ServerQueue,
+    _Job,
+)
 from repro.sqlengine.physical import PhysicalPlan
 from repro.workload import BENCH_SCALE, build_workload
 
@@ -227,3 +244,326 @@ def test_profiler_dispatch_overhead(benchmark, bench_databases):
     )
     # Profiling on may legitimately cost more, but must stay sane.
     assert results["profiling enabled"] < 2.0 * baseline
+
+
+# -- scheduler queue-hook gate ------------------------------------------------
+
+
+def _submit_prehook(self, demand_ms, callback, tag=None):
+    """``ServerQueue.submit`` as it was before the QueueEvents hooks."""
+    if demand_ms < 0:
+        raise ValueError(f"negative work demand {demand_ms}")
+    now = self.scheduler.now
+    service = demand_ms / self.capacity
+    if self.discipline == "fifo":
+        start = max(now, self._free_at)
+        finish = start + service
+        self._free_at = finish
+        job = _Job(
+            seq=self._seq,
+            queued_ms=now,
+            started_ms=start,
+            demand_ms=demand_ms,
+            remaining_ms=service,
+            callback=callback,
+            depth_at_arrival=len(self._jobs) + 1,
+            contended=start > now,
+            finish_ms=finish,
+            tag=tag,
+        )
+        self._seq += 1
+        self._jobs.append(job)
+        self.max_depth = max(self.max_depth, len(self._jobs))
+        self.scheduler.call_at(finish, self._complete_fifo, job, job.token)
+        return job
+    self._advance_ps(now)
+    job = _Job(
+        seq=self._seq,
+        queued_ms=now,
+        started_ms=now,
+        demand_ms=demand_ms,
+        remaining_ms=service,
+        callback=callback,
+        depth_at_arrival=len(self._jobs) + 1,
+        tag=tag,
+    )
+    self._seq += 1
+    self._jobs.append(job)
+    self.max_depth = max(self.max_depth, len(self._jobs))
+    if len(self._jobs) > 1:
+        for resident in self._jobs:
+            resident.contended = True
+    self._reschedule_ps()
+    return job
+
+
+def _cancel_prehook(self, job):
+    """``ServerQueue.cancel`` without hooks or start re-arming."""
+    if job.cancelled or job not in self._jobs:
+        return 0.0
+    now = self.scheduler.now
+    job.cancelled = True
+    service = job.demand_ms / self.capacity
+    if self.discipline == "fifo":
+        if job.started_ms <= now:
+            consumed = min(service, now - job.started_ms)
+        else:
+            consumed = 0.0
+        self._jobs.remove(job)
+        self.busy_ms += consumed
+        self.cancelled_jobs += 1
+        cursor = now
+        for other in self._jobs:
+            if other.started_ms <= now:
+                cursor = other.finish_ms
+                continue
+            start = max(cursor, other.queued_ms)
+            finish = start + other.demand_ms / self.capacity
+            cursor = finish
+            if finish == other.finish_ms:
+                continue
+            other.started_ms = start
+            other.finish_ms = finish
+            other.contended = start > other.queued_ms
+            other.token += 1
+            self.scheduler.call_at(
+                finish, self._complete_fifo, other, other.token
+            )
+        self._free_at = cursor
+        return consumed
+    self._advance_ps(now)
+    consumed = max(0.0, service - job.remaining_ms)
+    self._jobs.remove(job)
+    self.busy_ms += consumed
+    self.cancelled_jobs += 1
+    self._reschedule_ps()
+    return consumed
+
+
+def _complete_fifo_prehook(self, job, token):
+    if job.cancelled or token != job.token:
+        return
+    self._jobs.remove(job)
+    self.served += 1
+    self.busy_ms += job.remaining_ms
+    job.callback(
+        Completion(
+            queue=self.name,
+            queued_ms=job.queued_ms,
+            started_ms=job.started_ms,
+            finished_ms=job.finish_ms,
+            demand_ms=job.demand_ms,
+            service_ms=job.demand_ms / self.capacity,
+            depth_at_arrival=job.depth_at_arrival,
+            contended=job.contended,
+        )
+    )
+
+
+def _depart_ps_prehook(self, epoch):
+    if epoch != self._epoch:
+        return
+    now = self.scheduler.now
+    self._advance_ps(now)
+    head = min(self._jobs, key=lambda j: (j.remaining_ms, j.seq))
+    self._jobs.remove(head)
+    self.served += 1
+    self.busy_ms += head.demand_ms / self.capacity
+    self._reschedule_ps()
+    head.callback(
+        Completion(
+            queue=self.name,
+            queued_ms=head.queued_ms,
+            started_ms=head.started_ms,
+            finished_ms=now,
+            demand_ms=head.demand_ms,
+            service_ms=head.demand_ms / self.capacity,
+            depth_at_arrival=head.depth_at_arrival,
+            contended=head.contended,
+        )
+    )
+
+
+@contextmanager
+def _hooks_patched_out():
+    """Replace every hook-bearing ServerQueue method with its pre-hook
+    shape — no ``events`` identity checks, no deferred start
+    notifications — i.e. the true no-obs baseline for the queue gate."""
+    originals = {
+        "submit": ServerQueue.submit,
+        "cancel": ServerQueue.cancel,
+        "_complete_fifo": ServerQueue._complete_fifo,
+        "_depart_ps": ServerQueue._depart_ps,
+    }
+    ServerQueue.submit = _submit_prehook
+    ServerQueue.cancel = _cancel_prehook
+    ServerQueue._complete_fifo = _complete_fifo_prehook
+    ServerQueue._depart_ps = _depart_ps_prehook
+    try:
+        yield
+    finally:
+        for name, method in originals.items():
+            setattr(ServerQueue, name, method)
+
+
+class _CountingEvents(QueueEvents):
+    """Cheapest possible live observer: one counter bump per hook."""
+
+    def __init__(self):
+        self.enqueued = 0
+        self.started = 0
+        self.completed = 0
+        self.cancelled = 0
+
+    def on_enqueue(self, queue, job, t_ms):
+        self.enqueued += 1
+
+    def on_start(self, queue, job, t_ms):
+        self.started += 1
+
+    def on_complete(self, queue, job, completion):
+        self.completed += 1
+
+    def on_cancel(self, queue, job, t_ms, consumed_ms):
+        self.cancelled += 1
+
+
+#: Jobs per discipline per timed drive.  Arrivals outpace service 2:1 so
+#: queues stay deep (FIFO restacks walk real backlogs) and every tenth
+#: job is cancelled mid-flight, covering all four hook sites.
+_HOOK_JOBS = 250
+
+
+def _drive_queues(events=None):
+    for discipline in ("fifo", "ps"):
+        sched = EventScheduler()
+        queue = ServerQueue(
+            "S1", sched, capacity=1.0, discipline=discipline
+        )
+        if events is not None:
+            queue.events = events
+        done = []
+        handles = []
+        for i in range(_HOOK_JOBS):
+            sched.call_at(
+                i * 2.0,
+                lambda i=i: handles.append(
+                    queue.submit(3.0 + (i % 5), done.append)
+                ),
+            )
+            if i % 10 == 5:
+                sched.call_at(
+                    i * 2.0 + 1.0, lambda i=i: queue.cancel(handles[i])
+                )
+        sched.run()
+
+
+def _measure_sched_hooks():
+    reps = int(os.environ.get("REPRO_BENCH_OBS_REPS", "5"))
+    execs = int(os.environ.get("REPRO_BENCH_OBS_EXECS", "10"))
+
+    def timed_drive(events=None) -> float:
+        start = time.perf_counter()
+        _drive_queues(events)
+        return time.perf_counter() - start
+
+    counting = _CountingEvents()
+    for _ in range(3):
+        timed_drive()  # warm caches before the first timed pair
+    raw = []
+    disabled = []
+    enabled = []
+    # Same back-to-back pairing as the dispatch gate — machine drift
+    # cancels inside each pair — but with the within-pair order
+    # alternated: at ~20 ms per drive the second leg of a pair runs
+    # measurably warmer/colder than the first, and alternating cancels
+    # that position bias in the median ratio too.
+    for pair in range(execs * reps):
+        if pair % 2 == 0:
+            with _hooks_patched_out():
+                raw.append(timed_drive())
+            disabled.append(timed_drive())
+        else:
+            disabled.append(timed_drive())
+            with _hooks_patched_out():
+                raw.append(timed_drive())
+        enabled.append(timed_drive(counting))
+    return {
+        "pre-hook baseline (hooks removed)": raw,
+        "hooks present, null observer (default)": disabled,
+        "hooks live (counting observer)": enabled,
+    }, execs * reps, counting
+
+
+def test_sched_hook_overhead(benchmark):
+    samples, execs, counting = benchmark.pedantic(
+        _measure_sched_hooks, rounds=1, iterations=1
+    )
+
+    raw = samples["pre-hook baseline (hooks removed)"]
+    max_ratio = float(os.environ.get("REPRO_BENCH_OBS_MAX", "1.03"))
+    ratio = _median(
+        d / r
+        for r, d in zip(
+            raw, samples["hooks present, null observer (default)"]
+        )
+    )
+    live_ratio = _median(
+        e / r
+        for r, e in zip(raw, samples["hooks live (counting observer)"])
+    )
+    results = {mode: min(times) for mode, times in samples.items()}
+    baseline = results["pre-hook baseline (hooks removed)"]
+
+    print(
+        "\n=== Scheduler queue-hook overhead "
+        "(%d paired fifo+ps drives, %d jobs each) ==="
+        % (execs, 2 * _HOOK_JOBS)
+    )
+    rows = [
+        [
+            mode,
+            f"{seconds * 1e3:.3f}",
+            f"{100 * (seconds - baseline) / baseline:+.2f}%",
+        ]
+        for mode, seconds in results.items()
+    ]
+    print(ascii_table(["Mode", "Best drive (ms)", "vs baseline"], rows))
+    print(
+        f"median paired ratios: disabled/baseline {ratio:.4f} "
+        f"(max {max_ratio:.2f}), live/baseline {live_ratio:.4f}"
+    )
+
+    artifact = os.environ.get("REPRO_BENCH_SCHED_JSON")
+    if artifact:
+        with open(artifact, "w") as handle:
+            json.dump(
+                {
+                    "paired_drives": execs,
+                    "jobs_per_drive": 2 * _HOOK_JOBS,
+                    "best_drive_seconds": results,
+                    "disabled_over_baseline": ratio,
+                    "live_over_baseline": live_ratio,
+                    "max_ratio": max_ratio,
+                },
+                handle,
+                indent=2,
+            )
+
+    # The live observer must actually have seen every lifecycle event
+    # (across all its timed drives): every job enqueues and starts, and
+    # each either completes or is cancelled.
+    per_drive = 2 * _HOOK_JOBS
+    drives = execs  # counting observer rides only the enabled drives
+    assert counting.enqueued == per_drive * drives
+    assert counting.completed + counting.cancelled == per_drive * drives
+    assert counting.started > 0 and counting.cancelled > 0
+
+    # The gate: hooks behind a null observer must be indistinguishable
+    # from the pre-hook queue (within the noise budget).
+    assert ratio <= max_ratio, (
+        f"disabled queue hooks cost {100 * (ratio - 1):.1f}% "
+        f"(budget {100 * (max_ratio - 1):.1f}%)"
+    )
+    # A live observer pays per-event dispatch, but must stay sane.
+    assert results["hooks live (counting observer)"] < 2.0 * baseline

@@ -66,6 +66,62 @@ def _parse_load(values: List[str]):
     return loads
 
 
+def _add_load_stream_args(parser: argparse.ArgumentParser) -> None:
+    """Shared arrival-stream knobs of ``repro loadgen`` / ``repro slo``."""
+    parser.add_argument(
+        "--arrival",
+        choices=("poisson", "bursty"),
+        default="poisson",
+        help="arrival process (default: poisson)",
+    )
+    parser.add_argument(
+        "--qps", type=float, default=40.0, help="offered load, queries/s"
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=4_000.0,
+        metavar="MS",
+        help="submission window in virtual milliseconds",
+    )
+    parser.add_argument(
+        "--classes",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "priority classes as NAME=WEIGHT:BUDGET_MS:RATE_QPS[:BURST],"
+            "... (rank follows position; empty field = unlimited; "
+            "default: gold/silver/batch)"
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="traffic seed"
+    )
+    parser.add_argument(
+        "--discipline",
+        choices=("ps", "fifo"),
+        default="ps",
+        help="server queue discipline (default: ps)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="test",
+        help="workload scale (default: test)",
+    )
+    parser.add_argument(
+        "--hedge-after",
+        type=float,
+        default=None,
+        metavar="MS",
+        help=(
+            "enable hedged fragment dispatch (static hedge delay in "
+            "virtual ms; per-fragment p95 takes over with history; "
+            "default: disabled)"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -316,47 +372,7 @@ def build_parser() -> argparse.ArgumentParser:
             "runtime and report per-class latency and shed accounting"
         ),
     )
-    loadgen.add_argument(
-        "--arrival",
-        choices=("poisson", "bursty"),
-        default="poisson",
-        help="arrival process (default: poisson)",
-    )
-    loadgen.add_argument(
-        "--qps", type=float, default=40.0, help="offered load, queries/s"
-    )
-    loadgen.add_argument(
-        "--duration",
-        type=float,
-        default=4_000.0,
-        metavar="MS",
-        help="submission window in virtual milliseconds",
-    )
-    loadgen.add_argument(
-        "--classes",
-        metavar="SPEC",
-        default=None,
-        help=(
-            "priority classes as NAME=WEIGHT:BUDGET_MS:RATE_QPS[:BURST],"
-            "... (rank follows position; empty field = unlimited; "
-            "default: gold/silver/batch)"
-        ),
-    )
-    loadgen.add_argument(
-        "--seed", type=int, default=7, help="traffic seed"
-    )
-    loadgen.add_argument(
-        "--discipline",
-        choices=("ps", "fifo"),
-        default="ps",
-        help="server queue discipline (default: ps)",
-    )
-    loadgen.add_argument(
-        "--scale",
-        choices=sorted(_SCALES),
-        default="test",
-        help="workload scale (default: test)",
-    )
+    _add_load_stream_args(loadgen)
     loadgen.add_argument(
         "--jsonl",
         metavar="PATH",
@@ -367,14 +383,79 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     loadgen.add_argument(
-        "--hedge-after",
+        "--flight",
+        metavar="PATH",
+        default=None,
+        help=(
+            "enable tracing and write the flight-recorder JSON (span "
+            "trees + exact latency decompositions) to PATH"
+        ),
+    )
+    loadgen.add_argument(
+        "--chrome",
+        metavar="PATH",
+        default=None,
+        help=(
+            "enable tracing and write Chrome trace-event JSON (one "
+            "process per query, queue-wait/service slices in per-server "
+            "lanes) to PATH for Perfetto / chrome://tracing"
+        ),
+    )
+    slo = sub.add_parser(
+        "slo",
+        help=(
+            "run a loadgen stream under tracing and evaluate per-class "
+            "SLO compliance with multi-window burn-rate alerts"
+        ),
+    )
+    _add_load_stream_args(slo)
+    slo.add_argument(
+        "--objective",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help=(
+            "fraction of each class's queries that must meet its target "
+            "(default: 0.95)"
+        ),
+    )
+    slo.add_argument(
+        "--target-default",
         type=float,
         default=None,
         metavar="MS",
         help=(
-            "enable hedged fragment dispatch (static hedge delay in "
-            "virtual ms; per-fragment p95 takes over with history; "
-            "default: disabled)"
+            "latency target for classes with no admission budget "
+            "(default: 1000ms; budgeted classes use their budget)"
+        ),
+    )
+    slo.add_argument(
+        "--step",
+        type=float,
+        default=None,
+        metavar="MS",
+        help=(
+            "burn-rate checkpoint grid step (default: a quarter of the "
+            "smallest short window)"
+        ),
+    )
+    slo.add_argument(
+        "--flight",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write the flight-recorder JSON (span trees, latency "
+            "decompositions, SLO verdicts) to PATH"
+        ),
+    )
+    slo.add_argument(
+        "--chrome",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write Chrome trace-event JSON (one process per query, "
+            "queue-wait/service slices in per-server lanes) to PATH "
+            "for Perfetto / chrome://tracing"
         ),
     )
 
@@ -731,12 +812,15 @@ def _cmd_chaos(args) -> int:
     return 1 if failures else 0
 
 
-def _cmd_loadgen(args) -> int:
+def _run_load_stream(args, traced: bool):
+    """Shared loadgen driver for ``repro loadgen`` / ``repro slo``."""
     from .chaos import forbid_global_random
     from .fed.admission import DEFAULT_CLASSES, parse_class_spec
     from .harness.loadgen import run_loadgen
 
     forbid_global_random()
+    if traced:
+        obs.configure(metrics=True, tracing=True, log_level=None)
     classes = (
         parse_class_spec(args.classes) if args.classes else DEFAULT_CLASSES
     )
@@ -750,12 +834,78 @@ def _cmd_loadgen(args) -> int:
         discipline=args.discipline,
         hedge_after_ms=args.hedge_after,
     )
+    return result, classes
+
+
+def _write_chrome_trace(result, path: str) -> None:
+    traces = [h.trace for h in result.handles if h.trace is not None]
+    with open(path, "w") as handle:
+        handle.write(chrome_trace_json(traces) + "\n")
+    print(f"Chrome trace written to {path}")
+
+
+def _cmd_loadgen(args) -> int:
+    result, _ = _run_load_stream(
+        args, traced=bool(args.flight or args.chrome)
+    )
     print(result.render())
     if args.jsonl:
         with open(args.jsonl, "w") as handle:
             for line in result.verdict_lines():
                 handle.write(line + "\n")
         print(f"Verdicts written to {args.jsonl}")
+    if args.flight:
+        with open(args.flight, "w") as handle:
+            handle.write(result.flight_json() + "\n")
+        print(f"Flight record written to {args.flight}")
+    if args.chrome:
+        _write_chrome_trace(result, args.chrome)
+    return 1 if result.shed_violations() or result.failures else 0
+
+
+def _cmd_slo(args) -> int:
+    from .obs.slo import (
+        DEFAULT_OBJECTIVE,
+        DEFAULT_TARGET_MS,
+        SLOMonitor,
+        policy_for_class,
+    )
+
+    result, classes = _run_load_stream(args, traced=True)
+    monitor = SLOMonitor(
+        [
+            policy_for_class(
+                spec,
+                objective=(
+                    args.objective
+                    if args.objective is not None
+                    else DEFAULT_OBJECTIVE
+                ),
+                default_target_ms=(
+                    args.target_default
+                    if args.target_default is not None
+                    else DEFAULT_TARGET_MS
+                ),
+            )
+            for spec in classes
+        ]
+    )
+    monitor.ingest(result.handles)
+    report = monitor.report(result.makespan_ms, step_ms=args.step)
+    report.emit_metrics(obs.get_obs().metrics)
+    print(result.render())
+    print()
+    print(
+        f"SLO verdicts (end={report.end_ms:.0f}ms "
+        f"step={report.step_ms:g}ms):"
+    )
+    print(report.render())
+    if args.flight:
+        with open(args.flight, "w") as handle:
+            handle.write(result.flight_json(report) + "\n")
+        print(f"Flight record written to {args.flight}")
+    if args.chrome:
+        _write_chrome_trace(result, args.chrome)
     return 1 if result.shed_violations() or result.failures else 0
 
 
@@ -770,6 +920,7 @@ _COMMANDS = {
     "timeline": _cmd_timeline,
     "chaos": _cmd_chaos,
     "loadgen": _cmd_loadgen,
+    "slo": _cmd_slo,
 }
 
 

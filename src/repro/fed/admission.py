@@ -29,6 +29,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
+from ..obs import get_obs
 from ..sim.rng import derive_rng
 from .patroller import PatrolRecord
 
@@ -410,6 +411,18 @@ class AdmissionController:
                 budget_ms=spec.budget_ms,
             )
         self.decisions.append(decision)
+        metrics = get_obs().metrics
+        metrics.counter(
+            "admission_decisions_total",
+            klass=klass,
+            outcome=decision.reason or "admitted",
+        ).inc()
+        metrics.gauge("admission_tokens", klass=klass).set(
+            bucket.available(t_ms)
+        )
+        metrics.histogram("admission_predicted_ms", klass=klass).observe(
+            predicted
+        )
         return decision
 
     def shed_decisions(self) -> List[AdmissionDecision]:

@@ -37,12 +37,19 @@ is correct; only ``tracer.current`` is ambiguous mid-flight.
 from __future__ import annotations
 
 import dataclasses
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..core.load_balance import rank_servers
 from ..core.routing import generalize_signature
-from ..obs import NULL_TRACE, get_obs
+from ..obs import (
+    NULL_TRACE,
+    QueryTrace,
+    QueueSpanRecorder,
+    SpanTag,
+    get_obs,
+)
 from ..obs.profile import NULL_PROFILER, get_profiler
 from ..sim import (
     AllOf,
@@ -86,6 +93,9 @@ class QueryHandle:
     result: Optional[FederatedResult] = None
     shed: Optional[ShedVerdict] = None
     error: Optional[Exception] = None
+    #: The query's span tree when tracing is enabled (every outcome —
+    #: completed, shed, failed — gets one); None with the null tracer.
+    trace: Optional[QueryTrace] = None
 
     @property
     def status(self) -> str:
@@ -163,6 +173,9 @@ class ConcurrentRuntime:
             classes, sources, t0_ms=self.scheduler.now
         )
         self.handles: List[QueryHandle] = []
+        #: Installed on every queue the first time a traced query runs;
+        #: None until then so untraced runs submit zero extra events.
+        self._span_recorder: Optional[QueueSpanRecorder] = None
         #: Highest-priority class: the default for unclassified queries.
         self._default_class = min(
             classes, key=lambda c: c.rank
@@ -184,7 +197,31 @@ class ConcurrentRuntime:
             )
             self.queues[server] = queue
             self.admission.backlog_sources[server] = queue
+            if self._span_recorder is not None:
+                queue.events = self._span_recorder
         return queue
+
+    def _ensure_span_recorder(self) -> None:
+        """Install the shared queue-hook span recorder on every queue.
+
+        Called only from traced query coroutines, so a runtime that
+        never traces keeps ``NULL_QUEUE_EVENTS`` on every queue and the
+        scheduler's disabled fast path (no start-notification events on
+        the heap) stays byte-identical.
+        """
+        if self._span_recorder is None:
+            self._span_recorder = QueueSpanRecorder()
+            self.ii_queue.events = self._span_recorder
+            for queue in self.queues.values():
+                queue.events = self._span_recorder
+
+    @staticmethod
+    def _span_tag(trace: QueryTrace, parent) -> Optional[SpanTag]:
+        """Queue-hook tag for work dispatched under *parent*, or None
+        when tracing is disabled (untagged work skips the recorder)."""
+        if trace is NULL_TRACE:
+            return None
+        return SpanTag(trace, parent)
 
     # -- hedging ---------------------------------------------------------
 
@@ -249,7 +286,7 @@ class ConcurrentRuntime:
         executing the fragment at the backup wrapper at that instant
         (``report=False`` — a loser must never feed the calibrator).
         """
-        choice, option, execution, _ = entry
+        choice, option, execution, frag_span = entry
         policy = self.hedging
         assert policy is not None
         obs = get_obs()
@@ -273,22 +310,34 @@ class ConcurrentRuntime:
                 )
             except ServerUnavailable:
                 return None
-            backup_slots[slot] = (backup, backup_execution)
-            obs.metrics.counter(
-                "hedge_fired_total", server=backup.server
-            ).inc()
-            trace.event(
-                "hedge_fired",
+            # The backup's queue lifecycle (queue_wait / service, or a
+            # cancelled slice when the primary wins) hangs off this span
+            # so the hedge race is visible inside the fragment's
+            # dispatch span.
+            hedge_span = trace.begin_child(
+                frag_span,
+                "hedge_backup",
                 t_fire,
                 fragment=choice.fragment.fragment_id,
                 primary=option.server,
-                backup=backup.server,
+                server=backup.server,
+                fired_ms=t_fire,
             )
-            return Work(queue, backup_execution.observed_ms)
+            backup_slots[slot] = (backup, backup_execution, hedge_span)
+            obs.metrics.counter(
+                "hedge_fired_total", server=backup.server
+            ).inc()
+            return Work(
+                queue,
+                backup_execution.observed_ms,
+                tag=self._span_tag(trace, hedge_span),
+            )
 
         return HedgedWork(
             primary=Work(
-                self._queue_for(option.server), execution.observed_ms
+                self._queue_for(option.server),
+                execution.observed_ms,
+                tag=self._span_tag(trace, frag_span),
             ),
             hedge_after_ms=policy.hedge_after(general),
             backup_factory=backup_factory,
@@ -300,6 +349,7 @@ class ConcurrentRuntime:
         hedge_results: List,
         backup_slots: Dict[int, tuple],
         t_dispatch: float,
+        trace: QueryTrace,
     ) -> List[tuple]:
         """Resolve each fragment's race to the winning (option,
         execution, completion) triple and account for the loser."""
@@ -313,9 +363,10 @@ class ConcurrentRuntime:
         ):
             choice, option, execution, frag_span = entry
             completion = outcome.completion
+            hedge_span = None
             if outcome.winner == "backup":
                 loser = option
-                option, execution = backup_slots[slot]
+                option, execution, hedge_span = backup_slots[slot]
                 # The query's real fragment latency includes the hedge
                 # wait before the backup was even fired.
                 effective_ms = completion.finished_ms - t_dispatch
@@ -328,10 +379,17 @@ class ConcurrentRuntime:
             else:
                 effective_ms = completion.sojourn_ms
                 if outcome.hedged:
-                    loser, _ = backup_slots[slot]
+                    loser, _, hedge_span = backup_slots[slot]
                     mw.note_hedge_waste(
                         loser, outcome.wasted_ms, completion.finished_ms
                     )
+            if hedge_span is not None:
+                trace.end(
+                    hedge_span,
+                    completion.finished_ms,
+                    winner=outcome.winner,
+                    wasted_ms=outcome.wasted_ms,
+                )
             policy.note_outcome(
                 outcome.hedged, outcome.winner, outcome.wasted_ms
             )
@@ -397,8 +455,27 @@ class ConcurrentRuntime:
             self.scheduler.live_processes
         )
 
-        decision = self.admission.decide(handle.klass, t0)
         record = ii.patroller.submit(handle.sql, t0, label=handle.label)
+        trace = obs.tracer.start(record.query_id, handle.sql, t0)
+        if trace is not NULL_TRACE:
+            self._ensure_span_recorder()
+            handle.trace = trace
+        root = trace.begin(
+            "query", t0, klass=handle.klass, query_index=handle.index
+        )
+        decision = self.admission.decide(handle.klass, t0)
+        trace.event(
+            "admission",
+            t0,
+            admitted=decision.admitted,
+            tokens_before=decision.tokens_before,
+            predicted_ms=decision.predicted_ms,
+            budget_ms=(
+                None if math.isinf(decision.budget_ms)
+                else decision.budget_ms
+            ),
+            reason=decision.reason or "admitted",
+        )
         if not decision.admitted:
             ii.patroller.shed(record, t0, decision.reason)
             obs.metrics.counter(
@@ -406,6 +483,8 @@ class ConcurrentRuntime:
                 klass=handle.klass,
                 reason=decision.reason,
             ).inc()
+            trace.end(root, t0, status="shed", reason=decision.reason)
+            obs.tracer.finish(trace, t0, status="shed")
             handle.shed = ShedVerdict(record=record, decision=decision)
             return
         obs.metrics.counter(
@@ -413,7 +492,6 @@ class ConcurrentRuntime:
         ).inc()
 
         obs.metrics.counter("ii_queries_total").inc()
-        trace = obs.tracer.start(record.query_id, handle.sql, t0)
         if ii.qcc is not None:
             ii.qcc.tick(t0)
 
@@ -425,6 +503,7 @@ class ConcurrentRuntime:
         first_attempt = True
 
         while retries <= ii.max_retries:
+            compile_span = trace.begin("compile", t_attempt, attempt=retries)
             try:
                 decomposed, plans = ii.compile(
                     handle.sql, t_attempt, excluded, staleness_tolerance_ms
@@ -432,6 +511,7 @@ class ConcurrentRuntime:
             except FederationError as exc:
                 ii.patroller.fail(record, t0 + elapsed, str(exc))
                 obs.metrics.counter("ii_query_failures_total").inc()
+                root.annotate(status="failed", reason=str(exc))
                 obs.tracer.finish(trace, t0 + elapsed, status="failed")
                 handle.error = exc
                 return
@@ -457,6 +537,7 @@ class ConcurrentRuntime:
                 first_attempt = False
                 yield Delay(ii.compile_overhead_ms)
             t_dispatch = t0 + elapsed
+            trace.end(compile_span, t_dispatch, plan_candidates=len(plans))
 
             ii.explain_table.record(
                 record.query_id, record.sql, t_dispatch, chosen
@@ -468,7 +549,10 @@ class ConcurrentRuntime:
             executed = []  # (choice, option, execution, span)
             failure: Optional[ServerUnavailable] = None
             for choice in chosen.choices:
-                frag_span = trace.begin(
+                # Explicit-parent spans: concurrent siblings overlap in
+                # virtual time, so they must not stack-nest.
+                frag_span = trace.begin_child(
+                    root,
                     "dispatch",
                     t_dispatch,
                     fragment=choice.fragment.fragment_id,
@@ -480,6 +564,9 @@ class ConcurrentRuntime:
                     )
                 except ServerUnavailable as exc:
                     failure = exc
+                    trace.end(
+                        frag_span, t_dispatch, failed=True, reason=str(exc)
+                    )
                     break
                 executed.append((choice, option, execution, frag_span))
 
@@ -531,8 +618,12 @@ class ConcurrentRuntime:
             if self.hedging is None:
                 completions = yield AllOf(
                     [
-                        Work(self._queue_for(option.server), execution.observed_ms)
-                        for _, option, execution, _ in executed
+                        Work(
+                            self._queue_for(option.server),
+                            execution.observed_ms,
+                            tag=self._span_tag(trace, frag_span),
+                        )
+                        for _, option, execution, frag_span in executed
                     ]
                 )
                 settled = [
@@ -552,7 +643,7 @@ class ConcurrentRuntime:
                     ]
                 )
                 settled = self._settle_hedges(
-                    executed, hedge_results, backup_slots, t_dispatch
+                    executed, hedge_results, backup_slots, t_dispatch, trace
                 )
 
             outcomes: Dict[str, FragmentOutcome] = {}
@@ -573,7 +664,13 @@ class ConcurrentRuntime:
                 ).set(self._queue_for(option.server).depth)
                 estimated = option.estimated.total
                 hedge_tags = (
-                    dict(hedged=True, hedge_winner=hedge.winner)
+                    dict(
+                        hedged=True,
+                        hedge_fired=True,
+                        hedge_winner=hedge.winner,
+                        backup_wins=hedge.winner == "backup",
+                        hedge_wasted_ms=hedge.wasted_ms,
+                    )
                     if hedge is not None and hedge.hedged
                     else {}
                 )
@@ -592,6 +689,8 @@ class ConcurrentRuntime:
                     substituted=option.server != choice.server,
                     engine=execution.engine,
                     queue_wait_ms=completion.wait_ms,
+                    service_ms=completion.service_ms,
+                    sojourn_ms=completion.sojourn_ms,
                     depth_at_arrival=completion.depth_at_arrival,
                     **hedge_tags,
                 )
@@ -612,7 +711,9 @@ class ConcurrentRuntime:
                 )
                 for fragment_id, outcome in outcomes.items()
             }
-            merge_span = trace.begin("merge", t_dispatch + remote_ms)
+            merge_span = trace.begin_child(
+                root, "merge", t_dispatch + remote_ms
+            )
             merge_plan = build_merge_plan(decomposed, inputs)
             merge_result = execute_plan(
                 merge_plan, ii._merge_storage, ii.params, engine=ii.engine
@@ -623,7 +724,11 @@ class ConcurrentRuntime:
             ) * ii.contention.cpu_multiplier(level) + ii.profile.io_ms(
                 merge_result.meter.io_ms
             ) * ii.contention.io_multiplier(level)
-            merge_completion = yield Work(self.ii_queue, merge_demand_ms)
+            merge_completion = yield Work(
+                self.ii_queue,
+                merge_demand_ms,
+                tag=self._span_tag(trace, merge_span),
+            )
             merge_ms = merge_completion.sojourn_ms
             trace.end(
                 merge_span,
@@ -677,7 +782,23 @@ class ConcurrentRuntime:
             obs.metrics.gauge("sched_in_flight").set(
                 self.scheduler.live_processes - 1
             )
-            obs.tracer.finish(trace, t0 + response_ms)
+            # The root span carries the runtime's own latency ledger so
+            # the flight recorder can decompose response_ms without
+            # re-deriving any component (see obs.flight.decompose_trace).
+            # It closes at the merge completion's own finish instant —
+            # t0 + response_ms can sit one ulp past it, which would
+            # leave the merge child span poking out of its parent.
+            trace.end(
+                root,
+                merge_completion.finished_ms,
+                status="completed",
+                pre_dispatch_ms=t_dispatch - t0,
+                remote_ms=remote_ms,
+                merge_ms=merge_ms,
+                response_ms=response_ms,
+                retries=retries,
+            )
+            obs.tracer.finish(trace, merge_completion.finished_ms)
             if trace is not NULL_TRACE:
                 result.trace = trace
                 ii.explain_table.attach_trace(record.query_id, trace)
@@ -703,5 +824,6 @@ class ConcurrentRuntime:
             server=last_error.server if last_error else None,
         )
         obs.metrics.counter("ii_query_failures_total").inc()
+        root.annotate(status="failed", reason=message)
         obs.tracer.finish(trace, t0 + elapsed, status="failed")
         handle.error = FederationError(message)

@@ -131,6 +131,17 @@ class HedgePolicy:
         else:
             self.primary_wins += 1
 
+    def stats(self) -> Dict[str, float]:
+        """Lifetime hedge counters in report shape (the single source
+        the load generator and CLI surface)."""
+        return {
+            "fired": float(self.fired),
+            "suppressed": float(self.suppressed),
+            "backup_wins": float(self.backup_wins),
+            "primary_wins": float(self.primary_wins),
+            "wasted_ms": round(self.wasted_ms, 3),
+        }
+
 
 def make_policy(
     hedge_after_ms: Optional[float],

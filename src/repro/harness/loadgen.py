@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..fed import InformationIntegrator
+from ..obs import decompose_trace
 from ..fed.admission import (
     AdmissionDecision,
     DEFAULT_CLASSES,
@@ -126,6 +127,32 @@ class LoadGenResult:
         runs)."""
         return shed_violations(self.decisions)
 
+    def admission_summary(self) -> Dict[str, Dict[str, object]]:
+        """Per-class admission decision evidence: how many queries were
+        admitted vs. shed on which axis, plus the extremes of the
+        evidence (token floor, predicted-sojourn ceiling) that justified
+        the decisions."""
+        per_class: Dict[str, Dict[str, object]] = {}
+        for spec in self.classes:
+            decisions = [d for d in self.decisions if d.klass == spec.name]
+            per_class[spec.name] = {
+                "decisions": len(decisions),
+                "admitted": sum(1 for d in decisions if d.admitted),
+                "shed_no_tokens": sum(
+                    1 for d in decisions if d.reason == "no-tokens"
+                ),
+                "shed_over_budget": sum(
+                    1 for d in decisions if d.reason == "budget-exhausted"
+                ),
+                "min_tokens_before": min(
+                    (d.tokens_before for d in decisions), default=None
+                ),
+                "max_predicted_ms": max(
+                    (d.predicted_ms for d in decisions), default=None
+                ),
+            }
+        return per_class
+
     # -- serialisation ---------------------------------------------------
 
     def header_record(self) -> Dict[str, object]:
@@ -217,6 +244,7 @@ class LoadGenResult:
             "per_class": per_class,
             "max_queue_depths": dict(sorted(self.max_queue_depths.items())),
             "shed_violations": self.shed_violations(),
+            "admission": self.admission_summary(),
         }
         if self.hedge_after_ms is not None:
             summary["hedge_after_ms"] = self.hedge_after_ms
@@ -268,11 +296,76 @@ class LoadGenResult:
                 f"suppressed={stats.get('suppressed', 0):g} "
                 f"wasted={stats.get('wasted_ms', 0.0):.1f}ms"
             )
+        admission_rows = []
+        for name, info in self.admission_summary().items():
+            min_tokens = info["min_tokens_before"]
+            max_pred = info["max_predicted_ms"]
+            admission_rows.append(
+                [
+                    name,
+                    info["decisions"],
+                    info["admitted"],
+                    info["shed_no_tokens"],
+                    info["shed_over_budget"],
+                    f"{min_tokens:.2f}" if min_tokens is not None else "-",
+                    f"{max_pred:.1f}" if max_pred is not None else "-",
+                ]
+            )
+        lines.append("admission decisions:")
+        lines.append(
+            ascii_table(
+                [
+                    "Class", "Decided", "Admitted", "NoTokens",
+                    "OverBudget", "MinTokens", "MaxPredicted",
+                ],
+                admission_rows,
+            )
+        )
         problems = self.shed_violations()
+        lines.append(f"shed violations: {len(problems)}")
         if problems:
-            lines.append("SHED VIOLATIONS:")
             lines.extend(f"  {p}" for p in problems)
         return "\n".join(lines)
+
+    # -- flight recorder -------------------------------------------------
+
+    def flight_record(self, slo_report=None) -> Dict[str, object]:
+        """The machine-readable flight-recorder artifact: the run
+        header, per-query latency decompositions + full span trees (when
+        the run was traced), and the SLO verdicts when a
+        :class:`~repro.obs.slo.SLOReport` is supplied."""
+        queries: List[Dict[str, object]] = []
+        for handle in self.handles:
+            entry: Dict[str, object] = {
+                "index": handle.index,
+                "t_ms": handle.submitted_ms,
+                "class": handle.klass,
+                "label": handle.label,
+                "status": handle.status,
+            }
+            if handle.result is not None:
+                entry["response_ms"] = handle.result.response_ms
+            if handle.trace is not None:
+                entry["decomposition"] = decompose_trace(handle.trace)
+                entry["trace"] = handle.trace.to_dict()
+            queries.append(entry)
+        record: Dict[str, object] = {
+            "record": "flight-recorder",
+            "run": self.header_record(),
+            "summary": self.summary(),
+            "queries": queries,
+        }
+        if slo_report is not None:
+            record["slo"] = slo_report.to_dict()
+        return record
+
+    def flight_json(self, slo_report=None) -> str:
+        """Canonical (byte-deterministic) JSON of the flight record."""
+        return json.dumps(
+            self.flight_record(slo_report),
+            sort_keys=True,
+            separators=(",", ":"),
+        )
 
 
 def run_loadgen(
@@ -339,14 +432,7 @@ def run_loadgen(
     depths[runtime.ii_queue.name] = runtime.ii_queue.max_depth
     hedge_stats: Dict[str, float] = {}
     if runtime.hedging is not None:
-        policy = runtime.hedging
-        hedge_stats = {
-            "fired": float(policy.fired),
-            "suppressed": float(policy.suppressed),
-            "backup_wins": float(policy.backup_wins),
-            "primary_wins": float(policy.primary_wins),
-            "wasted_ms": policy.wasted_ms,
-        }
+        hedge_stats = runtime.hedging.stats()
     return LoadGenResult(
         arrival=arrival,
         rate_qps=rate_qps,

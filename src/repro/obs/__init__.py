@@ -46,6 +46,11 @@ from .export import (
     escape_label_value,
     render_prometheus,
 )
+from .flight import (
+    QueueSpanRecorder,
+    SpanTag,
+    decompose_trace,
+)
 from .metrics import (
     NULL_REGISTRY,
     Counter,
@@ -67,6 +72,18 @@ from .profile import (
     profiling,
     render_analyzed_plan,
 )
+from .slo import (
+    DEFAULT_OBJECTIVE,
+    DEFAULT_TARGET_MS,
+    DEFAULT_WINDOWS,
+    BurnAlert,
+    BurnWindow,
+    ClassVerdict,
+    SLOMonitor,
+    SLOPolicy,
+    SLOReport,
+    policy_for_class,
+)
 from .timeline import (
     NULL_TIMELINE,
     NullTimeline,
@@ -75,6 +92,7 @@ from .timeline import (
     TimelineSample,
 )
 from .trace import (
+    DEFAULT_MAX_SPANS,
     NULL_SPAN,
     NULL_TRACE,
     NULL_TRACER,
@@ -85,7 +103,14 @@ from .trace import (
 )
 
 __all__ = [
+    "BurnAlert",
+    "BurnWindow",
+    "ClassVerdict",
     "Counter",
+    "DEFAULT_MAX_SPANS",
+    "DEFAULT_OBJECTIVE",
+    "DEFAULT_TARGET_MS",
+    "DEFAULT_WINDOWS",
     "Gauge",
     "Histogram",
     "JsonlSink",
@@ -105,7 +130,12 @@ __all__ = [
     "OperatorStats",
     "PlanProfile",
     "QueryTrace",
+    "QueueSpanRecorder",
+    "SLOMonitor",
+    "SLOPolicy",
+    "SLOReport",
     "Span",
+    "SpanTag",
     "Timeline",
     "TimelineEvent",
     "TimelineSample",
@@ -113,6 +143,7 @@ __all__ = [
     "chrome_trace_events",
     "chrome_trace_json",
     "configure",
+    "decompose_trace",
     "disable",
     "disable_profiling",
     "enable_profiling",
@@ -121,6 +152,7 @@ __all__ = [
     "get_profiler",
     "logger",
     "percentile",
+    "policy_for_class",
     "profiling",
     "render_analyzed_plan",
     "render_prometheus",
@@ -186,6 +218,7 @@ def configure(
     tracing: bool = True,
     log_level: Optional[int] = logging.INFO,
     trace_capacity: int = 64,
+    max_spans_per_trace: Optional[int] = DEFAULT_MAX_SPANS,
     histogram_capacity: int = 1024,
     timeline: bool = True,
     timeline_capacity: int = 4096,
@@ -195,19 +228,31 @@ def configure(
     ``metrics``/``tracing``/``timeline`` select which parts record; a
     disabled part keeps its null implementation.  ``trace_capacity``
     bounds how many finished traces the tracer retains,
-    ``timeline_capacity`` bounds the federation timeline's sample and
-    event deques.  ``log_level`` (None to leave logging untouched)
-    attaches a stream handler to the ``repro`` logger unless the
-    application already configured one.
+    ``max_spans_per_trace`` bounds each trace's span tree (drops are
+    counted in ``trace_spans_dropped_total``, never silent; None =
+    unbounded), ``timeline_capacity`` bounds the federation timeline's
+    sample and event deques.  ``log_level`` (None to leave logging
+    untouched) attaches a stream handler to the ``repro`` logger unless
+    the application already configured one.
     """
     global _OBS
+    registry = (
+        MetricsRegistry(histogram_capacity=histogram_capacity)
+        if metrics
+        else NULL_REGISTRY
+    )
+    tracer = (
+        Tracer(keep=trace_capacity, max_spans=max_spans_per_trace)
+        if tracing
+        else NULL_TRACER
+    )
+    if tracing and metrics:
+        # Registered eagerly so the family appears in every exposition
+        # (and the committed metric catalog) even before the first drop.
+        tracer.drop_counter = registry.counter("trace_spans_dropped_total")
     _OBS = Observability(
-        metrics=(
-            MetricsRegistry(histogram_capacity=histogram_capacity)
-            if metrics
-            else NULL_REGISTRY
-        ),
-        tracer=Tracer(keep=trace_capacity) if tracing else NULL_TRACER,
+        metrics=registry,
+        tracer=tracer,
         enabled=metrics or tracing or timeline,
         timeline=(
             Timeline(capacity=timeline_capacity) if timeline else NULL_TIMELINE

@@ -123,17 +123,22 @@ def _span_events(
 ) -> None:
     start = span.start_ms
     end = span.end_ms if span.end_ms is not None else start
-    events.append(
-        {
-            "name": span.name,
-            "ph": "X",
-            "ts": start * 1e3,  # trace events are in microseconds
-            "dur": max(end - start, 0.0) * 1e3,
-            "pid": pid,
-            "tid": _span_lane(span, lanes),
-            "args": {k: _jsonable(v) for k, v in span.attributes.items()},
-        }
-    )
+    cancelled = bool(span.attributes.get("cancelled"))
+    event: Dict[str, object] = {
+        "name": (
+            f"{span.name} (cancelled)" if cancelled else span.name
+        ),
+        "ph": "X",
+        "ts": start * 1e3,  # trace events are in microseconds
+        "dur": max(end - start, 0.0) * 1e3,
+        "pid": pid,
+        "tid": _span_lane(span, lanes),
+        "args": {k: _jsonable(v) for k, v in span.attributes.items()},
+    }
+    if cancelled:
+        # Reserved colour name: hedge losers render grey in Perfetto.
+        event["cname"] = "grey"
+    events.append(event)
     for child in span.children:
         _span_events(child, pid, lanes, events)
 

@@ -32,6 +32,8 @@ from .sched import (
     EventScheduler,
     HedgedWork,
     HedgeOutcome,
+    NULL_QUEUE_EVENTS,
+    QueueEvents,
     ServerQueue,
     Work,
 )
@@ -55,8 +57,10 @@ __all__ = [
     "LoadSchedule",
     "MutableLoad",
     "NetworkLink",
+    "NULL_QUEUE_EVENTS",
     "OutageSchedule",
     "PeriodicTimer",
+    "QueueEvents",
     "REQUEST_BYTES",
     "RemoteExecution",
     "RemoteServer",

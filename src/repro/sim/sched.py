@@ -59,6 +59,10 @@ class Work:
 
     queue: "ServerQueue"
     demand_ms: float
+    #: Opaque observer tag carried to the queue's :class:`QueueEvents`
+    #: hooks (the span layer uses it to parent queue_wait/service spans
+    #: under the dispatching query's span tree).  ``None`` = untagged.
+    tag: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.demand_ms < 0:
@@ -149,6 +153,22 @@ class Completion:
     contended: bool
 
     @property
+    def wait_ms(self) -> float:
+        """Queueing/slowdown delay in excess of the dedicated service.
+
+        This is the *primitive* of the latency decomposition:
+        ``sojourn_ms`` is defined as ``wait_ms + service_ms``, never the
+        other way around, so queue_wait + service == sojourn holds
+        bit-for-bit in the span layer (recovering the wait from a float
+        sojourn loses an ulp whenever ``fl(fl(a-b)+b) != a``).
+        """
+        if not self.contended:
+            return 0.0
+        return max(
+            0.0, (self.finished_ms - self.queued_ms) - self.service_ms
+        )
+
+    @property
     def sojourn_ms(self) -> float:
         """Total time in system: queueing/slowdown + service.
 
@@ -156,16 +176,12 @@ class Completion:
         identity is asserted here rather than recovered from
         ``finished - queued`` so a query that met no congestion observes
         bit-identical timings to a sequential run (no ``(a+b)-a``
-        floating-point residue).
+        floating-point residue).  A contended job's sojourn is the exact
+        sum of its two exported components (see :attr:`wait_ms`).
         """
         if not self.contended:
             return self.service_ms
-        return self.finished_ms - self.queued_ms
-
-    @property
-    def wait_ms(self) -> float:
-        """Sojourn in excess of the dedicated service time."""
-        return max(0.0, self.sojourn_ms - self.service_ms)
+        return self.wait_ms + self.service_ms
 
 
 Process = Generator[object, object, None]
@@ -239,7 +255,7 @@ class EventScheduler:
         self, request: object, resume: Callable[[object], None]
     ) -> None:
         if isinstance(request, Work):
-            request.queue.submit(request.demand_ms, resume)
+            request.queue.submit(request.demand_ms, resume, tag=request.tag)
         elif isinstance(request, Delay):
             self.call_later(request.delay_ms, resume, None)
         elif isinstance(request, AllOf):
@@ -282,6 +298,7 @@ class EventScheduler:
         state["primary_job"] = primary_queue.submit(
             request.primary.demand_ms,
             lambda completion: finish("primary", completion),
+            tag=request.primary.tag,
         )
 
         def fire_backup() -> None:
@@ -296,6 +313,7 @@ class EventScheduler:
                 backup.queue.submit(
                     backup.demand_ms,
                     lambda completion: finish("backup", completion),
+                    tag=backup.tag,
                 ),
             )
 
@@ -336,6 +354,45 @@ class EventScheduler:
         return self.clock.now
 
 
+class QueueEvents:
+    """Observer interface for :class:`ServerQueue` lifecycle hooks.
+
+    The span layer (:mod:`repro.obs.flight`) implements this to turn a
+    job's enqueue → start → complete/cancel transitions into queue_wait
+    and service spans.  The base class is the null object: every queue
+    starts with :data:`NULL_QUEUE_EVENTS` and each emission site guards
+    with a single identity check, so the disabled path costs nothing
+    and inserts no extra scheduler events (byte-identical heaps).
+
+    Hooks run on the scheduler's clock but must never mutate queue or
+    scheduler state — they observe.
+    """
+
+    def on_enqueue(self, queue: "ServerQueue", job: "_Job", t_ms: float) -> None:
+        """*job* entered *queue* at ``t_ms``."""
+
+    def on_start(self, queue: "ServerQueue", job: "_Job", t_ms: float) -> None:
+        """*job* began receiving service at ``t_ms`` (for processor
+        sharing this is its arrival instant — service is shared from the
+        first moment; the wait/service split is finalised at
+        completion)."""
+
+    def on_complete(
+        self, queue: "ServerQueue", job: "_Job", completion: Completion
+    ) -> None:
+        """*job* finished; ``completion`` carries the exact wait/service
+        decomposition."""
+
+    def on_cancel(
+        self, queue: "ServerQueue", job: "_Job", t_ms: float, consumed_ms: float
+    ) -> None:
+        """*job* was cancelled at ``t_ms`` having consumed
+        ``consumed_ms`` of dedicated service (hedge loser)."""
+
+
+NULL_QUEUE_EVENTS = QueueEvents()
+
+
 @dataclass
 class _Job:
     """One resident work item (both disciplines)."""
@@ -353,6 +410,8 @@ class _Job:
     #: FIFO: fences completion events armed before a reschedule.
     token: int = 0
     cancelled: bool = False
+    #: Observer tag from the submitting :class:`Work` (None = untagged).
+    tag: Optional[object] = None
 
 
 class ServerQueue:
@@ -384,6 +443,8 @@ class ServerQueue:
         self.scheduler = scheduler
         self.capacity = float(capacity)
         self.discipline = discipline
+        #: Lifecycle observer (span layer); the null object by default.
+        self.events: QueueEvents = NULL_QUEUE_EVENTS
         self._jobs: List[_Job] = []
         self._seq = 0
         #: FIFO: when the last queued job will finish.
@@ -419,11 +480,15 @@ class ServerQueue:
     # -- submission ------------------------------------------------------
 
     def submit(
-        self, demand_ms: float, callback: Callable[[Completion], None]
+        self,
+        demand_ms: float,
+        callback: Callable[[Completion], None],
+        tag: Optional[object] = None,
     ) -> _Job:
         """Enqueue ``demand_ms`` of service now; ``callback(completion)``
         fires at the (virtual) instant the work finishes.  Returns an
-        opaque job handle accepted by :meth:`cancel`."""
+        opaque job handle accepted by :meth:`cancel`.  ``tag`` is handed
+        unchanged to the queue's :class:`QueueEvents` observer."""
         if demand_ms < 0:
             raise ValueError(f"negative work demand {demand_ms}")
         now = self.scheduler.now
@@ -442,6 +507,7 @@ class ServerQueue:
                 depth_at_arrival=len(self._jobs) + 1,
                 contended=start > now,
                 finish_ms=finish,
+                tag=tag,
             )
             self._seq += 1
             self._jobs.append(job)
@@ -449,6 +515,14 @@ class ServerQueue:
             self.scheduler.call_at(
                 finish, self._complete_fifo, job, job.token
             )
+            if self.events is not NULL_QUEUE_EVENTS:
+                self.events.on_enqueue(self, job, now)
+                if start <= now:
+                    self.events.on_start(self, job, start)
+                else:
+                    self.scheduler.call_at(
+                        start, self._notify_start, job, job.token
+                    )
             return job
         # Processor sharing.
         self._advance_ps(now)
@@ -460,6 +534,7 @@ class ServerQueue:
             remaining_ms=service,
             callback=callback,
             depth_at_arrival=len(self._jobs) + 1,
+            tag=tag,
         )
         self._seq += 1
         self._jobs.append(job)
@@ -469,7 +544,19 @@ class ServerQueue:
             for resident in self._jobs:
                 resident.contended = True
         self._reschedule_ps()
+        if self.events is not NULL_QUEUE_EVENTS:
+            self.events.on_enqueue(self, job, now)
+            self.events.on_start(self, job, now)
         return job
+
+    def _notify_start(self, job: _Job, token: int) -> None:
+        """Deferred FIFO start hook; fenced like completion events so a
+        cancellation-restack (which re-arms with a new token) or a
+        cancel of the job itself silences the stale notification."""
+        if job.cancelled or token != job.token:
+            return
+        if self.events is not NULL_QUEUE_EVENTS:
+            self.events.on_start(self, job, job.started_ms)
 
     # -- cancellation ----------------------------------------------------
 
@@ -494,6 +581,8 @@ class ServerQueue:
             self._jobs.remove(job)
             self.busy_ms += consumed
             self.cancelled_jobs += 1
+            if self.events is not NULL_QUEUE_EVENTS:
+                self.events.on_cancel(self, job, now, consumed)
             # Jobs queued behind the cancelled one move up: walk the
             # (arrival-ordered) residents, keep the in-service head's
             # finish, and restack everything that had not yet started.
@@ -514,6 +603,16 @@ class ServerQueue:
                 self.scheduler.call_at(
                     finish, self._complete_fifo, other, other.token
                 )
+                if self.events is not NULL_QUEUE_EVENTS:
+                    # The pre-restack start notification is token-fenced
+                    # out; re-arm (or fire immediately when the job just
+                    # moved into service).
+                    if start <= now:
+                        self.events.on_start(self, other, start)
+                    else:
+                        self.scheduler.call_at(
+                            start, self._notify_start, other, other.token
+                        )
             self._free_at = cursor
             return consumed
         # Processor sharing.
@@ -522,6 +621,8 @@ class ServerQueue:
         self._jobs.remove(job)
         self.busy_ms += consumed
         self.cancelled_jobs += 1
+        if self.events is not NULL_QUEUE_EVENTS:
+            self.events.on_cancel(self, job, now, consumed)
         self._reschedule_ps()
         return consumed
 
@@ -533,18 +634,19 @@ class ServerQueue:
         self._jobs.remove(job)
         self.served += 1
         self.busy_ms += job.remaining_ms
-        job.callback(
-            Completion(
-                queue=self.name,
-                queued_ms=job.queued_ms,
-                started_ms=job.started_ms,
-                finished_ms=job.finish_ms,
-                demand_ms=job.demand_ms,
-                service_ms=job.demand_ms / self.capacity,
-                depth_at_arrival=job.depth_at_arrival,
-                contended=job.contended,
-            )
+        completion = Completion(
+            queue=self.name,
+            queued_ms=job.queued_ms,
+            started_ms=job.started_ms,
+            finished_ms=job.finish_ms,
+            demand_ms=job.demand_ms,
+            service_ms=job.demand_ms / self.capacity,
+            depth_at_arrival=job.depth_at_arrival,
+            contended=job.contended,
         )
+        if self.events is not NULL_QUEUE_EVENTS:
+            self.events.on_complete(self, job, completion)
+        job.callback(completion)
 
     # -- processor sharing ----------------------------------------------
 
@@ -584,18 +686,19 @@ class ServerQueue:
         # Re-arm before the callback: the callback may resume a process
         # that immediately submits more work to this very queue.
         self._reschedule_ps()
-        head.callback(
-            Completion(
-                queue=self.name,
-                queued_ms=head.queued_ms,
-                started_ms=head.started_ms,
-                finished_ms=now,
-                demand_ms=head.demand_ms,
-                service_ms=head.demand_ms / self.capacity,
-                depth_at_arrival=head.depth_at_arrival,
-                contended=head.contended,
-            )
+        completion = Completion(
+            queue=self.name,
+            queued_ms=head.queued_ms,
+            started_ms=head.started_ms,
+            finished_ms=now,
+            demand_ms=head.demand_ms,
+            service_ms=head.demand_ms / self.capacity,
+            depth_at_arrival=head.depth_at_arrival,
+            contended=head.contended,
         )
+        if self.events is not NULL_QUEUE_EVENTS:
+            self.events.on_complete(self, head, completion)
+        head.callback(completion)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

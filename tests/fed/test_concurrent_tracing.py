@@ -1,0 +1,219 @@
+"""Causal span trees from the concurrent runtime.
+
+Satellite guarantees under test: span trees are well-nested and
+per-trace disjoint under concurrency, queue_wait + service equals the
+scheduler's sojourn bit-for-bit, every completed query's decomposition
+recombines to exactly its recorded response time (fifo and ps alike),
+and hedge races leave the winner's tags plus the loser's cancelled
+slice on the winning trace and in the Chrome export.
+"""
+
+import json
+
+import pytest
+
+import repro.obs as obs
+from repro.fed import ConcurrentRuntime
+from repro.harness import build_replica_federation
+from repro.harness.loadgen import run_loadgen
+from repro.obs import decompose_trace
+from repro.obs.export import chrome_trace_events
+from repro.workload import TEST_SCALE, build_workload
+
+
+@pytest.fixture(params=["fifo", "ps"])
+def traced_overload(request, sample_databases):
+    """One 2x-overload traced run per queue discipline."""
+    obs.configure(metrics=True, tracing=True, log_level=None)
+    try:
+        yield run_loadgen(
+            rate_qps=80.0,
+            duration_ms=1_500.0,
+            seed=11,
+            discipline=request.param,
+            prebuilt_databases=sample_databases,
+        )
+    finally:
+        obs.disable()
+
+
+def _walk(span):
+    yield span
+    for child in span.children:
+        yield from _walk(child)
+
+
+class TestSpanTreeIntegrity:
+    def test_every_outcome_gets_a_trace_with_one_root(self, traced_overload):
+        assert traced_overload.handles
+        for handle in traced_overload.handles:
+            assert handle.trace is not None, handle.status
+            roots = [s for s in handle.trace.spans if s.name == "query"]
+            assert len(roots) == 1
+            assert roots[0].attributes["status"] == handle.status
+
+    def test_spans_are_closed_and_well_nested(self, traced_overload):
+        for handle in traced_overload.handles:
+            for root in handle.trace.spans:
+                for span in _walk(root):
+                    assert span.end_ms is not None, span.name
+                    assert span.end_ms >= span.start_ms, span.name
+                    for child in span.children:
+                        assert child.start_ms >= span.start_ms, child.name
+                        assert child.end_ms <= span.end_ms, child.name
+
+    def test_traces_share_no_span_objects(self, traced_overload):
+        seen = {}
+        for handle in traced_overload.handles:
+            for root in handle.trace.spans:
+                for span in _walk(root):
+                    owner = seen.setdefault(id(span), handle.index)
+                    assert owner == handle.index, (
+                        "span object shared across traces"
+                    )
+
+    def test_queue_wait_plus_service_is_sojourn_bit_for_bit(
+        self, traced_overload
+    ):
+        checked = 0
+        for handle in traced_overload.handles:
+            for dispatch in handle.trace.find("dispatch"):
+                if "sojourn_ms" not in dispatch.attributes:
+                    continue
+                waits = [
+                    c for c in dispatch.children if c.name == "queue_wait"
+                ]
+                services = [
+                    c
+                    for c in dispatch.children
+                    if c.name == "service"
+                    and not c.attributes.get("cancelled")
+                ]
+                assert len(waits) == 1 and len(services) == 1
+                assert (
+                    waits[0].attributes["wait_ms"]
+                    + services[0].attributes["service_ms"]
+                    == dispatch.attributes["sojourn_ms"]
+                )
+                # And the span boundaries tile the sojourn interval.
+                assert waits[0].end_ms == services[0].start_ms
+                checked += 1
+        assert checked >= len(traced_overload.completed)
+
+    def test_decomposition_recombines_to_response_exactly(
+        self, traced_overload
+    ):
+        assert traced_overload.completed
+        for handle in traced_overload.handles:
+            out = decompose_trace(handle.trace)
+            if handle.status != "completed":
+                assert out["status"] == handle.status
+                continue
+            assert out["exact"] is True
+            assert out["total_ms"] == handle.result.response_ms
+            assert out["response_ms"] == handle.result.response_ms
+
+    def test_shed_queries_carry_admission_evidence(self, traced_overload):
+        assert traced_overload.sheds
+        for handle in traced_overload.handles:
+            if handle.status != "shed":
+                continue
+            (admission,) = handle.trace.find("admission")
+            assert admission.attributes["admitted"] is False
+            assert admission.attributes["reason"] in (
+                "no-tokens",
+                "over-budget",
+            )
+            assert "tokens_before" in admission.attributes
+
+
+@pytest.fixture(scope="module")
+def hedged_run():
+    """A traced replica-federation run hot enough to fire hedges."""
+    deployment = build_replica_federation(scale=TEST_SCALE, seed=7)
+    obs.configure(metrics=True, tracing=True, log_level=None)
+    try:
+        runtime = ConcurrentRuntime(
+            deployment.integrator, hedge_after_ms=1.0
+        )
+        handles = [
+            runtime.submit_at(index * 1.0, instance.sql, klass="gold")
+            for index, instance in enumerate(
+                build_workload(instances_per_type=2)
+            )
+        ]
+        runtime.run()
+        yield runtime, handles
+    finally:
+        obs.disable()
+
+
+class TestHedgeTracing:
+    def test_winning_trace_carries_hedge_outcome_tags(self, hedged_run):
+        runtime, handles = hedged_run
+        assert runtime.hedging.fired > 0
+        tagged = [
+            d
+            for h in handles
+            for d in h.trace.find("dispatch")
+            if d.attributes.get("hedge_fired")
+        ]
+        assert len(tagged) == runtime.hedging.fired
+        backup_wins = 0
+        for dispatch in tagged:
+            assert dispatch.attributes["hedge_winner"] in (
+                "primary",
+                "backup",
+            )
+            assert dispatch.attributes["hedge_wasted_ms"] >= 0.0
+            if dispatch.attributes["backup_wins"]:
+                backup_wins += 1
+        assert backup_wins == runtime.hedging.backup_wins
+
+    def test_hedge_backup_span_nests_the_race(self, hedged_run):
+        runtime, handles = hedged_run
+        spans = [
+            s for h in handles for s in h.trace.find("hedge_backup")
+        ]
+        assert len(spans) == runtime.hedging.fired
+        for span in spans:
+            assert span.attributes["winner"] in ("primary", "backup")
+            assert span.attributes["server"] != span.attributes["primary"]
+            assert span.attributes["fired_ms"] == span.start_ms
+
+    def test_loser_survives_as_cancelled_slice(self, hedged_run):
+        runtime, handles = hedged_run
+        cancelled = [
+            s
+            for h in handles
+            for name in ("queue_wait", "service")
+            for s in h.trace.find(name)
+            if s.attributes.get("cancelled")
+        ]
+        # Every settled race cancels its loser's queue lifecycle (the
+        # loser may have been waiting, serving, or both).
+        assert cancelled
+        for span in cancelled:
+            assert span.end_ms is not None
+
+    def test_chrome_export_renders_cancelled_slices_grey(self, hedged_run):
+        _, handles = hedged_run
+        trace_file = chrome_trace_events([h.trace for h in handles])
+        cancelled = [
+            e
+            for e in trace_file["traceEvents"]
+            if e.get("ph") == "X" and "(cancelled)" in e.get("name", "")
+        ]
+        assert cancelled
+        for event in cancelled:
+            assert event["cname"] == "grey"
+        # The export stays plain-JSON serialisable.
+        json.dumps(trace_file)
+
+    def test_decomposition_stays_exact_under_hedging(self, hedged_run):
+        _, handles = hedged_run
+        for handle in handles:
+            assert handle.result is not None
+            out = decompose_trace(handle.trace)
+            assert out["exact"] is True
+            assert out["total_ms"] == handle.result.response_ms

@@ -1,0 +1,155 @@
+"""Flight-recorder artifact, admission audit surfacing, and the
+`repro slo` / `--flight` / `--chrome` CLI paths."""
+
+import json
+
+import pytest
+
+import repro.obs as obs
+from repro.cli import main
+from repro.harness.loadgen import run_loadgen
+
+
+@pytest.fixture(scope="module")
+def traced_run(sample_databases):
+    obs.configure(metrics=True, tracing=True, log_level=None)
+    try:
+        yield run_loadgen(
+            rate_qps=80.0,
+            duration_ms=1_500.0,
+            seed=11,
+            prebuilt_databases=sample_databases,
+        )
+    finally:
+        obs.disable()
+
+
+class TestAdmissionAudit:
+    def test_summary_itemises_per_class_evidence(self, traced_run):
+        audit = traced_run.admission_summary()
+        assert set(audit) == {"gold", "silver", "batch"}
+        batch = audit["batch"]
+        assert batch["decisions"] == (
+            batch["admitted"]
+            + batch["shed_no_tokens"]
+            + batch["shed_over_budget"]
+        )
+        assert batch["shed_no_tokens"] + batch["shed_over_budget"] > 0
+        assert batch["min_tokens_before"] is not None
+        assert batch["max_predicted_ms"] > 0
+        # Protected classes shed nothing at this load.
+        for klass in ("gold", "silver"):
+            info = audit[klass]
+            assert info["shed_no_tokens"] == 0
+            assert info["shed_over_budget"] == 0
+
+    def test_render_and_summary_surface_the_audit(self, traced_run):
+        out = traced_run.render()
+        assert "admission decisions:" in out
+        assert "shed violations: 0" in out
+        assert traced_run.summary()["admission"] == (
+            traced_run.admission_summary()
+        )
+
+
+class TestFlightRecord:
+    def test_record_structure(self, traced_run):
+        record = traced_run.flight_record()
+        assert record["record"] == "flight-recorder"
+        assert record["run"]["record"] == "loadgen-run"
+        assert len(record["queries"]) == traced_run.offered
+        statuses = {q["status"] for q in record["queries"]}
+        assert statuses == {"completed", "shed"}
+
+    def test_every_completed_query_decomposes_exactly(self, traced_run):
+        for entry in traced_run.flight_record()["queries"]:
+            if entry["status"] != "completed":
+                assert "response_ms" not in entry
+                continue
+            decomposition = entry["decomposition"]
+            assert decomposition["exact"] is True
+            assert decomposition["total_ms"] == entry["response_ms"]
+            assert entry["trace"]["spans"], "traced run must embed spans"
+
+    def test_flight_json_is_deterministic(
+        self, traced_run, sample_databases
+    ):
+        obs.configure(metrics=True, tracing=True, log_level=None)
+        try:
+            rerun = run_loadgen(
+                rate_qps=80.0,
+                duration_ms=1_500.0,
+                seed=11,
+                prebuilt_databases=sample_databases,
+            )
+        finally:
+            obs.disable()
+        assert traced_run.flight_json() == rerun.flight_json()
+
+    def test_untraced_run_omits_traces_but_keeps_summary(
+        self, sample_databases
+    ):
+        result = run_loadgen(
+            rate_qps=80.0,
+            duration_ms=1_000.0,
+            seed=11,
+            prebuilt_databases=sample_databases,
+        )
+        record = result.flight_record()
+        assert all("trace" not in q for q in record["queries"])
+        assert "admission" in record["summary"]
+
+
+class TestSloCli:
+    def _run(self, tmp_path, name):
+        flight = tmp_path / name
+        code = main(
+            [
+                "slo",
+                "--qps", "80",
+                "--duration", "1000",
+                "--seed", "11",
+                "--flight", str(flight),
+            ]
+        )
+        obs.disable()
+        return code, flight
+
+    def test_slo_emits_verdicts_and_flight_record(self, tmp_path, capsys):
+        code, flight = self._run(tmp_path, "flight.json")
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SLO verdicts" in out
+        assert "admission decisions:" in out
+        record = json.loads(flight.read_text())
+        assert record["record"] == "flight-recorder"
+        slo = record["slo"]
+        assert set(slo["classes"]) == {"gold", "silver", "batch"}
+        assert slo["classes"]["batch"]["target_ms"] == 800.0
+        for entry in record["queries"]:
+            if entry["status"] == "completed":
+                assert entry["decomposition"]["exact"] is True
+
+    def test_slo_flight_record_is_byte_identical(self, tmp_path, capsys):
+        _, first = self._run(tmp_path, "a.json")
+        _, second = self._run(tmp_path, "b.json")
+        capsys.readouterr()
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_loadgen_chrome_export(self, tmp_path, capsys):
+        chrome = tmp_path / "trace.json"
+        code = main(
+            [
+                "loadgen",
+                "--qps", "80",
+                "--duration", "1000",
+                "--seed", "11",
+                "--chrome", str(chrome),
+            ]
+        )
+        obs.disable()
+        capsys.readouterr()
+        assert code == 0
+        events = json.loads(chrome.read_text())["traceEvents"]
+        slices = {e["name"] for e in events if e.get("ph") == "X"}
+        assert {"queue_wait", "service", "merge"} <= slices

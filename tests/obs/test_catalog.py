@@ -1,0 +1,36 @@
+"""The committed metric catalog must match the live instrumentation."""
+
+from pathlib import Path
+
+from repro.obs.catalog import CATALOG_PATH, catalog_lines, check
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestMetricCatalog:
+    def test_committed_catalog_matches_live_families(self):
+        problems = check(REPO_ROOT / CATALOG_PATH)
+        assert problems == [], (
+            "metric catalog drift; regenerate with "
+            "`PYTHONPATH=src python -m repro.obs.catalog > "
+            "docs/metrics_catalog.txt`"
+        )
+
+    def test_catalog_lines_are_sorted_and_well_formed(self):
+        lines = catalog_lines()
+        assert lines == sorted(set(lines))
+        for line in lines:
+            kind, family = line.split(" ", 1)
+            assert kind in ("counter", "gauge", "histogram"), line
+            assert family == family.strip()
+
+    def test_new_surface_families_are_catalogued(self):
+        lines = "\n".join(catalog_lines())
+        for family in (
+            "counter admission_decisions_total{klass,outcome}",
+            "counter slo_alerts_total{klass,window}",
+            "counter trace_spans_dropped_total",
+            "gauge slo_compliance{klass}",
+            "histogram sched_sojourn_ms{server}",
+        ):
+            assert family in lines

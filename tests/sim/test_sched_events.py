@@ -1,0 +1,208 @@
+"""ServerQueue lifecycle hooks: emission order, token fencing, and the
+zero-extra-events guarantee of the disabled (null observer) path."""
+
+from repro.sim.sched import (
+    EventScheduler,
+    QueueEvents,
+    ServerQueue,
+)
+
+
+class Recorder(QueueEvents):
+    """Collects every hook call with its virtual timestamp."""
+
+    def __init__(self):
+        self.calls = []
+
+    def on_enqueue(self, queue, job, t_ms):
+        self.calls.append(("enqueue", queue.name, job.tag, t_ms))
+
+    def on_start(self, queue, job, t_ms):
+        self.calls.append(("start", queue.name, job.tag, t_ms))
+
+    def on_complete(self, queue, job, completion):
+        self.calls.append(("complete", queue.name, job.tag, completion))
+
+    def on_cancel(self, queue, job, t_ms, consumed_ms):
+        self.calls.append(("cancel", queue.name, job.tag, t_ms, consumed_ms))
+
+    def of(self, kind):
+        return [c for c in self.calls if c[0] == kind]
+
+
+def _queue(discipline, events=None):
+    sched = EventScheduler()
+    queue = ServerQueue("S1", sched, capacity=1.0, discipline=discipline)
+    if events is not None:
+        queue.events = events
+    return sched, queue
+
+
+class TestFifoHooks:
+    def test_idle_submission_starts_immediately(self):
+        rec = Recorder()
+        sched, queue = _queue("fifo", rec)
+        done = []
+        queue.submit(10.0, done.append, tag="j1")
+        # Enqueue and start are both emitted synchronously at submit
+        # time — an idle server begins service at the arrival instant.
+        assert [c[0] for c in rec.calls] == ["enqueue", "start"]
+        assert rec.calls[0][3] == 0.0 and rec.calls[1][3] == 0.0
+        sched.run()
+        assert [c[0] for c in rec.calls] == ["enqueue", "start", "complete"]
+        completion = rec.of("complete")[0][3]
+        assert completion.wait_ms == 0.0
+        assert completion.service_ms == 10.0
+
+    def test_queued_submission_defers_start_to_head_departure(self):
+        rec = Recorder()
+        sched, queue = _queue("fifo", rec)
+        done = []
+        queue.submit(10.0, done.append, tag="j1")
+        queue.submit(5.0, done.append, tag="j2")
+        # j2 is behind j1: only its enqueue is emitted at submit time.
+        assert [c[0] for c in rec.calls] == ["enqueue", "start", "enqueue"]
+        sched.run()
+        # At t=10 both j1's completion and j2's deferred start fire; the
+        # completion event was armed first, so it lands first.
+        kinds = [(c[0], c[2]) for c in rec.calls]
+        assert kinds == [
+            ("enqueue", "j1"),
+            ("start", "j1"),
+            ("enqueue", "j2"),
+            ("complete", "j1"),
+            ("start", "j2"),
+            ("complete", "j2"),
+        ]
+        assert rec.of("start")[1][3] == 10.0
+        j2 = rec.of("complete")[1][3]
+        assert j2.wait_ms + j2.service_ms == j2.sojourn_ms
+
+    def test_cancel_of_queued_job_silences_its_start(self):
+        rec = Recorder()
+        sched, queue = _queue("fifo", rec)
+        done = []
+        queue.submit(10.0, done.append, tag="head")
+        victim = queue.submit(5.0, done.append, tag="victim")
+        queue.submit(5.0, done.append, tag="tail")
+        sched.call_at(2.0, queue.cancel, victim)
+        sched.run()
+        # The victim never starts: its deferred notification is fenced
+        # by job.cancelled.  The tail restacks into the freed slot and
+        # still gets exactly one start.
+        assert [c[2] for c in rec.of("start")] == ["head", "tail"]
+        assert [c[2] for c in rec.of("cancel")] == ["victim"]
+        assert rec.of("cancel")[0][4] == 0.0  # never reached the server
+        assert [c[2] for c in rec.of("complete")] == ["head", "tail"]
+        # Restacked tail: starts at the head's departure, not behind the
+        # cancelled victim.
+        assert rec.of("start")[1][3] == 10.0
+
+    def test_cancel_in_service_reports_consumed_ms(self):
+        rec = Recorder()
+        sched, queue = _queue("fifo", rec)
+        running = queue.submit(10.0, lambda c: None, tag="running")
+        sched.call_at(4.0, queue.cancel, running)
+        sched.run()
+        cancel = rec.of("cancel")[0]
+        assert cancel[3] == 4.0
+        assert cancel[4] == 4.0  # four ms of dedicated service burned
+        assert rec.of("complete") == []
+
+    def test_restack_reemits_start_with_fresh_token(self):
+        rec = Recorder()
+        sched, queue = _queue("fifo", rec)
+        done = []
+        queue.submit(10.0, done.append, tag="head")
+        victim = queue.submit(10.0, done.append, tag="victim")
+        tail = queue.submit(5.0, done.append, tag="tail")
+        # Cancel the victim while the head is mid-service, then let the
+        # tail run to completion in its restacked slot.
+        sched.call_at(3.0, queue.cancel, victim)
+        sched.run()
+        starts = [c for c in rec.of("start") if c[2] == "tail"]
+        assert len(starts) == 1, "stale pre-restack start must be fenced"
+        assert starts[0][3] == 10.0
+        completion = [c for c in rec.of("complete") if c[2] == "tail"][0][3]
+        assert completion.finished_ms == 15.0
+        assert completion.wait_ms + completion.service_ms == (
+            completion.sojourn_ms
+        )
+
+
+class TestPsHooks:
+    def test_enqueue_and_start_are_simultaneous(self):
+        rec = Recorder()
+        sched, queue = _queue("ps", rec)
+        done = []
+        sched.call_at(0.0, queue.submit, 10.0, done.append, "a")
+        sched.call_at(2.0, queue.submit, 10.0, done.append, "b")
+        sched.run()
+        # PS shares capacity from the first instant: start == enqueue.
+        for kind in ("enqueue", "start"):
+            assert [(c[2], c[3]) for c in rec.of(kind)] == [
+                ("a", 0.0),
+                ("b", 2.0),
+            ]
+        for call in rec.of("complete"):
+            completion = call[3]
+            assert completion.wait_ms + completion.service_ms == (
+                completion.sojourn_ms
+            )
+
+    def test_cancel_reports_shared_service_consumed(self):
+        rec = Recorder()
+        sched, queue = _queue("ps", rec)
+        victim = queue.submit(10.0, lambda c: None, tag="victim")
+        sched.call_at(0.0, queue.submit, 10.0, lambda c: None, "other")
+        sched.call_at(6.0, queue.cancel, victim)
+        sched.run()
+        cancel = rec.of("cancel")[0]
+        # Two residents sharing for 6ms: the victim consumed 3ms.
+        assert cancel[3] == 6.0
+        assert cancel[4] == 3.0
+
+
+class TestDisabledPath:
+    def test_null_observer_arms_no_extra_scheduler_events(self):
+        """The zero-overhead contract is structural: with the null
+        observer installed (the default) a FIFO queue arms exactly one
+        scheduler event per job — the completion.  A live observer adds
+        one deferred start notification per job that arrives to a busy
+        server, and nothing else."""
+
+        def run(events):
+            sched = EventScheduler()
+            armed = 0
+            original = sched.call_at
+
+            def counting(t_ms, fn, *args):
+                nonlocal armed
+                armed += 1
+                return original(t_ms, fn, *args)
+
+            sched.call_at = counting
+            queue = ServerQueue("S1", sched, capacity=1.0, discipline="fifo")
+            if events is not None:
+                queue.events = events
+            done = []
+            for _ in range(5):
+                queue.submit(10.0, done.append)
+            sched.run()
+            assert len(done) == 5
+            return armed
+
+        assert run(None) == 5
+        # Four of the five jobs queue behind the head: one deferred
+        # start notification each.
+        assert run(Recorder()) == 9
+
+    def test_tag_defaults_to_none_and_passes_through(self):
+        rec = Recorder()
+        sched, queue = _queue("fifo", rec)
+        tag = object()
+        queue.submit(1.0, lambda c: None, tag=tag)
+        queue.submit(1.0, lambda c: None)
+        sched.run()
+        assert rec.of("enqueue")[0][2] is tag
+        assert rec.of("enqueue")[1][2] is None
