@@ -13,6 +13,11 @@ Bundled invariants:
     Every query the chaos run completed must return exactly the rows the
     fault-free oracle rerun returned (multiset equality, float-tolerant);
     and the oracle itself — a run with no faults — must never fail.
+``reroute-oracle-equivalence``
+    A query that migrated mid-scan (bounded batch re-routing) must
+    return rows *byte-identical* to the fault-free oracle's — the
+    primary-prefix + replica-tail merge may never change the answer —
+    and no query may report a migration while the dimension is off.
 ``no-down-dispatch``
     The integrator never dispatches a fragment to a server the
     availability monitor had already marked down at dispatch time.
@@ -125,10 +130,14 @@ def check_oracle_equivalence(run: ScenarioRun) -> List[str]:
             # pure-concurrency overload, legal even without faults.
             # There are no oracle rows to compare against.
             continue
-        # Hedged runs are held to *exact* row equality: a backup replica
-        # must return the same bytes the primary would have — any drift
-        # means the hedge changed the answer, not just the latency.
-        if run.spec.hedge_after_ms is not None:
+        # Hedged and re-routing runs are held to *exact* row equality: a
+        # backup replica (or a migration target finishing a scan) must
+        # return the same bytes the primary would have — any drift means
+        # the mechanism changed the answer, not just the latency.
+        if (
+            run.spec.hedge_after_ms is not None
+            or run.spec.reroute_batch_rows is not None
+        ):
             equivalent = rows_equal_unordered(outcome.rows, reference.rows)
         else:
             equivalent = rows_close_unordered(outcome.rows, reference.rows)
@@ -137,6 +146,51 @@ def check_oracle_equivalence(run: ScenarioRun) -> List[str]:
                 f"query #{outcome.index} ({outcome.query_type}) returned "
                 f"{len(outcome.rows)} rows differing from the fault-free "
                 f"oracle's {len(reference.rows)}"
+            )
+    return problems
+
+
+@register_checker("reroute-oracle-equivalence")
+def check_reroute_oracle_equivalence(run: ScenarioRun) -> List[str]:
+    """Mid-query migrations must be byte-invisible in the answer.
+
+    With re-routing enabled, every query that actually migrated must
+    return *exactly* (not merely approximately) the rows the fault-free
+    oracle returned — a migration stitches a primary prefix onto a
+    replica tail, and any drift at the seam is a wrong answer, not
+    degradation.  With the dimension off, a query reporting a migration
+    is itself the violation: an opt-in mechanism fired without opt-in.
+    """
+    problems: List[str] = []
+    if run.spec.reroute_batch_rows is None:
+        for outcome in run.outcomes:
+            if outcome.reroutes:
+                problems.append(
+                    f"query #{outcome.index} ({outcome.query_type}) "
+                    f"reported {outcome.reroutes} migration(s) while "
+                    "re-routing was disabled"
+                )
+        return problems
+    if run.oracle is None:
+        return []
+    oracle_by_index = {outcome.index: outcome for outcome in run.oracle}
+    for outcome in run.outcomes:
+        if outcome.status != "ok" or not outcome.reroutes:
+            continue
+        reference = oracle_by_index.get(outcome.index)
+        if reference is None or reference.status != "ok":
+            status = "missing" if reference is None else reference.status
+            problems.append(
+                f"query #{outcome.index} ({outcome.query_type}) migrated "
+                f"but its fault-free oracle counterpart is {status} — "
+                "no reference answer to hold the merge against"
+            )
+            continue
+        if not rows_equal_unordered(outcome.rows, reference.rows):
+            problems.append(
+                f"query #{outcome.index} ({outcome.query_type}) migrated "
+                f"mid-scan and returned {len(outcome.rows)} rows that are "
+                f"not byte-identical to the oracle's {len(reference.rows)}"
             )
     return problems
 
@@ -203,6 +257,11 @@ def _engine_mismatch(
     if vector.retries != row.retries:
         return (
             f"retries diverged (vector={vector.retries}, row={row.retries})"
+        )
+    if vector.reroutes != row.reroutes:
+        return (
+            f"reroutes diverged (vector={vector.reroutes}, "
+            f"row={row.reroutes})"
         )
     if vector.servers != row.servers:
         return (

@@ -101,6 +101,9 @@ class QueryOutcome:
     error: Optional[str] = None
     #: Admission priority class (concurrent scenarios only).
     klass: str = ""
+    #: Mid-query batch migrations this query performed (re-routing
+    #: scenarios only; always 0 when the dimension is off).
+    reroutes: int = 0
 
 
 @dataclass(frozen=True)
@@ -338,6 +341,7 @@ def _drive_concurrent(
         integrator,
         classes=CHAOS_CLASSES,
         hedge_after_ms=spec.hedge_after_ms,
+        reroute_batch_rows=spec.reroute_batch_rows,
     )
     if manager is not None and with_faults:
         for event in lag_events:
@@ -384,6 +388,7 @@ def _drive_concurrent(
                         for fragment_id, outcome in result.fragments.items()
                     },
                     klass=handle.klass,
+                    reroutes=result.reroutes,
                 )
             )
         elif handle.shed is not None:

@@ -214,10 +214,24 @@ class ScenarioSpec:
     #: --hedge-after``); None = hedging off.  Never sampled by the
     #: generator, so default sweeps keep their exact bytes.
     hedge_after_ms: Optional[float] = None
+    #: Mid-query re-routing checkpoint granularity for concurrent
+    #: scenarios (``repro chaos --reroute-batch`` / ``--reroute-rate``);
+    #: None = re-routing off.  Sampled only when the generator's
+    #: ``reroute_rate`` is raised above its 0.0 default, on its own RNG
+    #: stream, so default sweeps keep their exact bytes.
+    reroute_batch_rows: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.topology not in TOPOLOGY_SERVERS:
             raise ValueError(f"unknown topology {self.topology!r}")
+        if (
+            self.hedge_after_ms is not None
+            and self.reroute_batch_rows is not None
+        ):
+            raise ValueError(
+                "hedge_after_ms and reroute_batch_rows are mutually "
+                "exclusive on one scenario"
+            )
         servers = TOPOLOGY_SERVERS[self.topology]
         for fault in self.faults:
             if fault.server not in servers:
@@ -261,10 +275,13 @@ class ScenarioSpec:
                 None if self.arrival is None else self.arrival.to_dict()
             ),
         }
-        # Conditional key: default (non-hedged) specs keep the exact
-        # canonical bytes they had before hedging existed.
+        # Conditional keys: default (non-hedged, non-rerouting) specs
+        # keep the exact canonical bytes they had before these features
+        # existed.
         if self.hedge_after_ms is not None:
             data["hedge_after_ms"] = self.hedge_after_ms
+        if self.reroute_batch_rows is not None:
+            data["reroute_batch_rows"] = self.reroute_batch_rows
         return data
 
     @classmethod
@@ -272,8 +289,10 @@ class ScenarioSpec:
         tolerance = data.get("staleness_tolerance_ms")
         arrival = data.get("arrival")
         hedge = data.get("hedge_after_ms")
+        reroute = data.get("reroute_batch_rows")
         return cls(
             hedge_after_ms=None if hedge is None else float(hedge),
+            reroute_batch_rows=None if reroute is None else int(reroute),
             seed=int(data["seed"]),
             index=int(data["index"]),
             topology=str(data["topology"]),
@@ -335,12 +354,25 @@ def _sample_fault(
     return FaultEvent(kind, server, start, start, table=nickname)
 
 
+#: Checkpoint granularities the reroute dimension samples from (small
+#: enough that TEST_SCALE fragment results span several batches).
+REROUTE_BATCH_CHOICES = (4, 16, 64)
+
+
 def generate_scenario(
     seed: int,
     index: int,
     horizon_ms: float = DEFAULT_HORIZON_MS,
+    reroute_rate: float = 0.0,
 ) -> ScenarioSpec:
-    """Sample one scenario; pure function of ``(seed, index)``."""
+    """Sample one scenario; pure function of ``(seed, index)``.
+
+    ``reroute_rate`` is the probability a *concurrent* scenario enables
+    mid-query re-routing.  It defaults to 0.0 and the reroute stream is
+    only touched when the rate is positive, so default sweeps are
+    byte-identical to pre-rerouting artifacts; ``repro chaos
+    --reroute-rate`` opts a sweep in.
+    """
     shape_rng = derive_rng(seed, "chaos", index, "shape")
     topology = shape_rng.choice(("triple", "triple", "replica"))
 
@@ -388,6 +420,16 @@ def generate_scenario(
             for query in queries
         )
 
+    # Re-routing dimension: only concurrent scenarios can migrate (the
+    # sequential drive has no scheduler to interrupt), and the stream is
+    # touched only when the sweep opts in, so existing components — and
+    # whole default sweeps — keep their exact bytes.
+    reroute_batch_rows: Optional[int] = None
+    if reroute_rate > 0.0 and arrival is not None:
+        reroute_rng = derive_rng(seed, "chaos", index, "reroute")
+        if reroute_rng.random() < reroute_rate:
+            reroute_batch_rows = reroute_rng.choice(REROUTE_BATCH_CHOICES)
+
     return ScenarioSpec(
         seed=seed,
         index=index,
@@ -396,13 +438,20 @@ def generate_scenario(
         faults=faults,
         staleness_tolerance_ms=tolerance,
         arrival=arrival,
+        reroute_batch_rows=reroute_batch_rows,
     )
 
 
 def generate_scenarios(
-    seed: int, count: int, horizon_ms: float = DEFAULT_HORIZON_MS
+    seed: int,
+    count: int,
+    horizon_ms: float = DEFAULT_HORIZON_MS,
+    reroute_rate: float = 0.0,
 ) -> List[ScenarioSpec]:
-    return [generate_scenario(seed, i, horizon_ms) for i in range(count)]
+    return [
+        generate_scenario(seed, i, horizon_ms, reroute_rate)
+        for i in range(count)
+    ]
 
 
 def fault_window_steps(

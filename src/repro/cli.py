@@ -120,6 +120,17 @@ def _add_load_stream_args(parser: argparse.ArgumentParser) -> None:
             "default: disabled)"
         ),
     )
+    parser.add_argument(
+        "--reroute-batch",
+        type=int,
+        default=None,
+        metavar="ROWS",
+        help=(
+            "enable mid-query batch re-routing (transfer batch size in "
+            "rows; mutually exclusive with --hedge-after; "
+            "default: disabled)"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -363,6 +374,28 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "enable hedged fragment dispatch in concurrent scenarios "
             "(static hedge delay in virtual ms; default: disabled)"
+        ),
+    )
+    chaos.add_argument(
+        "--reroute-batch",
+        type=int,
+        default=None,
+        metavar="ROWS",
+        help=(
+            "enable mid-query batch re-routing in concurrent scenarios "
+            "(transfer batch size in rows; mutually exclusive with "
+            "--hedge-after; default: disabled)"
+        ),
+    )
+    chaos.add_argument(
+        "--reroute-rate",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help=(
+            "probability a generated concurrent scenario samples the "
+            "re-route dimension (own RNG stream; default: 0.0 so sweep "
+            "bytes are unchanged)"
         ),
     )
     loadgen = sub.add_parser(
@@ -713,17 +746,31 @@ def _cmd_chaos(args) -> int:
     forbid_global_random()
 
     checker_names = args.checkers or None
+    if args.hedge_after is not None and (
+        args.reroute_batch is not None or args.reroute_rate > 0.0
+    ):
+        raise SystemExit(
+            "--hedge-after and --reroute-batch/--reroute-rate are "
+            "mutually exclusive"
+        )
     if args.repro:
         specs = [ScenarioSpec.from_json(args.repro)]
     else:
-        specs = generate_scenarios(args.seed, args.runs)
-    if args.hedge_after is not None:
-        # Hedging applies to concurrent scenarios only: the sequential
-        # drive has no event scheduler to race a backup on.
+        specs = generate_scenarios(
+            args.seed, args.runs, reroute_rate=args.reroute_rate
+        )
+    if args.hedge_after is not None or args.reroute_batch is not None:
+        # Hedging/re-routing apply to concurrent scenarios only: the
+        # sequential drive has no event scheduler to race a backup on
+        # or to interrupt a fragment mid-flight.
         from dataclasses import replace as _replace
 
+        if args.hedge_after is not None:
+            overrides = {"hedge_after_ms": args.hedge_after}
+        else:
+            overrides = {"reroute_batch_rows": args.reroute_batch}
         specs = [
-            _replace(spec, hedge_after_ms=args.hedge_after)
+            _replace(spec, **overrides)
             if spec.arrival is not None
             else spec
             for spec in specs
@@ -833,6 +880,7 @@ def _run_load_stream(args, traced: bool):
         scale=_SCALES[args.scale],
         discipline=args.discipline,
         hedge_after_ms=args.hedge_after,
+        reroute_batch_rows=args.reroute_batch,
     )
     return result, classes
 

@@ -24,15 +24,42 @@ class CalibrationEpoch:
     from this cached one?".
     """
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_listeners")
 
     def __init__(self, value: int = 0):
         self.value = value
+        self._listeners = []
 
     def bump(self) -> int:
-        """Advance the epoch; returns the new value."""
+        """Advance the epoch; returns the new value.
+
+        Subscribers are notified synchronously, in subscription order,
+        *after* the counter has advanced — a listener reading
+        ``epoch.value`` sees the new epoch.
+        """
         self.value += 1
+        for listener in tuple(self._listeners):
+            listener(self.value)
         return self.value
+
+    def subscribe(self, listener) -> "callable":
+        """Call ``listener(new_value)`` after every bump.
+
+        Returns an unsubscribe callable (idempotent).  Mid-query
+        re-routing uses this to observe cost-surface changes the moment
+        they land instead of polling the counter: one subscription covers
+        both recalibrations and availability flips, because availability
+        transitions already bump the shared epoch.
+        """
+        self._listeners.append(listener)
+
+        def unsubscribe() -> None:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
+
+        return unsubscribe
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CalibrationEpoch({self.value})"

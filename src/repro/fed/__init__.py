@@ -16,6 +16,18 @@ from .admission import (
 )
 from .concurrent import ConcurrentRuntime, QueryHandle
 from .hedging import HedgeConfig, HedgePolicy, make_policy
+from .rerouting import (
+    BatchSpan,
+    Checkpoint,
+    RerouteConfig,
+    ReroutePolicy,
+    RerouteSettle,
+    batch_schedule,
+    checkpoint_consumed,
+    make_reroute_policy,
+    merge_partial_rows,
+    tail_demand_ms,
+)
 from .cursor import BatchInfo, FederatedCursor
 from .decomposer import DecomposedQuery, QueryFragment, decompose
 from .explain import ExplainRecord, ExplainTable
@@ -81,12 +93,19 @@ __all__ = [
     "QueryStatus",
     "ShedVerdict",
     "TokenBucket",
+    "BatchSpan",
+    "Checkpoint",
     "ReplicaManager",
     "ReplicaState",
     "ReplicaSyncDaemon",
+    "RerouteConfig",
+    "ReroutePolicy",
+    "RerouteSettle",
     "RoundRobinRouter",
     "Router",
+    "batch_schedule",
     "build_merge_plan",
+    "checkpoint_consumed",
     "cluster_near_cost",
     "decompose",
     "eliminate_dominated",
@@ -94,7 +113,10 @@ __all__ = [
     "estimate_merge_cost",
     "make_arrivals",
     "make_policy",
+    "make_reroute_policy",
+    "merge_partial_rows",
     "parse_class_spec",
     "plan_key",
     "shed_violations",
+    "tail_demand_ms",
 ]

@@ -56,6 +56,7 @@ from ..sim import (
     Delay,
     EventScheduler,
     HedgedWork,
+    MigratableWork,
     ServerQueue,
     ServerUnavailable,
     Work,
@@ -76,6 +77,14 @@ from .integrator import (
 )
 from .merge import build_merge_plan
 from .nicknames import FederationError
+from .rerouting import (
+    ReroutePolicy,
+    RerouteSettle,
+    batch_schedule,
+    make_reroute_policy,
+    merge_partial_rows,
+    tail_demand_ms,
+)
 
 #: Queue name of the integrator's own merge stage.
 II_QUEUE = "II"
@@ -132,6 +141,15 @@ class ConcurrentRuntime:
     history accumulates — see :mod:`repro.fed.hedging`).  ``None`` (the
     default) disables hedging entirely and the runtime is byte-identical
     to the pre-hedging code path.
+
+    ``reroute_batch_rows`` enables bounded mid-query batch re-routing
+    (see :mod:`repro.fed.rerouting`): in-flight fragments observing a
+    calibration-epoch bump checkpoint consumed batches and migrate the
+    remaining scan range to the next HRW-ranked identical-plan replica.
+    ``None`` (the default) disables re-routing and the runtime is
+    byte-identical to the non-rerouting code path; hedging and
+    re-routing are mutually exclusive (both race a fragment against a
+    replica — combining them would double-release cancelled work).
     """
 
     def __init__(
@@ -143,11 +161,22 @@ class ConcurrentRuntime:
         ii_capacity: float = 1.0,
         hedge_after_ms: Optional[float] = None,
         hedge_depth_cap: int = DEFAULT_DEPTH_CAP,
+        reroute_batch_rows: Optional[int] = None,
     ):
+        if hedge_after_ms is not None and reroute_batch_rows is not None:
+            raise ValueError(
+                "hedged dispatch and mid-query re-routing are mutually "
+                "exclusive; enable one of hedge_after_ms / "
+                "reroute_batch_rows"
+            )
         self.integrator = integrator
         self.hedge_after_ms = hedge_after_ms
         self.hedging: Optional[HedgePolicy] = make_policy(
             hedge_after_ms, hedge_depth_cap
+        )
+        self.reroute_batch_rows = reroute_batch_rows
+        self.rerouting: Optional[ReroutePolicy] = make_reroute_policy(
+            reroute_batch_rows
         )
         integrator.advance_clock = False
         self.scheduler = EventScheduler(integrator.clock)
@@ -228,14 +257,14 @@ class ConcurrentRuntime:
     def _backup_option(
         self, primary: FragmentOption, t_fire: float
     ) -> Optional[FragmentOption]:
-        """The replica a hedge backup should target, or ``None``.
+        """The replica a hedge backup (or migration) should target.
 
         Candidates are the fragment's compile-time siblings with an
         *identical* plan on a different server, near the cluster's
         cheapest cost (same exchangeability rule as Section 4.1
-        balancing), walked in HRW rank order — the backup is the
+        balancing), walked in HRW rank order — the target is the
         highest-ranked exchangeable replica that is believed available
-        at the instant the hedge fires.
+        at the instant the hedge (or re-route interrupt) fires.
         """
         mw = self.integrator.meta_wrapper
         qcc = self.integrator.qcc
@@ -253,7 +282,12 @@ class ConcurrentRuntime:
             [o.calibrated.total for o in matches]
             + [primary.calibrated.total]
         )
-        band = self.hedging.config.band if self.hedging else 0.2
+        if self.hedging is not None:
+            band = self.hedging.config.band
+        elif self.rerouting is not None:
+            band = self.rerouting.config.band
+        else:
+            band = 0.2
         near = [
             o for o in matches if o.calibrated.total <= cheapest * (1.0 + band)
         ]
@@ -400,6 +434,165 @@ class ConcurrentRuntime:
             settled.append(
                 (choice, option, execution, frag_span, completion,
                  effective_ms, outcome)
+            )
+        return settled
+
+    # -- mid-query re-routing --------------------------------------------
+
+    def _migratable_request(
+        self,
+        slot: int,
+        entry: tuple,
+        t_dispatch: float,
+        trace,
+        reroute_slots: Dict[int, tuple],
+    ) -> MigratableWork:
+        """Wrap one executed fragment into a :class:`MigratableWork`.
+
+        The primary's full demand is submitted exactly as a plain
+        ``Work`` yield — enabled-but-untriggered re-routing is
+        byte-identical to the non-rerouting path.  The interrupt is the
+        calibration epoch itself (availability flips bump it too); the
+        migrate callback checkpoints consumed batches, picks the next
+        HRW-ranked identical-plan replica, and learns the tail's demand
+        by executing the fragment at the target at the fire instant
+        (``report=False`` — a migration leg must never feed the
+        calibrator).
+        """
+        choice, option, execution, frag_span = entry
+        policy = self.rerouting
+        assert policy is not None
+        obs = get_obs()
+        mw = self.integrator.meta_wrapper
+        epoch = self.integrator.calibration_epoch
+        schedule = batch_schedule(execution, policy.config.batch_rows)
+
+        def arm(interrupt) -> "callable":
+            if epoch is None or len(schedule) <= 1:
+                # Nothing to checkpoint between — a single-batch
+                # fragment has no boundary to migrate at.
+                return lambda: None
+            return epoch.subscribe(lambda _value: interrupt())
+
+        def migrate(t_fire: float, consumed_ms: float) -> Optional[Work]:
+            point = policy.checkpoint(schedule, consumed_ms)
+            if not policy.should_migrate(schedule, point):
+                policy.note_declined("drained")
+                return None
+            target = self._backup_option(option, t_fire)
+            if target is None:
+                policy.note_declined("no-replica")
+                obs.metrics.counter(
+                    "reroute_declined_total", reason="no-replica"
+                ).inc()
+                return None
+            try:
+                target, target_execution = mw.execute_option(
+                    target, t_fire, allow_substitution=False, report=False
+                )
+            except ServerUnavailable:
+                policy.note_declined("target-down")
+                obs.metrics.counter(
+                    "reroute_declined_total", reason="target-down"
+                ).inc()
+                return None
+            reroute_span = trace.begin_child(
+                frag_span,
+                "reroute",
+                t_fire,
+                fragment=choice.fragment.fragment_id,
+                primary=option.server,
+                server=target.server,
+                cut_row=point.cut_row,
+                batches_kept=point.batches_kept,
+                fired_ms=t_fire,
+            )
+            reroute_slots[slot] = (
+                target, target_execution, point, reroute_span,
+            )
+            obs.metrics.counter(
+                "reroute_fired_total", server=target.server
+            ).inc()
+            return Work(
+                self._queue_for(target.server),
+                tail_demand_ms(target_execution, point.cut_row),
+                tag=self._span_tag(trace, reroute_span),
+            )
+
+        return MigratableWork(
+            primary=Work(
+                self._queue_for(option.server),
+                execution.observed_ms,
+                tag=self._span_tag(trace, frag_span),
+            ),
+            arm=arm,
+            migrate=migrate,
+        )
+
+    def _settle_reroutes(
+        self,
+        executed: List[tuple],
+        migration_results: List,
+        reroute_slots: Dict[int, tuple],
+        t_dispatch: float,
+        trace: QueryTrace,
+    ) -> List[tuple]:
+        """Resolve each fragment to its settled tuple, merging partial
+        results and accounting for the cancelled primary leg."""
+        policy = self.rerouting
+        assert policy is not None
+        mw = self.integrator.meta_wrapper
+        settled = []
+        for slot, (entry, outcome) in enumerate(
+            zip(executed, migration_results)
+        ):
+            choice, option, execution, frag_span = entry
+            completion = outcome.completion
+            if not outcome.migrated:
+                settled.append(
+                    (choice, option, execution, frag_span, completion,
+                     completion.sojourn_ms, None)
+                )
+                continue
+            target, target_execution, point, reroute_span = (
+                reroute_slots[slot]
+            )
+            # The fragment's real latency spans primary dispatch through
+            # the migrated tail's completion.
+            effective_ms = completion.finished_ms - t_dispatch
+            merged_rows = merge_partial_rows(
+                execution.rows, target_execution.rows, point.cut_row
+            )
+            migrated_rows = execution.row_count - point.cut_row
+            wasted_ms = max(
+                0.0, outcome.consumed_ms - point.kept_demand_ms
+            )
+            policy.note_fired(migrated_rows, wasted_ms)
+            mw.note_reroute(
+                option,
+                target,
+                cut_row=point.cut_row,
+                wasted_ms=wasted_ms,
+                t_ms=completion.finished_ms,
+            )
+            trace.end(
+                reroute_span,
+                completion.finished_ms,
+                migrated_rows=migrated_rows,
+                wasted_ms=wasted_ms,
+            )
+            settle = RerouteSettle(
+                target=target,
+                merged_rows=merged_rows,
+                cut_row=point.cut_row,
+                migrated_rows=migrated_rows,
+                wasted_ms=wasted_ms,
+                consumed_ms=outcome.consumed_ms,
+                fired_ms=outcome.migrated_at_ms,
+            )
+            settled.append(
+                (choice, option, execution, frag_span, completion,
+                 effective_ms, settle)
             )
         return settled
 
@@ -615,7 +808,37 @@ class ConcurrentRuntime:
             # With hedging enabled each fragment races a timer-armed
             # backup at the next HRW-ranked replica; only the winner's
             # execution flows onward (runtime log, calibrator, merge).
-            if self.hedging is None:
+            # With re-routing enabled each fragment may instead migrate
+            # its unshipped batches to that replica when the calibration
+            # epoch bumps mid-flight.
+            if self.hedging is not None:
+                backup_slots: Dict[int, tuple] = {}
+                hedge_results = yield AllOf(
+                    [
+                        self._hedged_request(
+                            slot, entry, t_dispatch, trace, backup_slots
+                        )
+                        for slot, entry in enumerate(executed)
+                    ]
+                )
+                settled = self._settle_hedges(
+                    executed, hedge_results, backup_slots, t_dispatch, trace
+                )
+            elif self.rerouting is not None:
+                reroute_slots: Dict[int, tuple] = {}
+                migration_results = yield AllOf(
+                    [
+                        self._migratable_request(
+                            slot, entry, t_dispatch, trace, reroute_slots
+                        )
+                        for slot, entry in enumerate(executed)
+                    ]
+                )
+                settled = self._settle_reroutes(
+                    executed, migration_results, reroute_slots,
+                    t_dispatch, trace,
+                )
+            else:
                 completions = yield AllOf(
                     [
                         Work(
@@ -632,30 +855,38 @@ class ConcurrentRuntime:
                     for (choice, option, execution, frag_span), completion
                     in zip(executed, completions)
                 ]
-            else:
-                backup_slots: Dict[int, tuple] = {}
-                hedge_results = yield AllOf(
-                    [
-                        self._hedged_request(
-                            slot, entry, t_dispatch, trace, backup_slots
-                        )
-                        for slot, entry in enumerate(executed)
-                    ]
-                )
-                settled = self._settle_hedges(
-                    executed, hedge_results, backup_slots, t_dispatch, trace
-                )
 
             outcomes: Dict[str, FragmentOutcome] = {}
             remote_ms = 0.0
+            reroutes = 0
             for (
                 choice, option, execution, frag_span, completion,
-                effective_ms, hedge,
+                effective_ms, extra,
             ) in settled:
-                inflated = dataclasses.replace(
-                    execution, observed_ms=effective_ms
+                reroute = (
+                    extra if isinstance(extra, RerouteSettle) else None
                 )
-                mw.note_execution(option, inflated, t_dispatch)
+                hedge = extra if reroute is None else None
+                if reroute is not None:
+                    reroutes += 1
+                    # Calibrator discipline: the primary's raw
+                    # demonstrated demand is reported unchanged — the
+                    # migration must improve the query's latency without
+                    # teaching QCC counterfactual per-server costs (see
+                    # repro.fed.rerouting).  The outcome that flows to
+                    # the merge carries the deterministically merged
+                    # prefix + tail rows and the true end-to-end latency.
+                    mw.note_execution(option, execution, t_dispatch)
+                    inflated = dataclasses.replace(
+                        execution,
+                        rows=reroute.merged_rows,
+                        observed_ms=effective_ms,
+                    )
+                else:
+                    inflated = dataclasses.replace(
+                        execution, observed_ms=effective_ms
+                    )
+                    mw.note_execution(option, inflated, t_dispatch)
                 obs.metrics.histogram(
                     "sched_sojourn_ms", server=option.server
                 ).observe(completion.sojourn_ms)
@@ -672,6 +903,16 @@ class ConcurrentRuntime:
                         hedge_wasted_ms=hedge.wasted_ms,
                     )
                     if hedge is not None and hedge.hedged
+                    else {}
+                )
+                reroute_tags = (
+                    dict(
+                        rerouted=True,
+                        reroute_to=reroute.target.server,
+                        reroute_cut_row=reroute.cut_row,
+                        reroute_wasted_ms=reroute.wasted_ms,
+                    )
+                    if reroute is not None
                     else {}
                 )
                 trace.end(
@@ -693,6 +934,7 @@ class ConcurrentRuntime:
                     sojourn_ms=completion.sojourn_ms,
                     depth_at_arrival=completion.depth_at_arrival,
                     **hedge_tags,
+                    **reroute_tags,
                 )
                 outcomes[option.fragment.fragment_id] = FragmentOutcome(
                     option=option, execution=inflated
@@ -773,6 +1015,7 @@ class ConcurrentRuntime:
                 remote_ms=remote_ms,
                 retries=retries,
                 merge_plan=merge_plan,
+                reroutes=reroutes,
             )
             ii.patroller.complete(record, t0 + response_ms)
             obs.metrics.histogram("ii_response_ms").observe(response_ms)

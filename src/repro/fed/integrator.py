@@ -84,6 +84,9 @@ class FederatedResult:
     merge_plan: Optional[PhysicalPlan] = None
     #: operator-level profile (only while profiling is enabled)
     profile: Optional[PlanProfile] = None
+    #: fragments migrated mid-flight by the re-routing policy (always 0
+    #: on the sequential path and when re-routing is disabled)
+    reroutes: int = 0
 
     @property
     def row_count(self) -> int:

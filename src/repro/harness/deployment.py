@@ -174,6 +174,8 @@ def build_federation(
     enable_plan_cache: bool = True,
     plan_cache_size: int = 128,
     engine: Optional[str] = None,
+    transfer: str = "rows",
+    transfer_batch_rows: int = 1024,
 ) -> Deployment:
     """Assemble servers, wrappers, MW, (optionally) QCC and the II.
 
@@ -183,6 +185,8 @@ def build_federation(
     With ``induced_load`` each server's load level additionally rises
     with the traffic routed to it (the hot-spot feedback of Section 4);
     ``Deployment.set_load`` still controls the phase base level.
+    ``transfer``/``transfer_batch_rows`` select the fragment result wire
+    format on every server (see :class:`~repro.sim.RemoteServer`).
     """
     clock = VirtualClock()
     if prebuilt_databases is None:
@@ -216,6 +220,8 @@ def build_federation(
             link=spec.link(),
             availability=schedule,
             errors=ErrorInjector(error_rate, seed=seed, name=spec.name),
+            transfer=transfer,
+            transfer_batch_rows=transfer_batch_rows,
         )
         servers[spec.name] = server
         wrappers[spec.name] = RelationalWrapper(server)
@@ -280,6 +286,8 @@ def build_replica_federation(
     enable_plan_cache: bool = True,
     plan_cache_size: int = 128,
     engine: Optional[str] = None,
+    transfer: str = "rows",
+    transfer_batch_rows: int = 1024,
 ) -> Deployment:
     """The Section 4 load-distribution scenario: S1, S2, R1, R2.
 
@@ -368,6 +376,8 @@ def build_replica_federation(
             link=spec.link(),
             availability=schedule,
             errors=ErrorInjector(error_rate, seed=seed, name=spec.name),
+            transfer=transfer,
+            transfer_batch_rows=transfer_batch_rows,
         )
         servers[spec.name] = server
         wrappers[spec.name] = RelationalWrapper(server)

@@ -77,6 +77,11 @@ class LoadGenResult:
     #: Hedge accounting: fired/suppressed/backup_wins/wasted_ms (empty
     #: when hedging is off).
     hedge_stats: Dict[str, float] = field(default_factory=dict)
+    #: Re-routing batch size the run used (None = re-routing off).
+    reroute_batch_rows: Optional[int] = None
+    #: Re-route accounting: fired/declined/migrated_rows/wasted_ms
+    #: (empty when re-routing is off).
+    reroute_stats: Dict[str, object] = field(default_factory=dict)
 
     # -- accounting ------------------------------------------------------
 
@@ -182,9 +187,12 @@ class LoadGenResult:
                 for spec in self.classes
             ],
         }
-        # Conditional key: non-hedged runs keep their pre-hedging bytes.
+        # Conditional keys: runs without hedging/re-routing keep their
+        # pre-feature bytes.
         if self.hedge_after_ms is not None:
             header["hedge_after_ms"] = self.hedge_after_ms
+        if self.reroute_batch_rows is not None:
+            header["reroute_batch_rows"] = self.reroute_batch_rows
         return header
 
     def verdict_lines(self) -> List[str]:
@@ -249,6 +257,9 @@ class LoadGenResult:
         if self.hedge_after_ms is not None:
             summary["hedge_after_ms"] = self.hedge_after_ms
             summary["hedge"] = dict(self.hedge_stats)
+        if self.reroute_batch_rows is not None:
+            summary["reroute_batch_rows"] = self.reroute_batch_rows
+            summary["reroute"] = dict(self.reroute_stats)
         return summary
 
     def render(self) -> str:
@@ -294,6 +305,15 @@ class LoadGenResult:
                 f"fired={stats.get('fired', 0):g} "
                 f"backup_wins={stats.get('backup_wins', 0):g} "
                 f"suppressed={stats.get('suppressed', 0):g} "
+                f"wasted={stats.get('wasted_ms', 0.0):.1f}ms"
+            )
+        if self.reroute_batch_rows is not None:
+            stats = self.reroute_stats
+            lines.append(
+                f"rerouting: batch={self.reroute_batch_rows} "
+                f"fired={stats.get('fired', 0):g} "
+                f"declined={stats.get('declined', 0):g} "
+                f"migrated_rows={stats.get('migrated_rows', 0):g} "
                 f"wasted={stats.get('wasted_ms', 0.0):.1f}ms"
             )
         admission_rows = []
@@ -381,6 +401,7 @@ def run_loadgen(
     integrator: Optional[InformationIntegrator] = None,
     max_queries: Optional[int] = None,
     hedge_after_ms: Optional[float] = None,
+    reroute_batch_rows: Optional[int] = None,
 ) -> LoadGenResult:
     """Fire one seeded open-loop arrival stream; returns the verdicts.
 
@@ -388,8 +409,10 @@ def run_loadgen(
     ``duration_ms`` is hit first ends submission); ``integrator`` reuses
     an existing federation instead of building one — the benchmark
     passes prebuilt databases to skip the populate step.
-    ``hedge_after_ms`` enables hedged fragment dispatch (None = off; the
-    verdict artifact stays byte-identical to pre-hedging runs).
+    ``hedge_after_ms`` enables hedged fragment dispatch and
+    ``reroute_batch_rows`` enables mid-query batch re-routing (both
+    default to off and are mutually exclusive; the verdict artifact
+    stays byte-identical to pre-feature runs when off).
     """
     if integrator is None:
         deployment = build_federation(
@@ -403,6 +426,7 @@ def run_loadgen(
         classes=classes,
         discipline=discipline,
         hedge_after_ms=hedge_after_ms,
+        reroute_batch_rows=reroute_batch_rows,
     )
 
     workload_rng = derive_rng(seed, "loadgen", "workload")
@@ -433,6 +457,9 @@ def run_loadgen(
     hedge_stats: Dict[str, float] = {}
     if runtime.hedging is not None:
         hedge_stats = runtime.hedging.stats()
+    reroute_stats: Dict[str, object] = {}
+    if runtime.rerouting is not None:
+        reroute_stats = runtime.rerouting.stats()
     return LoadGenResult(
         arrival=arrival,
         rate_qps=rate_qps,
@@ -446,4 +473,6 @@ def run_loadgen(
         max_queue_depths=depths,
         hedge_after_ms=hedge_after_ms,
         hedge_stats=hedge_stats,
+        reroute_batch_rows=reroute_batch_rows,
+        reroute_stats=reroute_stats,
     )

@@ -31,16 +31,21 @@ CATALOG_PATH = Path("docs") / "metrics_catalog.txt"
 def _register_rare(metrics) -> None:
     """Pre-register families the reference run cannot reach.
 
-    Failure counters need a fault injection and hedge counters need a
-    replica federation mid-overload; registering the instruments (at
-    value zero) is enough for the catalog, which records families and
-    label keys, never values.
+    Failure counters need a fault injection, hedge counters need a
+    replica federation mid-overload, and re-route counters need a
+    calibration-epoch bump to land mid-fragment; registering the
+    instruments (at value zero) is enough for the catalog, which
+    records families and label keys, never values.
     """
     metrics.counter("ii_query_failures_total")
     metrics.counter("ii_query_retries_total")
     metrics.counter("hedge_fired_total", server="S1")
     metrics.counter("hedge_suppressed_total", server="S1")
     metrics.counter("hedge_backup_wins_total", server="S1")
+    metrics.counter("reroute_fired_total", server="S1")
+    metrics.counter("reroute_declined_total", reason="no-replica")
+    metrics.counter("mw_reroute_cancelled_total", server="S1")
+    metrics.histogram("mw_reroute_wasted_ms")
     metrics.counter("admission_shed_total", klass="batch", reason="no-tokens")
     metrics.counter("slo_alerts_total", klass="batch", window="fast")
     metrics.counter("trace_spans_dropped_total")

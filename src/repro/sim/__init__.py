@@ -32,12 +32,22 @@ from .sched import (
     EventScheduler,
     HedgedWork,
     HedgeOutcome,
+    MigratableWork,
+    MigrationOutcome,
     NULL_QUEUE_EVENTS,
     QueueEvents,
     ServerQueue,
     Work,
 )
-from .server import REQUEST_BYTES, RemoteExecution, RemoteServer
+from .server import (
+    REQUEST_BYTES,
+    TRANSFER_MODES,
+    RemoteExecution,
+    RemoteServer,
+    TransferBatch,
+    exact_split,
+    transfer_spans,
+)
 from .storms import StormReport, UpdateStormDriver
 
 __all__ = [
@@ -55,6 +65,8 @@ __all__ = [
     "InducedLoad",
     "LOCAL_LINK",
     "LoadSchedule",
+    "MigratableWork",
+    "MigrationOutcome",
     "MutableLoad",
     "NetworkLink",
     "NULL_QUEUE_EVENTS",
@@ -68,6 +80,8 @@ __all__ = [
     "ServerUnavailable",
     "StepSchedule",
     "StormReport",
+    "TRANSFER_MODES",
+    "TransferBatch",
     "UpdateStorm",
     "UpdateStormDriver",
     "VirtualClock",
@@ -75,4 +89,6 @@ __all__ = [
     "Work",
     "derive_rng",
     "derive_seed",
+    "exact_split",
+    "transfer_spans",
 ]

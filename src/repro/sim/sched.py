@@ -136,6 +136,44 @@ class HedgeOutcome:
 
 
 @dataclass(frozen=True)
+class MigratableWork:
+    """Cancellable work plus an externally armed migration trigger.
+
+    The primary :class:`Work` is submitted normally — an enabled but
+    never-triggered migration is byte-identical to a plain ``Work``
+    yield.  ``arm(interrupt)`` installs the trigger (the re-routing
+    layer subscribes it to the calibration epoch) and returns a disarm
+    callable; the scheduler disarms on completion or after a migration.
+    When ``interrupt()`` fires while the primary is still resident, the
+    scheduler calls ``migrate(t_ms, consumed_ms)`` with the dedicated
+    service the primary has consumed so far; returning a :class:`Work`
+    cancels the primary (its unserved demand is released back to the
+    queue, exactly like a hedge loser) and submits the replacement,
+    while returning ``None`` declines and leaves the primary running.
+    At most one migration happens per request.
+    """
+
+    primary: "Work"
+    arm: Callable[[Callable[[], None]], Callable[[], None]]
+    migrate: Callable[[float, float], Optional["Work"]]
+
+
+@dataclass(frozen=True)
+class MigrationOutcome:
+    """Resume value of a :class:`MigratableWork` request."""
+
+    #: The completion that settled the request — the primary's when no
+    #: migration happened, the replacement's after one.
+    completion: "Completion"
+    #: True when the primary was cancelled and a replacement submitted.
+    migrated: bool
+    #: Virtual instant the migration fired (None when not migrated).
+    migrated_at_ms: Optional[float]
+    #: Dedicated service the cancelled primary had already consumed.
+    consumed_ms: float
+
+
+@dataclass(frozen=True)
 class Completion:
     """What happened to one :class:`Work` request."""
 
@@ -262,10 +300,12 @@ class EventScheduler:
             self._join(request.requests, resume)
         elif isinstance(request, HedgedWork):
             self._hedge(request, resume)
+        elif isinstance(request, MigratableWork):
+            self._migrate(request, resume)
         else:
             raise TypeError(
                 f"process yielded {request!r}; "
-                "expected Work, Delay, AllOf or HedgedWork"
+                "expected Work, Delay, AllOf, HedgedWork or MigratableWork"
             )
 
     def _hedge(
@@ -318,6 +358,75 @@ class EventScheduler:
             )
 
         self.call_later(request.hedge_after_ms, fire_backup)
+
+    def _migrate(
+        self, request: MigratableWork, resume: Callable[[object], None]
+    ) -> None:
+        """Run the primary, migratable once via the armed interrupt."""
+        state: dict = {
+            "done": False,
+            "migrated": False,
+            "fired_at": None,
+            "consumed": 0.0,
+            "disarm": None,
+        }
+        primary_queue = request.primary.queue
+
+        def disarm() -> None:
+            fn = state["disarm"]
+            if fn is not None:
+                state["disarm"] = None
+                fn()
+
+        def finish_primary(completion: "Completion") -> None:
+            state["done"] = True
+            disarm()
+            resume(MigrationOutcome(completion, False, None, 0.0))
+
+        def finish_migrated(completion: "Completion") -> None:
+            state["done"] = True
+            resume(
+                MigrationOutcome(
+                    completion, True, state["fired_at"], state["consumed"]
+                )
+            )
+
+        primary_job = primary_queue.submit(
+            request.primary.demand_ms,
+            finish_primary,
+            tag=request.primary.tag,
+        )
+
+        def interrupt() -> None:
+            if state["done"] or state["migrated"]:
+                return
+            now = self.clock.now
+            # Peek at consumed service *before* deciding: the migrate
+            # callback quantises the checkpoint to batch boundaries and
+            # may decline (fully drained, no viable replica).
+            consumed = primary_queue.consumed_ms(primary_job)
+            replacement = request.migrate(now, consumed)
+            if replacement is None:
+                return
+            state["migrated"] = True
+            state["fired_at"] = now
+            # ``cancel`` releases the primary's unserved demand back to
+            # its queue — the same machinery that releases hedge losers.
+            state["consumed"] = primary_queue.cancel(primary_job)
+            disarm()
+            replacement.queue.submit(
+                replacement.demand_ms,
+                finish_migrated,
+                tag=replacement.tag,
+            )
+
+        installed = request.arm(interrupt)
+        if state["done"] or state["migrated"]:
+            # The trigger fired synchronously while arming; nothing left
+            # to watch.
+            installed()
+        else:
+            state["disarm"] = installed
 
     def _join(
         self, requests: Tuple[object, ...], resume: Callable[[object], None]
@@ -476,6 +585,25 @@ class ServerQueue:
         # capacity), and the server retires one service-unit per unit of
         # virtual time regardless of how it is shared.
         return sum(j.remaining_ms for j in self._jobs)
+
+    def consumed_ms(self, job: _Job) -> float:
+        """Dedicated service *job* has consumed so far, without touching
+        it (0.0 when it has not started, or already left the system).
+
+        This is exactly what :meth:`cancel` would report if called at
+        the same instant — re-routing peeks here to quantise a
+        checkpoint before committing to the cancellation.
+        """
+        if job.cancelled or job not in self._jobs:
+            return 0.0
+        now = self.scheduler.now
+        service = job.demand_ms / self.capacity
+        if self.discipline == "fifo":
+            if job.started_ms <= now:
+                return min(service, now - job.started_ms)
+            return 0.0
+        self._advance_ps(now)
+        return max(0.0, service - job.remaining_ms)
 
     # -- submission ------------------------------------------------------
 

@@ -10,6 +10,7 @@ plus network time) — the asymmetry whose gap the QCC measures.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from math import nextafter
 from typing import List, Optional, Tuple
 
 from ..sqlengine import (
@@ -19,6 +20,7 @@ from ..sqlengine import (
     Row,
     Schema,
     ServerProfile,
+    encode_rows,
 )
 from .failures import AlwaysUp, AvailabilitySchedule, ErrorInjector, ServerUnavailable
 from .load import ConstantLoad, ContentionProfile, LoadSchedule
@@ -26,6 +28,86 @@ from .network import NetworkLink
 
 #: Bytes assumed for a fragment-request message (SQL text + descriptor).
 REQUEST_BYTES = 512.0
+
+#: Supported fragment-transfer wire formats.
+TRANSFER_MODES = ("rows", "columnar")
+
+
+def exact_split(total: float, weights: List[float]) -> List[float]:
+    """Split *total* proportionally to *weights*, summing back exactly.
+
+    The last share absorbs the floating-point residue, and a final
+    one-ulp correction forces the left-to-right ``sum()`` of the shares
+    to reproduce *total* bit-for-bit — the invariant per-batch
+    attribution (and re-routing's demand splits) are tested against.
+    Weights must be non-negative with a positive sum (an all-zero weight
+    vector puts everything in the last share).
+    """
+    if not weights:
+        return []
+    if len(weights) == 1:
+        return [total]
+    denom = 0.0
+    for w in weights:
+        denom += w
+    shares: List[float] = []
+    acc = 0.0
+    for w in weights[:-1]:
+        share = total * (w / denom) if denom > 0.0 else 0.0
+        shares.append(share)
+        acc += share
+    shares.append(total - acc)
+    # Round-to-nearest can leave the recomposed sum one ulp off *total*;
+    # nudge the residual share until the identity holds exactly.
+    for _ in range(4):
+        recomposed = sum(shares)
+        if recomposed == total:
+            break
+        shares[-1] = nextafter(
+            shares[-1], shares[-1] + (total - recomposed)
+        )
+    return shares
+
+
+def transfer_spans(row_count: int, batch_rows: int) -> List[Tuple[int, int]]:
+    """Row spans ``[start, stop)`` chunking *row_count* by *batch_rows*.
+
+    Always yields at least one span so empty results still produce one
+    (empty) wire batch — a response message crosses the link either way.
+    """
+    if row_count <= 0:
+        return [(0, 0)]
+    step = max(1, batch_rows)
+    return [
+        (start, min(start + step, row_count))
+        for start in range(0, row_count, step)
+    ]
+
+
+@dataclass(frozen=True)
+class TransferBatch:
+    """One wire batch of a chunked fragment transfer.
+
+    ``processing_ms``/``network_ms`` are the batch's shares of the
+    execution's totals (processing split by row count, network by wire
+    bytes); the shares of each component sum bit-for-bit to the
+    execution's total, so chunking is pure attribution — it never moves
+    the observed response time.
+    """
+
+    start_row: int
+    stop_row: int
+    wire_bytes: int
+    processing_ms: float
+    network_ms: float
+
+    @property
+    def row_count(self) -> int:
+        return self.stop_row - self.start_row
+
+    @property
+    def demand_ms(self) -> float:
+        return self.processing_ms + self.network_ms
 
 
 @dataclass
@@ -40,6 +122,9 @@ class RemoteExecution:
     started_ms: float
     #: Which execution engine produced the rows (None for DML).
     engine: Optional[str] = None
+    #: Wire-batch boundaries with per-batch attribution when the server
+    #: streams columnar transfer batches; empty on the row-tuple wire.
+    batches: Tuple[TransferBatch, ...] = ()
 
     @property
     def finished_ms(self) -> float:
@@ -62,7 +147,16 @@ class RemoteServer:
         link: Optional[NetworkLink] = None,
         availability: AvailabilitySchedule = AlwaysUp(),
         errors: Optional[ErrorInjector] = None,
+        transfer: str = "rows",
+        transfer_batch_rows: int = 1024,
     ):
+        if transfer not in TRANSFER_MODES:
+            raise ValueError(
+                f"unknown transfer mode {transfer!r}; expected one of "
+                f"{TRANSFER_MODES}"
+            )
+        if transfer_batch_rows < 1:
+            raise ValueError("transfer_batch_rows must be >= 1")
         self.name = name
         self.database = database
         self.contention = contention
@@ -70,6 +164,13 @@ class RemoteServer:
         self.link = link if link is not None else NetworkLink()
         self.availability = availability
         self.errors = errors or ErrorInjector()
+        #: Wire format for fragment results: ``"rows"`` costs boxed row
+        #: tuples by schema row width (the original model, bit-exact to
+        #: pre-columnar artifacts); ``"columnar"`` encodes results as
+        #: dictionary/typed-array :class:`ColumnBatch` chunks and costs
+        #: the wire by their ``storage_bytes``.
+        self.transfer = transfer
+        self.transfer_batch_rows = transfer_batch_rows
 
     @property
     def profile(self) -> ServerProfile:
@@ -177,10 +278,51 @@ class RemoteServer:
         note_work = getattr(self.load, "note_work", None)
         if note_work is not None:
             note_work(t_ms, processing_ms)
-        result_bytes = result.row_count * plan.output_schema.row_width_bytes()
-        network_ms = self.link.request_response_ms(
-            REQUEST_BYTES, result_bytes, t_ms
-        )
+        if self.transfer == "columnar":
+            schema = (
+                result.schema
+                if result.schema is not None
+                else plan.output_schema
+            )
+            spans = transfer_spans(result.row_count, self.transfer_batch_rows)
+            wire_bytes = [
+                encode_rows(result.rows[start:stop], schema).storage_bytes()
+                for start, stop in spans
+            ]
+            result_bytes = float(sum(wire_bytes))
+            network_ms = self.link.request_response_ms(
+                REQUEST_BYTES, result_bytes, t_ms
+            )
+            # Per-batch attribution: processing follows rows produced,
+            # network follows bytes shipped; each component's shares sum
+            # bit-for-bit to the totals above (exact_split), so the
+            # chunked execution is pure bookkeeping over today's costs.
+            processing_shares = exact_split(
+                processing_ms, [float(stop - start) for start, stop in spans]
+            )
+            network_shares = exact_split(
+                network_ms, [float(b) for b in wire_bytes]
+            )
+            batches = tuple(
+                TransferBatch(
+                    start_row=start,
+                    stop_row=stop,
+                    wire_bytes=bytes_,
+                    processing_ms=p_share,
+                    network_ms=n_share,
+                )
+                for (start, stop), bytes_, p_share, n_share in zip(
+                    spans, wire_bytes, processing_shares, network_shares
+                )
+            )
+        else:
+            result_bytes = (
+                result.row_count * plan.output_schema.row_width_bytes()
+            )
+            network_ms = self.link.request_response_ms(
+                REQUEST_BYTES, result_bytes, t_ms
+            )
+            batches = ()
         return RemoteExecution(
             rows=result.rows,
             schema=result.schema,
@@ -189,6 +331,7 @@ class RemoteServer:
             network_ms=network_ms,
             started_ms=t_ms,
             engine=result.engine,
+            batches=batches,
         )
 
     def execute_sql(self, sql: str, t_ms: float) -> RemoteExecution:

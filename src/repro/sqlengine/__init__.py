@@ -15,6 +15,7 @@ from .columnar import (
     IntColumn,
     TableColumns,
     ValueColumn,
+    encode_rows,
 )
 from .cost import (
     CostParameters,
@@ -139,6 +140,7 @@ __all__ = [
     "TableDef", "TableSpec", "TableStats", "TypeMismatchError",
     "UniformFloat", "UniformInt", "UpdateStatement", "WorkMeter",
     "ZipfInt", "bind", "collect_stats", "estimate_selectivity",
+    "encode_rows",
     "execute_dml", "execute_plan", "parse", "parse_expression",
     "parse_statement", "plan_sql", "plan_statement", "populate",
     "resolve_engine",

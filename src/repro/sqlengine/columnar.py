@@ -484,29 +484,48 @@ def _build_dict(raw: List[Any]) -> DictColumn:
     return col
 
 
-def build_table_columns(rows: Sequence[Row], schema: Schema) -> TableColumns:
-    """Columnarise a heap table's rows against its schema.
+def _encode_column(raw: List[Any], ctype: ColumnType) -> ColumnData:
+    """Typed column from a raw value list — the shared encoding dispatch.
 
     INT columns fall back to :class:`ValueColumn` when any value is
     outside the signed 64-bit range; BOOL columns always use the value
     fallback (a 1-byte validity-style encoding would save little here).
     """
+    if ctype is ColumnType.INT:
+        if all(v is None or (_INT64_MIN <= v <= _INT64_MAX) for v in raw):
+            return _build_numeric(raw, "q")
+        return ValueColumn(raw)
+    if ctype is ColumnType.FLOAT:
+        return _build_numeric(raw, "d")
+    if ctype is ColumnType.STR:
+        return _build_dict(raw)
+    return ValueColumn(raw)
+
+
+def build_table_columns(rows: Sequence[Row], schema: Schema) -> TableColumns:
+    """Columnarise a heap table's rows against its schema."""
     n = len(rows)
-    cols: List[ColumnData] = []
-    for idx, column in enumerate(schema.columns):
-        raw = [row[idx] for row in rows]
-        ctype = column.ctype
-        if ctype is ColumnType.INT:
-            if all(
-                v is None or (_INT64_MIN <= v <= _INT64_MAX) for v in raw
-            ):
-                cols.append(_build_numeric(raw, "q"))
-            else:
-                cols.append(ValueColumn(raw))
-        elif ctype is ColumnType.FLOAT:
-            cols.append(_build_numeric(raw, "d"))
-        elif ctype is ColumnType.STR:
-            cols.append(_build_dict(raw))
-        else:
-            cols.append(ValueColumn(raw))
-    return TableColumns(tuple(cols), n)
+    cols = tuple(
+        _encode_column([row[idx] for row in rows], column.ctype)
+        for idx, column in enumerate(schema.columns)
+    )
+    return TableColumns(cols, n)
+
+
+def encode_rows(rows: Sequence[Row], schema: Schema) -> ColumnBatch:
+    """Encode a result-row batch as wire columns (fragment transfer).
+
+    This is the serialisation boundary's view of the columnar format:
+    the same typed encoding :func:`build_table_columns` uses for stored
+    tables, applied to one transfer batch of result rows.  The batch's
+    :meth:`ColumnBatch.storage_bytes` is what the simulated wire charges
+    — ``array``-backed numerics at 8 bytes/value plus container
+    overhead, dictionary-encoded strings at one 8-byte code per row plus
+    the shared dictionary — instead of the boxed row-width estimate.
+    """
+    n = len(rows)
+    cols = tuple(
+        _encode_column([row[idx] for row in rows], column.ctype)
+        for idx, column in enumerate(schema.columns)
+    )
+    return ColumnBatch(cols, n, None)

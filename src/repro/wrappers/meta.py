@@ -281,6 +281,39 @@ class MetaWrapper:
             wasted_ms=wasted_ms,
         )
 
+    def note_reroute(
+        self,
+        primary: FragmentOption,
+        target: FragmentOption,
+        cut_row: int,
+        wasted_ms: float,
+        t_ms: float,
+    ) -> None:
+        """Record a mid-query batch migration off *primary*.
+
+        Like a hedge loser, the cancelled primary leg leaves only
+        metrics and a trace event.  The calibrator is fed separately —
+        the primary's full demonstrated demand goes through
+        :meth:`note_execution` so QCC's per-server feedback stays
+        bit-identical to a run where the migration never happened;
+        ``wasted_ms`` is the partial-batch service past the checkpoint
+        that the target re-ships.
+        """
+        obs = get_obs()
+        obs.metrics.counter(
+            "mw_reroute_cancelled_total", server=primary.server
+        ).inc()
+        obs.metrics.histogram("mw_reroute_wasted_ms").observe(wasted_ms)
+        obs.trace_event(
+            "rerouted",
+            t_ms,
+            fragment=primary.fragment.fragment_id,
+            from_server=primary.server,
+            to_server=target.server,
+            cut_row=cut_row,
+            wasted_ms=wasted_ms,
+        )
+
     # -- probes ----------------------------------------------------------
 
     def probe(self, server: str, t_ms: float) -> float:

@@ -7,6 +7,7 @@ would wave through a real regression just as silently.
 """
 
 import copy
+import dataclasses
 
 import pytest
 
@@ -53,6 +54,63 @@ def test_oracle_equivalence_catches_oracle_failure(clean_run):
     assert any(
         "fault-free" in message for message in found["oracle-equivalence"]
     )
+
+
+def _rerouting_mutant(clean_run, batch_rows=4):
+    """Mutant whose spec opts into re-routing (nothing migrated yet)."""
+    run = _mutant(clean_run)
+    run.spec = dataclasses.replace(
+        run.spec, reroute_batch_rows=batch_rows
+    )
+    return run
+
+
+def test_reroute_oracle_equivalence_catches_merge_drift(clean_run):
+    run = _rerouting_mutant(clean_run)
+    victim = next(o for o in run.outcomes if o.status == "ok" and o.rows)
+    victim.reroutes = 1
+    # A seam defect: the merge dropped the last row of the prefix.
+    victim.rows.pop(0)
+    found = run_checkers(run, names=["reroute-oracle-equivalence"])
+    assert found["reroute-oracle-equivalence"], "merge drift not detected"
+
+
+def test_reroute_oracle_equivalence_catches_unreferenced_migration(
+    clean_run,
+):
+    run = _rerouting_mutant(clean_run)
+    victim = next(o for o in run.outcomes if o.status == "ok")
+    victim.reroutes = 1
+    oracle = next(o for o in run.oracle if o.index == victim.index)
+    oracle.status = "failed"
+    oracle.error = "planted"
+    found = run_checkers(run, names=["reroute-oracle-equivalence"])
+    assert any(
+        "oracle counterpart" in message
+        for message in found["reroute-oracle-equivalence"]
+    )
+
+
+def test_reroute_oracle_equivalence_catches_disabled_migration(clean_run):
+    run = _mutant(clean_run)
+    assert run.spec.reroute_batch_rows is None
+    victim = next(o for o in run.outcomes if o.status == "ok")
+    victim.reroutes = 1
+    found = run_checkers(run, names=["reroute-oracle-equivalence"])
+    assert any(
+        "disabled" in message
+        for message in found["reroute-oracle-equivalence"]
+    )
+
+
+def test_reroute_oracle_equivalence_passes_exact_merge(clean_run):
+    run = _rerouting_mutant(clean_run)
+    victim = next(o for o in run.outcomes if o.status == "ok" and o.rows)
+    victim.reroutes = 1
+    oracle = next(o for o in run.oracle if o.index == victim.index)
+    victim.rows = [tuple(row) for row in oracle.rows]
+    found = run_checkers(run, names=["reroute-oracle-equivalence"])
+    assert not found["reroute-oracle-equivalence"]
 
 
 def test_no_down_dispatch_catches_bad_dispatch(clean_run):
@@ -159,6 +217,7 @@ def test_every_bundled_checker_has_a_mutation_test(clean_run):
     """No checker ships without a falsifiability proof in this module."""
     covered = {
         "oracle-equivalence",
+        "reroute-oracle-equivalence",
         "no-down-dispatch",
         "calibration-bounds",
         "cache-epoch",

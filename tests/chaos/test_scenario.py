@@ -139,6 +139,72 @@ class TestSerialisation:
         for index in range(20):
             assert generate_scenario(42, index).hedge_after_ms is None
 
+    def test_reroute_round_trip(self):
+        spec = ScenarioSpec(
+            seed=1,
+            index=0,
+            topology="replica",
+            queries=(QuerySpec("QT1", 0, 12.5, klass="gold"),),
+            arrival=ArrivalSpec(process="poisson", rate_qps=40.0),
+            reroute_batch_rows=16,
+        )
+        clone = ScenarioSpec.from_json(spec.canonical_json())
+        assert clone == spec
+        assert clone.reroute_batch_rows == 16
+
+    def test_reroute_key_absent_when_disabled(self):
+        # Same byte-compat contract as hedging: the key only appears
+        # when the dimension is on, so pre-rerouting verdict JSONL is
+        # unchanged and old payloads keep parsing.
+        spec = generate_scenario(42, 0)
+        assert spec.reroute_batch_rows is None
+        payload = spec.to_dict()
+        assert "reroute_batch_rows" not in payload
+        assert ScenarioSpec.from_dict(payload).reroute_batch_rows is None
+
+    def test_hedge_and_reroute_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(
+                seed=1,
+                index=0,
+                topology="replica",
+                queries=(QuerySpec("QT1", 0, 12.5, klass="gold"),),
+                arrival=ArrivalSpec(process="poisson", rate_qps=40.0),
+                hedge_after_ms=75.0,
+                reroute_batch_rows=16,
+            )
+
+    def test_default_sweep_never_samples_rerouting(self):
+        for index in range(20):
+            spec = generate_scenario(42, index)
+            assert spec.reroute_batch_rows is None
+            # Opting out explicitly is byte-identical to the default.
+            assert (
+                generate_scenario(42, index, reroute_rate=0.0)
+                .canonical_json()
+                == spec.canonical_json()
+            )
+
+    def test_reroute_rate_touches_only_concurrent_specs(self):
+        from repro.chaos.scenario import REROUTE_BATCH_CHOICES
+
+        sampled = 0
+        for index in range(20):
+            base = generate_scenario(42, index)
+            spec = generate_scenario(42, index, reroute_rate=1.0)
+            if base.arrival is None:
+                assert spec == base
+                continue
+            assert spec.reroute_batch_rows in REROUTE_BATCH_CHOICES
+            sampled += 1
+            # Only the reroute field moves; every other stream is
+            # untouched by the new dimension's RNG draw.
+            assert spec.queries == base.queries
+            assert spec.faults == base.faults
+            assert spec.arrival == base.arrival
+            assert spec.topology == base.topology
+        assert sampled > 0
+
 
 class TestValidity:
     @pytest.mark.parametrize("index", range(20))
